@@ -1,0 +1,133 @@
+// Command trainbox-bench regenerates every table and figure of the
+// paper's evaluation in one run and prints a paper-vs-measured summary —
+// the data source for EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"trainbox/internal/experiments"
+	"trainbox/internal/report"
+)
+
+var markdown = flag.Bool("md", false, "emit the paper-vs-measured summary as a markdown table")
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "trainbox-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	summary := report.NewTable("Paper vs measured summary",
+		"experiment", "quantity", "paper", "measured")
+
+	fmt.Println(experiments.TableI().String())
+	t2, err := experiments.TableII()
+	if err != nil {
+		return err
+	}
+	fmt.Println(t2.String())
+	t3, err := experiments.TableIII()
+	if err != nil {
+		return err
+	}
+	fmt.Println(t3.String())
+
+	fmt.Println(experiments.Fig2a().String())
+
+	f2b := experiments.Fig2b()
+	fmt.Println(f2b.Table.String())
+	summary.AddRowf("Fig 2b", "normalized ring latency at n=256", "≈2", f2b.NormalizedAt256)
+
+	f3, err := experiments.Fig3()
+	if err != nil {
+		return err
+	}
+	fmt.Println(f3.Table.String())
+	summary.AddRowf("Fig 3", "prep/others in final config", "54.9×", f3.FinalPrepOverOthers)
+
+	f5, err := experiments.Fig5(experiments.DefaultFig5Config())
+	if err != nil {
+		return err
+	}
+	fmt.Println(f5.Table.String())
+	summary.AddRowf("Fig 5", "augmentation accuracy gap (points)", "29.1",
+		100*(f5.FinalWith-f5.FinalWithout))
+
+	f8, err := experiments.Fig8()
+	if err != nil {
+		return err
+	}
+	fmt.Println(f8.Table.String())
+	summary.AddRowf("Fig 8", "baseline saturation (accel-equivalents)", "≈18", f8.MaxSaturation)
+
+	f9, err := experiments.Fig9()
+	if err != nil {
+		return err
+	}
+	fmt.Println(f9.Table.String())
+	summary.AddRowf("Fig 9", "mean prep share at 256 accels (%)", "98.1", 100*f9.MeanPrepShare)
+
+	f10, err := experiments.Fig10()
+	if err != nil {
+		return err
+	}
+	fmt.Println(f10.CPU.String())
+	fmt.Println(f10.Memory.String())
+	fmt.Println(f10.PCIe.String())
+	summary.AddRowf("Fig 10a", "max CPU requirement (× DGX-2)", "100.7", f10.MaxCPU)
+	summary.AddRowf("Fig 10a", "max cores required", "4833", f10.MaxCores)
+	summary.AddRowf("Fig 10b", "max memory requirement (× DGX-2)", "17.9", f10.MaxMemory)
+	summary.AddRowf("Fig 10c", "max PCIe requirement (× DGX-2)", "18.0", f10.MaxPCIe)
+
+	f11, err := experiments.Fig11()
+	if err != nil {
+		return err
+	}
+	fmt.Println(f11.String())
+
+	f19, err := experiments.Fig19()
+	if err != nil {
+		return err
+	}
+	fmt.Println(f19.Table.String())
+	summary.AddRowf("Fig 19", "avg TrainBox speedup", "44.4×", f19.AvgTrainBox)
+	summary.AddRowf("Fig 19", "avg B+Acc speedup", "3.32×", f19.AvgAcc)
+	summary.AddRowf("Fig 19", "clustering gain over B+Acc+P2P", "13.4×", f19.ClusteringGain)
+	summary.AddRowf("Fig 19", "max speedup workload", "TF-AA (84.3×)",
+		fmt.Sprintf("%s (%.1f×)", f19.MaxName, f19.MaxTrainBox))
+
+	f20, err := experiments.Fig20()
+	if err != nil {
+		return err
+	}
+	fmt.Println(f20.Table.String())
+	summary.AddRowf("Fig 20", "speedup at batch 8192", "≈55×", f20.SpeedupAtLargest)
+
+	for _, wl := range []string{"Inception-v4", "TF-SR"} {
+		f21, err := experiments.Fig21(wl)
+		if err != nil {
+			return err
+		}
+		fmt.Println(f21.Table.String())
+		summary.AddRowf("Fig 21", wl+" TrainBox accel-equivalents", "≈256", f21.FinalByConfig["TrainBox"])
+	}
+
+	f22, err := experiments.Fig22()
+	if err != nil {
+		return err
+	}
+	fmt.Println(f22.String())
+
+	if *markdown {
+		fmt.Println(summary.Markdown())
+	} else {
+		fmt.Println(summary.String())
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+// distributed runs the whole functional stack end to end: Figure 1 as
+// working code. Synthetic JPEGs stream from the shard store through the
+// data-preparation library with next-batch prefetching; four
+// data-parallel replicas of the small network backpropagate their shards
+// in parallel; the real chunked ring all-reduce synchronizes gradients;
+// and one synchronous SGD step applies everywhere. The run reports loss,
+// replica synchronization, and where time went.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"trainbox/internal/dataprep"
+	"trainbox/internal/storage"
+	"trainbox/internal/train"
+)
+
+// stripeFeature pools the tensor's first channel into coarse features.
+func stripeFeature(p dataprep.Prepared) ([]float64, int, error) {
+	ten := p.Image
+	const block = 4
+	side := ten.W / block
+	feat := make([]float64, side*side)
+	for by := 0; by < side; by++ {
+		for bx := 0; bx < side; bx++ {
+			var sum float64
+			for y := by * block; y < (by+1)*block; y++ {
+				for x := bx * block; x < (bx+1)*block; x++ {
+					sum += float64(ten.At(0, y, x))
+				}
+			}
+			feat[by*side+bx] = sum / (block * block)
+		}
+	}
+	return feat, p.Label, nil
+}
+
+func main() {
+	store := storage.NewStore(storage.DefaultSSDSpec())
+	if err := dataprep.BuildImageDataset(store, 32, 4, 11); err != nil {
+		log.Fatal(err)
+	}
+	cfg := dataprep.DefaultImageConfig()
+	cfg.CropW, cfg.CropH = 32, 32
+	exec := dataprep.NewExecutor(dataprep.ImagePreparer{Config: cfg}, 0, 11)
+
+	tc := train.Config{
+		Replicas: 4,
+		Widths:   []int{64, 24, 4},
+		Epochs:   10, LearningRate: 0.08, PrefetchDepth: 2, Seed: 11,
+	}
+	fmt.Printf("training: %d replicas, %d epochs over %d samples, prefetch depth %d\n",
+		tc.Replicas, tc.Epochs, store.Len(), tc.PrefetchDepth)
+
+	res, err := train.Run(tc, exec, store, store.Keys(), stripeFeature)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nprocessed %d samples in %v (%.0f samples/s end to end)\n",
+		res.SamplesProcessed, res.Elapsed.Round(1e6),
+		float64(res.SamplesProcessed)/res.Elapsed.Seconds())
+	fmt.Printf("loss: %.3f (first step) → %.3f (last step)\n",
+		res.Steps[0].MeanLoss, res.FinalLoss())
+	fmt.Printf("replica divergence after training: %.2e (synchronized SGD)\n",
+		train.MaxReplicaDivergence(res.Replicas))
+
+	var syncTotal int64
+	for _, s := range res.Steps {
+		syncTotal += s.SyncNanos
+	}
+	fmt.Printf("ring all-reduce time: %.2f ms total across %d steps\n",
+		float64(syncTotal)/1e6, len(res.Steps))
+	fmt.Println("\n(the ring, the prefetcher, and the replicas are the same code the")
+	fmt.Println(" system model abstracts — Figure 1 running for real)")
+}

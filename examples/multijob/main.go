@@ -1,0 +1,53 @@
+// multijob demonstrates the shared prep-pool across training jobs
+// (Section V-D: the pool can be disaggregated FPGA racks or FPGAs from
+// underutilized train boxes): three jobs with different input types and
+// demands compete for a shrinking pool, scheduled max-min fairly on the
+// fraction of each job's deficit covered.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"trainbox/internal/experiments"
+	"trainbox/internal/fpga"
+	"trainbox/internal/units"
+	"trainbox/internal/workload"
+)
+
+func main() {
+	// Three concurrent jobs on one TrainBox rack, four boxes each.
+	jobs := []fpga.JobRequest{
+		{Name: "Resnet-50", Type: workload.Image,
+			RequiredRate: units.SamplesPerSec(32 * 7431), InBoxRate: 8 * fpga.ImagePrepRate},
+		{Name: "TF-SR", Type: workload.Audio,
+			RequiredRate: units.SamplesPerSec(32 * 2001), InBoxRate: 8 * fpga.AudioPrepRate},
+		{Name: "Inception-v4", Type: workload.Image,
+			RequiredRate: units.SamplesPerSec(32 * 1669), InBoxRate: 8 * fpga.ImagePrepRate},
+	}
+	fmt.Println("jobs sharing one prep-pool (each owns 4 train boxes, 8 in-box FPGAs):")
+	for _, j := range jobs {
+		fmt.Printf("  %-13s needs %8.0f samples/s, own FPGAs supply %8.0f (deficit %.2f FPGA-equivalents)\n",
+			j.Name, float64(j.RequiredRate), float64(j.InBoxRate), j.DeficitFPGAs())
+	}
+	fmt.Println()
+
+	for _, pool := range []int{32, 12, 4} {
+		allocs, err := fpga.SchedulePool(jobs, pool)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("pool = %d FPGAs (%.2f used):\n", pool, fpga.PoolUtilization(allocs))
+		for _, a := range allocs {
+			fmt.Printf("  %-13s granted %5.2f FPGAs → +%8.0f samples/s (%.0f%% of deficit, satisfied=%v)\n",
+				a.Name, a.GrantedFPGAs, float64(a.GrantedRate), 100*a.Fraction, a.Satisfied)
+		}
+		fmt.Println()
+	}
+
+	tb, err := experiments.AblationPoolSharing()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tb.String())
+}

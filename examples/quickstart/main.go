@@ -1,0 +1,61 @@
+// Quickstart: build the paper's baseline and TrainBox architectures at
+// 256 accelerators, solve both for ResNet-50, and print where the
+// bottleneck sits and what TrainBox buys — the repository's two-minute
+// tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"trainbox/internal/arch"
+	"trainbox/internal/core"
+	"trainbox/internal/report"
+	"trainbox/internal/workload"
+)
+
+func main() {
+	w, err := workload.ByName("Resnet-50")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Workload: %s — %v per TPU v3-8, batch %d, %.1f MB model\n\n",
+		w.Name, w.AccelRate, w.BatchSize, float64(w.ModelBytes)/1e6)
+
+	var rows []struct {
+		kind arch.Kind
+		res  core.Result
+	}
+	for _, kind := range arch.Kinds() {
+		sys, err := arch.Build(arch.Config{Kind: kind, NumAccels: workload.TargetAccelerators})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := core.Solve(sys, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, struct {
+			kind arch.Kind
+			res  core.Result
+		}{kind, res})
+	}
+
+	t := report.NewTable("ResNet-50 at 256 accelerators",
+		"architecture", "throughput (samples/s)", "speedup", "bottleneck")
+	base := float64(rows[0].res.Throughput)
+	labels := make([]string, 0, len(rows))
+	values := make([]float64, 0, len(rows))
+	for _, r := range rows {
+		t.AddRowf(r.kind.String(), float64(r.res.Throughput),
+			fmt.Sprintf("%.1f×", float64(r.res.Throughput)/base), r.res.Bottleneck)
+		labels = append(labels, r.kind.String())
+		values = append(values, float64(r.res.Throughput))
+	}
+	fmt.Println(t.String())
+	fmt.Println(report.BarChart("throughput", labels, values, 40))
+
+	fmt.Println("The baseline burns all 48 host cores on JPEG decode and augmentation;")
+	fmt.Println("offload moves the bottleneck to the PCIe root complex; clustering the")
+	fmt.Println("datapath inside train boxes removes the host from the loop entirely.")
+}

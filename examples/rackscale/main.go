@@ -1,0 +1,98 @@
+// rackscale walks through deploying rack-scale TrainBox (Figure 18) for
+// a concrete job: it builds the clustered topology, runs the train
+// initializer (data distribution, dummy-batch measurement, prep-pool
+// sizing — Section V-A), prints the per-box allocation, and contrasts an
+// image job that is self-sufficient with an audio job that draws on the
+// pool.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"trainbox/internal/arch"
+	"trainbox/internal/core"
+	"trainbox/internal/report"
+	"trainbox/internal/workload"
+)
+
+func main() {
+	sys, err := arch.Build(arch.Config{Kind: arch.TrainBox, NumAccels: 64})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rack: %d train boxes — per box %d accels, %d FPGAs, %d SSDs; pool of %d FPGAs\n",
+		len(sys.Boxes), len(sys.Boxes[0].Accels), len(sys.Boxes[0].FPGAs),
+		len(sys.Boxes[0].SSDs), sys.Config.PoolFPGAs)
+	fmt.Printf("PCIe nodes: %d; every in-box datapath avoids the root complex: %v\n\n",
+		sys.Topo.NumNodes(), verifyLocality(sys))
+
+	// Fake dataset keys: the initializer only needs names to shard.
+	keys := make([]string, 4096)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("item-%05d", i)
+	}
+
+	for _, name := range []string{"Inception-v4", "TF-SR"} {
+		w, err := workload.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plan, err := core.InitializeTraining(sys, w, keys)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("-- %s --\n", name)
+		fmt.Printf("  per-batch time %.3f s → required prep %.0f samples/s; feasible: %v\n",
+			plan.BatchTime, float64(plan.RequiredPrepRate), plan.Feasible)
+		alloc := plan.PerBox[0]
+		fmt.Printf("  per box: in-box %.0f samples/s + pool %.0f (%.0f%% extra FPGA resources, %d devices)\n",
+			float64(alloc.InBoxRate), float64(alloc.PoolRate),
+			100*alloc.ExtraResourceFraction, alloc.PoolFPGAs)
+		res, err := core.Solve(sys, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  solved throughput: %.0f samples/s (bottleneck: %s)\n\n",
+			float64(res.Throughput), res.Bottleneck)
+	}
+
+	// Sweep rack sizes to show scale-up behaviour.
+	t := report.NewTable("TrainBox scale-up (Inception-v4)",
+		"accelerators", "boxes", "throughput (samples/s)", "accel-equivalents")
+	w, _ := workload.ByName("Inception-v4")
+	for _, n := range []int{8, 16, 32, 64, 128, 256} {
+		s, err := arch.Build(arch.Config{Kind: arch.TrainBox, NumAccels: n})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := core.Solve(s, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.AddRowf(n, len(s.Boxes), float64(res.Throughput),
+			float64(res.Throughput)/float64(w.AccelRate))
+	}
+	fmt.Println(t.String())
+}
+
+// verifyLocality checks the clustering invariant on the built rack.
+func verifyLocality(sys *arch.System) bool {
+	for _, g := range sys.Boxes {
+		for _, ssd := range g.SSDs {
+			for _, fp := range g.FPGAs {
+				if sys.Topo.RouteCrossesRoot(ssd, fp) {
+					return false
+				}
+			}
+		}
+		for _, fp := range g.FPGAs {
+			for _, acc := range g.Accels {
+				if sys.Topo.RouteCrossesRoot(fp, acc) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,97 @@
+// ringallreduce demonstrates model synchronization: eight goroutine
+// "accelerators" each backpropagate a different sample through identical
+// replicas of the small from-scratch network, ring-all-reduce their real
+// gradients, verify the result against a sequential sum, and apply the
+// averaged update. It then prints the Figure 2b curve: ring latency
+// saturates at twice the two-accelerator latency no matter the scale.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"trainbox/internal/collective"
+	"trainbox/internal/nn"
+	"trainbox/internal/report"
+	"trainbox/internal/units"
+)
+
+func main() {
+	const ranks = 8
+	// Identical replicas: same init seed everywhere.
+	replicas := make([]*nn.Network, ranks)
+	for r := range replicas {
+		replicas[r] = nn.NewMLP([]int{16, 32, 4}, rand.New(rand.NewSource(42)))
+	}
+	fmt.Printf("%d replicas of a %d-parameter model\n", ranks, replicas[0].NumParams())
+
+	// Each rank computes gradients on its own shard.
+	rng := rand.New(rand.NewSource(1))
+	grads := make([][]float64, ranks)
+	expected := make([]float64, replicas[0].NumParams())
+	for r, net := range replicas {
+		x := make([]float64, 16)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		net.ZeroGrad()
+		net.LossAndBackward(net.Forward(x), rng.Intn(4))
+		grads[r] = net.Gradients()
+		for i, v := range grads[r] {
+			expected[i] += v
+		}
+	}
+
+	// Synchronize with the real chunked ring.
+	if err := collective.RingAllReduce(grads); err != nil {
+		log.Fatal(err)
+	}
+	var maxErr float64
+	for r := range grads {
+		for i := range grads[r] {
+			if e := math.Abs(grads[r][i] - expected[i]); e > maxErr {
+				maxErr = e
+			}
+		}
+	}
+	fmt.Printf("ring all-reduce vs sequential sum: max abs error %.2e across all ranks\n", maxErr)
+
+	// Apply the synchronized (averaged) gradients everywhere.
+	for r, net := range replicas {
+		avg := append([]float64(nil), grads[r]...)
+		for i := range avg {
+			avg[i] /= ranks
+		}
+		if err := net.SetGradients(avg); err != nil {
+			log.Fatal(err)
+		}
+		net.Step(0.1, 1)
+	}
+	// All replicas must remain bit-identical after the synchronized step.
+	w0 := replicas[0].Layers[0].W
+	for r := 1; r < ranks; r++ {
+		for i := range w0 {
+			if replicas[r].Layers[0].W[i] != w0[i] {
+				log.Fatalf("replica %d diverged after synchronized step", r)
+			}
+		}
+	}
+	fmt.Println("all replicas bit-identical after the synchronized SGD step")
+
+	// Figure 2b: the scalability argument for ring synchronization.
+	m := collective.DefaultRingModel()
+	const modelBytes = 100 * units.MB
+	var labels []string
+	var values []float64
+	for _, n := range []int{2, 4, 8, 16, 32, 64, 128, 256} {
+		labels = append(labels, fmt.Sprintf("n=%d", n))
+		values = append(values, m.NormalizedLatency(n, modelBytes))
+	}
+	fmt.Println()
+	fmt.Println(report.BarChart("Figure 2b — ring sync latency (normalized to n=2)", labels, values, 40))
+	central := collective.CentralModel{LinkBandwidth: m.LinkBandwidth}
+	fmt.Printf("for contrast, naive gather+broadcast at n=256 costs %.0f× the ring\n",
+		central.Latency(256, modelBytes)/m.Latency(256, modelBytes))
+}

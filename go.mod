@@ -1,0 +1,3 @@
+module trainbox
+
+go 1.22

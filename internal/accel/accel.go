@@ -1,0 +1,84 @@
+// Package accel models the neural-network accelerators (TPU v3-8-class)
+// of the TrainBox reproduction. Following the paper's methodology, an
+// accelerator is a black-box throughput source: per-workload rates are
+// the Table I cloud measurements, batch-size efficiency follows a
+// saturating curve, and model synchronization uses the ring model from
+// internal/collective. Together they give the "model computation +
+// synchronization" half of the training pipeline.
+package accel
+
+import (
+	"fmt"
+
+	"trainbox/internal/collective"
+	"trainbox/internal/units"
+	"trainbox/internal/workload"
+)
+
+// Cluster is a set of identical accelerators joined by a ring-optimized
+// accelerator interconnect (NVLink/NVSwitch-class, Section V-D).
+type Cluster struct {
+	N    int
+	Ring collective.RingModel
+}
+
+// NewCluster builds a cluster of n accelerators with the default ring.
+func NewCluster(n int) (Cluster, error) {
+	if n <= 0 {
+		return Cluster{}, fmt.Errorf("accel: cluster needs at least one accelerator, got %d", n)
+	}
+	return Cluster{N: n, Ring: collective.DefaultRingModel()}, nil
+}
+
+// ComputeTime returns one accelerator's time for a batch of the workload
+// at the given batch size.
+func ComputeTime(w workload.Workload, batch int) float64 {
+	if batch <= 0 {
+		return 0
+	}
+	rate := w.EffectiveAccelRate(batch)
+	if rate <= 0 {
+		return 0
+	}
+	return float64(batch) / float64(rate)
+}
+
+// SyncTime returns the cluster's model-synchronization time per step.
+func (c Cluster) SyncTime(w workload.Workload) float64 {
+	return c.Ring.Latency(c.N, w.ModelBytes)
+}
+
+// StepTime returns the compute + synchronization time of one training
+// step (every accelerator processes one batch, then gradients ring).
+func (c Cluster) StepTime(w workload.Workload, batch int) float64 {
+	return ComputeTime(w, batch) + c.SyncTime(w)
+}
+
+// Throughput returns the cluster's sample throughput for the workload at
+// the given per-accelerator batch size: n·batch / step time. This is the
+// "(b) model computation and synchronization" stage that data
+// preparation must keep fed.
+func (c Cluster) Throughput(w workload.Workload, batch int) units.SamplesPerSec {
+	st := c.StepTime(w, batch)
+	if st <= 0 {
+		return 0
+	}
+	return units.SamplesPerSec(float64(c.N) * float64(batch) / st)
+}
+
+// PeakThroughput returns the cluster throughput at the workload's Table I
+// batch size.
+func (c Cluster) PeakThroughput(w workload.Workload) units.SamplesPerSec {
+	return c.Throughput(w, w.BatchSize)
+}
+
+// SyncEfficiency returns the fraction of step time spent computing (1 =
+// synchronization free). The paper's premise is that ring synchronization
+// keeps this near 1 even at 256 accelerators.
+func (c Cluster) SyncEfficiency(w workload.Workload, batch int) float64 {
+	st := c.StepTime(w, batch)
+	if st <= 0 {
+		return 0
+	}
+	return ComputeTime(w, batch) / st
+}

@@ -1,0 +1,79 @@
+package collective
+
+import (
+	"fmt"
+
+	"trainbox/internal/units"
+)
+
+// RingModel is the analytical latency model of chunked ring all-reduce
+// over a dedicated accelerator interconnect, calibrated the way the
+// paper builds its synchronization model (Section VI-A: "a performance
+// model based on the ring communication and an NVLink-like interface").
+type RingModel struct {
+	// LinkBandwidth is the per-direction accelerator-link bandwidth
+	// (NVLink-class; DGX-2 aggregate is ~300 GB/s, 9.4× PCIe Gen3).
+	LinkBandwidth units.BytesPerSec
+	// ChunkBytes is the pipelining granularity (the paper plots a
+	// "4-KB-chunked ring" in Figure 2b).
+	ChunkBytes units.Bytes
+	// HopLatency is the per-chunk per-hop fixed cost in seconds.
+	HopLatency float64
+}
+
+// DefaultRingModel returns the NVLink-class model used throughout the
+// reproduction: 150 GB/s effective per-direction ring bandwidth, 4 KB
+// chunks, 0.1 µs per hop.
+func DefaultRingModel() RingModel {
+	return RingModel{
+		LinkBandwidth: 150 * units.GBps,
+		ChunkBytes:    4 * units.KB,
+		HopLatency:    1e-7,
+	}
+}
+
+// Latency returns the time to all-reduce modelBytes across n
+// accelerators.
+//
+// Each rank transmits 2·(n−1)/n · modelBytes over its ring link; with
+// chunked pipelining the fixed per-hop cost adds 2·(n−1)·HopLatency for
+// the pipeline fill. n ≤ 1 costs nothing; n must not be negative.
+func (m RingModel) Latency(n int, modelBytes units.Bytes) float64 {
+	if n < 0 {
+		panic(fmt.Sprintf("collective: negative ranks %d", n))
+	}
+	if n <= 1 || modelBytes <= 0 {
+		return 0
+	}
+	frac := 2 * float64(n-1) / float64(n)
+	transfer := frac * float64(modelBytes) / float64(m.LinkBandwidth)
+	fill := 2 * float64(n-1) * m.HopLatency
+	return transfer + fill
+}
+
+// NormalizedLatency returns Latency(n)/Latency(2), the quantity Figure 2b
+// plots. It saturates just above 2 as n grows (2·(n−1)/n → 2 while the
+// pipeline-fill term stays negligible for realistic model sizes).
+func (m RingModel) NormalizedLatency(n int, modelBytes units.Bytes) float64 {
+	base := m.Latency(2, modelBytes)
+	if base == 0 {
+		return 0
+	}
+	return m.Latency(n, modelBytes) / base
+}
+
+// CentralModel is the latency model of the naive gather+broadcast
+// synchronization, which scales linearly with n at the root's link: the
+// non-solution the ring replaces.
+type CentralModel struct {
+	LinkBandwidth units.BytesPerSec
+}
+
+// Latency returns the gather+broadcast time: the root receives n−1 copies
+// and sends n−1 copies of the model serially over its link.
+func (m CentralModel) Latency(n int, modelBytes units.Bytes) float64 {
+	if n <= 1 || modelBytes <= 0 {
+		return 0
+	}
+	return 2 * float64(n-1) * float64(modelBytes) / float64(m.LinkBandwidth)
+}

@@ -1,0 +1,241 @@
+package collective
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"trainbox/internal/nn"
+	"trainbox/internal/units"
+)
+
+func TestRingAllReduceMatchesSum(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 7, 8, 16} {
+		for _, length := range []int{1, 2, n - 1, n, n + 1, 100, 1000} {
+			if length < 1 {
+				continue
+			}
+			rng := rand.New(rand.NewSource(int64(n*1000 + length)))
+			data := make([][]float64, n)
+			oracle := make([][]float64, n)
+			for r := range data {
+				data[r] = make([]float64, length)
+				for i := range data[r] {
+					data[r][i] = rng.NormFloat64()
+				}
+				oracle[r] = append([]float64(nil), data[r]...)
+			}
+			if err := CentralAllReduce(oracle); err != nil {
+				t.Fatal(err)
+			}
+			if err := RingAllReduce(data); err != nil {
+				t.Fatalf("n=%d len=%d: %v", n, length, err)
+			}
+			for r := range data {
+				for i := range data[r] {
+					if math.Abs(data[r][i]-oracle[r][i]) > 1e-9*(1+math.Abs(oracle[r][i])) {
+						t.Fatalf("n=%d len=%d rank=%d idx=%d: ring=%v central=%v",
+							n, length, r, i, data[r][i], oracle[r][i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRingAllReduceSingleRankIsNoop(t *testing.T) {
+	data := [][]float64{{1, 2, 3}}
+	if err := RingAllReduce(data); err != nil {
+		t.Fatal(err)
+	}
+	if data[0][0] != 1 || data[0][2] != 3 {
+		t.Error("single-rank all-reduce modified data")
+	}
+}
+
+func TestRingAllReduceErrors(t *testing.T) {
+	if err := RingAllReduce(nil); err == nil {
+		t.Error("empty rank set accepted")
+	}
+	if err := RingAllReduce([][]float64{{1, 2}, {1}}); err == nil {
+		t.Error("ragged input accepted")
+	}
+	if err := CentralAllReduce(nil); err == nil {
+		t.Error("central: empty rank set accepted")
+	}
+	if err := CentralAllReduce([][]float64{{1, 2}, {1}}); err == nil {
+		t.Error("central: ragged input accepted")
+	}
+}
+
+func TestRingAllReduceEmptyVectors(t *testing.T) {
+	data := [][]float64{{}, {}, {}}
+	if err := RingAllReduce(data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingAllReduceAverage(t *testing.T) {
+	data := [][]float64{{4, 8}, {2, 0}}
+	if err := RingAllReduceAverage(data); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 2; r++ {
+		if data[r][0] != 3 || data[r][1] != 4 {
+			t.Fatalf("rank %d = %v, want [3 4]", r, data[r])
+		}
+	}
+}
+
+// TestRingAllReducePropertyEqualsOracle fuzzes rank counts and vector
+// lengths against the sequential oracle.
+func TestRingAllReducePropertyEqualsOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(9)
+		length := rng.Intn(64)
+		data := make([][]float64, n)
+		oracle := make([][]float64, n)
+		for r := range data {
+			data[r] = make([]float64, length)
+			for i := range data[r] {
+				data[r][i] = rng.NormFloat64() * 100
+			}
+			oracle[r] = append([]float64(nil), data[r]...)
+		}
+		if CentralAllReduce(oracle) != nil || RingAllReduce(data) != nil {
+			return false
+		}
+		for r := range data {
+			for i := range data[r] {
+				if math.Abs(data[r][i]-oracle[r][i]) > 1e-7*(1+math.Abs(oracle[r][i])) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRingAllReduceSynchronizesRealGradients is the integration with
+// internal/nn: distinct replicas backprop different samples, all-reduce
+// their gradients, and must end bit-identical and equal to the summed
+// gradient.
+func TestRingAllReduceSynchronizesRealGradients(t *testing.T) {
+	const ranks = 4
+	rng := rand.New(rand.NewSource(11))
+	// Identical initial replicas (share the same seed).
+	nets := make([]*nn.Network, ranks)
+	for r := range nets {
+		nets[r] = nn.NewMLP([]int{6, 8, 3}, rand.New(rand.NewSource(99)))
+	}
+	grads := make([][]float64, ranks)
+	var expected []float64
+	for r, net := range nets {
+		x := make([]float64, 6)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		label := rng.Intn(3)
+		net.ZeroGrad()
+		net.LossAndBackward(net.Forward(x), label)
+		grads[r] = net.Gradients()
+		if expected == nil {
+			expected = make([]float64, len(grads[r]))
+		}
+		for i, v := range grads[r] {
+			expected[i] += v
+		}
+	}
+	if err := RingAllReduce(grads); err != nil {
+		t.Fatal(err)
+	}
+	for r := range grads {
+		for i := range grads[r] {
+			if math.Abs(grads[r][i]-expected[i]) > 1e-9*(1+math.Abs(expected[i])) {
+				t.Fatalf("rank %d grad %d: %v vs %v", r, i, grads[r][i], expected[i])
+			}
+		}
+		if err := nets[r].SetGradients(grads[r]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRingModelLatencyShape(t *testing.T) {
+	m := DefaultRingModel()
+	const modelBytes = 100 * units.MB // ResNet-50 class
+	l2 := m.Latency(2, modelBytes)
+	if l2 <= 0 {
+		t.Fatal("two-rank latency must be positive")
+	}
+	prev := l2
+	for _, n := range []int{4, 8, 16, 64, 256} {
+		l := m.Latency(n, modelBytes)
+		if l < prev {
+			t.Errorf("latency decreased at n=%d: %v < %v", n, l, prev)
+		}
+		prev = l
+	}
+	// Figure 2b: saturates at ~2× of the 2-accelerator latency.
+	norm256 := m.NormalizedLatency(256, modelBytes)
+	if norm256 < 1.9 || norm256 > 2.1 {
+		t.Errorf("normalized latency at 256 = %v, want ≈2", norm256)
+	}
+	if m.NormalizedLatency(2, modelBytes) != 1 {
+		t.Error("normalized latency at 2 must be 1")
+	}
+}
+
+func TestRingModelEdgeCases(t *testing.T) {
+	m := DefaultRingModel()
+	if m.Latency(0, units.MB) != 0 || m.Latency(1, units.MB) != 0 {
+		t.Error("n≤1 latency must be 0")
+	}
+	if m.Latency(8, 0) != 0 {
+		t.Error("zero-byte latency must be 0")
+	}
+	if m.NormalizedLatency(8, 0) != 0 {
+		t.Error("zero-byte normalized latency must be 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative ranks did not panic")
+		}
+	}()
+	m.Latency(-1, units.MB)
+}
+
+func TestRingBeatsCentralAtScale(t *testing.T) {
+	ring := DefaultRingModel()
+	central := CentralModel{LinkBandwidth: ring.LinkBandwidth}
+	const modelBytes = 100 * units.MB
+	// At n=2 they are comparable; at n=256 central is ~n/2 slower.
+	r256 := ring.Latency(256, modelBytes)
+	c256 := central.Latency(256, modelBytes)
+	if c256 < 50*r256 {
+		t.Errorf("central %v should dwarf ring %v at 256 ranks", c256, r256)
+	}
+	if central.Latency(1, modelBytes) != 0 {
+		t.Error("central n=1 latency must be 0")
+	}
+}
+
+// TestRingModelBandwidthOptimality checks the ring transmits the
+// information-theoretic minimum: per-rank traffic approaches 2× model
+// size and never exceeds it.
+func TestRingModelBandwidthOptimality(t *testing.T) {
+	m := DefaultRingModel()
+	const modelBytes = units.Bytes(1e9)
+	for n := 2; n <= 1024; n *= 2 {
+		transfer := m.Latency(n, modelBytes) - 2*float64(n-1)*m.HopLatency
+		perRankBytes := transfer * float64(m.LinkBandwidth)
+		if perRankBytes > 2*float64(modelBytes)*(1+1e-9) {
+			t.Errorf("n=%d transmits %v bytes/rank, above the 2× bound", n, perRankBytes)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"trainbox/internal/arch"
+	"trainbox/internal/workload"
+)
+
+// TestBoxReplayMatchesAnalyticFabricRate drives real concurrent DMAs
+// through the fluid-flow PCIe simulator on a train-box topology and
+// checks the steady rate against the static per-link accounting. The
+// two models share no code path (max-min-fair dynamics vs byte sums), so
+// agreement validates both.
+func TestBoxReplayMatchesAnalyticFabricRate(t *testing.T) {
+	for _, name := range []string{"Resnet-50", "TF-AA"} {
+		w, _ := workload.ByName(name)
+		sys := mustBuild(t, arch.Config{Kind: arch.TrainBoxNoPool, NumAccels: 8})
+		analytic, err := AnalyticBoxFabricRate(sys, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replay, err := SimulateBoxTransfers(sys, w, 400, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := math.Abs(float64(replay.Throughput)-float64(analytic)) / float64(analytic)
+		if rel > 0.08 {
+			t.Errorf("%s: replay %v vs analytic %v (%.1f%% apart)",
+				name, replay.Throughput, analytic, 100*rel)
+		}
+		if replay.Transfers != 800 {
+			t.Errorf("%s: transfers = %d, want 800", name, replay.Transfers)
+		}
+	}
+}
+
+func TestBoxReplayValidation(t *testing.T) {
+	w, _ := workload.ByName("Resnet-50")
+	flat := mustBuild(t, arch.Config{Kind: arch.Baseline, NumAccels: 8})
+	if _, err := SimulateBoxTransfers(flat, w, 10, 8); err == nil {
+		t.Error("flat system accepted")
+	}
+	if _, err := AnalyticBoxFabricRate(flat, w); err == nil {
+		t.Error("flat system accepted by analytic rate")
+	}
+	tb := mustBuild(t, arch.Config{Kind: arch.TrainBoxNoPool, NumAccels: 8})
+	if _, err := SimulateBoxTransfers(tb, w, 0, 8); err == nil {
+		t.Error("zero chunks accepted")
+	}
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+
+	"trainbox/internal/arch"
+	"trainbox/internal/sim"
+	"trainbox/internal/units"
+	"trainbox/internal/workload"
+)
+
+// SimOptions controls the discrete-event validation run.
+type SimOptions struct {
+	// ChunkSamples is the granularity of one simulated work item.
+	ChunkSamples int
+	// Chunks is how many items to push through the pipeline.
+	Chunks int
+	// InFlight bounds concurrently active chunks (pipeline depth).
+	InFlight int
+}
+
+// DefaultSimOptions returns a configuration that reaches steady state.
+func DefaultSimOptions() SimOptions {
+	return SimOptions{ChunkSamples: 64, Chunks: 2000, InFlight: 256}
+}
+
+// SimResult is the measured behaviour of the event-level replay.
+type SimResult struct {
+	// Throughput is the measured preparation rate.
+	Throughput units.SamplesPerSec
+	// Elapsed is the simulated makespan in seconds.
+	Elapsed float64
+	// Events is the number of simulation events executed.
+	Events uint64
+}
+
+// SimulatePrep replays the data-preparation pipeline of a Baseline or
+// clustered (TrainBox) system as a discrete-event simulation: chunks of
+// samples flow through SSD read, host/FPGA compute, and the staging
+// resources as queueing stations. Its purpose is validation — the
+// measured steady-state rate must match the analytical solver's
+// preparation rate (tests assert agreement within a few percent).
+//
+// The prep-pool is not replayed (use TrainBoxNoPool for clustered
+// validation); B+Acc variants are validated through their shared
+// constraint structure with Baseline.
+func SimulatePrep(sys *arch.System, w workload.Workload, opts SimOptions) (SimResult, error) {
+	if opts.ChunkSamples <= 0 || opts.Chunks <= 0 || opts.InFlight <= 0 {
+		return SimResult{}, fmt.Errorf("core: invalid sim options %+v", opts)
+	}
+	switch sys.Config.Kind {
+	case arch.Baseline:
+		return simulateBaseline(sys, w, opts)
+	case arch.TrainBoxNoPool, arch.TrainBox:
+		return simulateClustered(sys, w, opts)
+	default:
+		return SimResult{}, fmt.Errorf("core: DES replay not implemented for %v", sys.Config.Kind)
+	}
+}
+
+// stage is one queueing station: a resource plus the per-chunk service
+// time and units it consumes.
+type stage struct {
+	res     *sim.Resource
+	units   int
+	service float64
+}
+
+// runPipeline pushes chunks through stages in order with bounded
+// in-flight parallelism and returns the makespan.
+func runPipeline(eng *sim.Engine, stages []stage, chunks, inFlight int) (float64, uint64, error) {
+	launched, finished := 0, 0
+	var finish float64
+
+	var advance func(chunk, stageIdx int)
+	var launch func()
+	advance = func(chunk, stageIdx int) {
+		if stageIdx == len(stages) {
+			finished++
+			finish = eng.Now()
+			launch()
+			return
+		}
+		st := stages[stageIdx]
+		st.res.Use(st.units, st.service, func() { advance(chunk, stageIdx+1) })
+	}
+	launch = func() {
+		for launched < chunks && launched-finished < inFlight {
+			c := launched
+			launched++
+			advance(c, 0)
+		}
+	}
+	launch()
+	eng.SetStepLimit(uint64(chunks) * uint64(len(stages)+2) * 4)
+	if err := eng.Run(); err != nil {
+		return 0, 0, err
+	}
+	if finished != chunks {
+		return 0, 0, fmt.Errorf("core: pipeline stalled at %d/%d chunks", finished, chunks)
+	}
+	return finish, eng.Steps(), nil
+}
+
+// simulateBaseline replays the host-staged CPU-prep pipeline: SSD read →
+// host CPU (all prep ops) → DRAM staging → root-complex transfers.
+func simulateBaseline(sys *arch.System, w workload.Workload, opts SimOptions) (SimResult, error) {
+	eng := sim.NewEngine()
+	n := float64(opts.ChunkSamples)
+	host := sys.Config.Host
+
+	ssd := sim.NewResource(eng, "ssd", len(sys.SSDs))
+	cpu := sim.NewResource(eng, "cpu", host.Cores)
+	mem := sim.NewResource(eng, "mem", 1)
+	rc := sim.NewResource(eng, "rc", 1)
+
+	stages := []stage{
+		{ssd, 1, n * float64(w.Prep.StoredBytes) / float64(sys.Config.SSD.ReadBandwidth)},
+		{cpu, 1, n * w.Prep.TotalCPUSeconds()},
+		{mem, 1, n * float64(w.Prep.TotalMemoryBytes()) / float64(host.MemoryBandwidth)},
+		{rc, 1, n * float64(w.Prep.StoredBytes+w.Prep.TensorBytes) / float64(sys.RCCap)},
+	}
+	elapsed, events, err := runPipeline(eng, stages, opts.Chunks, opts.InFlight)
+	if err != nil {
+		return SimResult{}, err
+	}
+	return SimResult{
+		Throughput: units.SamplesPerSec(float64(opts.Chunks) * n / elapsed),
+		Elapsed:    elapsed,
+		Events:     events,
+	}, nil
+}
+
+// simulateClustered replays one train box's local pipeline (SSD → FPGA →
+// accelerator links) and scales by the box count: clustering makes boxes
+// independent, which is exactly the property being validated.
+func simulateClustered(sys *arch.System, w workload.Workload, opts SimOptions) (SimResult, error) {
+	if len(sys.Boxes) == 0 {
+		return SimResult{}, fmt.Errorf("core: clustered system has no boxes")
+	}
+	eng := sim.NewEngine()
+	n := float64(opts.ChunkSamples)
+	box := sys.Boxes[0]
+	perFPGA := float64(perDevicePrepRate(sys.Config.Prep, w))
+
+	ssd := sim.NewResource(eng, "box-ssd", len(box.SSDs))
+	fpgas := sim.NewResource(eng, "box-fpga", len(box.FPGAs))
+	// Each FPGA's PCIe egress carries the prepared tensors.
+	egress := sim.NewResource(eng, "fpga-egress", len(box.FPGAs))
+	egressBW := float64(sys.Topo.LinkOf(box.FPGAs[0]).Bandwidth)
+
+	stages := []stage{
+		{ssd, 1, n * float64(w.Prep.StoredBytes) / float64(sys.Config.SSD.ReadBandwidth)},
+		{fpgas, 1, n / perFPGA},
+		{egress, 1, n * float64(w.Prep.TensorBytes) / egressBW},
+	}
+	elapsed, events, err := runPipeline(eng, stages, opts.Chunks, opts.InFlight)
+	if err != nil {
+		return SimResult{}, err
+	}
+	boxRate := float64(opts.Chunks) * n / elapsed
+	return SimResult{
+		Throughput: units.SamplesPerSec(boxRate * float64(len(sys.Boxes))),
+		Elapsed:    elapsed,
+		Events:     events,
+	}, nil
+}

@@ -1,0 +1,66 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"trainbox/internal/arch"
+	"trainbox/internal/core"
+	"trainbox/internal/workload"
+)
+
+// ExampleSolve builds the paper's baseline and TrainBox at the target
+// scale and compares them — the library's primary entry point.
+func ExampleSolve() {
+	w, err := workload.ByName("Resnet-50")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, kind := range []arch.Kind{arch.Baseline, arch.TrainBox} {
+		sys, err := arch.Build(arch.Config{Kind: kind, NumAccels: 256})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := core.Solve(sys, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %.0f samples/s (%s)\n", kind, float64(res.Throughput), res.Bottleneck)
+	}
+	// Output:
+	// Baseline: 60914 samples/s (host-cpu)
+	// TrainBox: 1900016 samples/s (accel-compute+sync)
+}
+
+// ExamplePlanRack sizes the smallest TrainBox rack for a throughput
+// target.
+func ExamplePlanRack() {
+	w, err := workload.ByName("Inception-v4")
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := core.PlanRack(w, 100_000, 1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d boxes, %d accelerators, %d pool FPGAs\n",
+		plan.Boxes, plan.Accels, plan.PoolFPGAs)
+	// Output:
+	// 8 boxes, 64 accelerators, 0 pool FPGAs
+}
+
+// ExampleRequiredResources reproduces one Figure 10 point: the host
+// resources a naive server would need at the target scale.
+func ExampleRequiredResources() {
+	w, err := workload.ByName("TF-AA")
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := core.RequiredResources(w, 256)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cores: %.0f (%.0f× DGX-2)\n", r.Cores, r.CPU)
+	// Output:
+	// cores: 4332 (90× DGX-2)
+}

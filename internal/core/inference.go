@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"trainbox/internal/arch"
+	"trainbox/internal/units"
+	"trainbox/internal/workload"
+)
+
+// InferenceConfig describes a serving deployment on the same hardware.
+// The paper scopes its evaluation to training but notes "our insight is
+// generally applicable to the inference as well" (Section II-A); this
+// model makes that claim checkable. Inference differs from training in
+// three ways that matter to the balance analysis:
+//
+//   - no model synchronization (each accelerator serves independently);
+//   - forward pass only, so the accelerator consumes samples faster
+//     (SpeedupOverTraining ≈ 3: no backward pass or weight update);
+//   - small batches bounded by a latency SLO rather than the largest
+//     batch that fits.
+//
+// All three *raise* the per-accelerator input demand or keep preparation
+// cost constant, so the preparation wall arrives at an even smaller
+// accelerator count than in training.
+type InferenceConfig struct {
+	// BatchSize is the serving batch (latency-bounded; typically ≪ the
+	// training batch).
+	BatchSize int
+	// SpeedupOverTraining is the forward-only rate multiplier.
+	SpeedupOverTraining float64
+}
+
+// DefaultInferenceConfig returns a throughput-oriented serving
+// deployment: batch 256 (a common SLO-compatible size for offline and
+// bulk serving) at 3× the forward-only rate. At this point the
+// per-accelerator input demand exceeds the training demand, so the
+// preparation wall arrives at an even smaller accelerator count.
+// Latency-critical deployments with tiny batches trade that away:
+// their accelerators run far below peak, which *relaxes* preparation —
+// the trade-off InferenceSaturation lets callers explore.
+func DefaultInferenceConfig() InferenceConfig {
+	return InferenceConfig{BatchSize: 256, SpeedupOverTraining: 3}
+}
+
+// InferenceRate returns one accelerator's serving throughput for the
+// workload under the config.
+func InferenceRate(w workload.Workload, cfg InferenceConfig) units.SamplesPerSec {
+	base := w.EffectiveAccelRate(cfg.BatchSize)
+	return units.SamplesPerSec(float64(base) * cfg.SpeedupOverTraining)
+}
+
+// SolveInference computes the serving steady state on a built system:
+// the same preparation constraints as training, a compute stage with no
+// synchronization, and the forward-only rate.
+func SolveInference(sys *arch.System, w workload.Workload, cfg InferenceConfig) (Result, error) {
+	if err := w.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.BatchSize <= 0 || cfg.SpeedupOverTraining <= 0 {
+		return Result{}, fmt.Errorf("core: invalid inference config %+v", cfg)
+	}
+	// Reuse the training solver for the preparation side, then replace
+	// the compute constraint with the sync-free serving rate.
+	res, err := SolveBatch(sys, w, cfg.BatchSize)
+	if err != nil {
+		return Result{}, err
+	}
+	serve := units.SamplesPerSec(float64(len(sys.Accels)) * float64(InferenceRate(w, cfg)))
+	res.Constraints[ConstraintCompute] = serve
+	res.ComputeRate = serve
+
+	res.Throughput = units.SamplesPerSec(math.Inf(1))
+	for name, rate := range res.Constraints {
+		if float64(rate) < float64(res.Throughput) {
+			res.Throughput = rate
+			res.Bottleneck = name
+		}
+	}
+	res.PrepBound = res.Bottleneck != ConstraintCompute
+	return res, nil
+}
+
+// InferenceSaturation returns the accelerator count at which the
+// baseline's preparation capacity equals the serving demand — where the
+// preparation wall arrives for inference.
+func InferenceSaturation(w workload.Workload, cfg InferenceConfig) (float64, error) {
+	if err := w.Validate(); err != nil {
+		return 0, err
+	}
+	// Use the at-scale system so per-accelerator link effects (which
+	// vanish as accelerators multiply) do not distort the host-side
+	// preparation ceiling.
+	sys, err := arch.Build(arch.Config{Kind: arch.Baseline, NumAccels: workload.TargetAccelerators})
+	if err != nil {
+		return 0, err
+	}
+	res, err := SolveInference(sys, w, cfg)
+	if err != nil {
+		return 0, err
+	}
+	perAccel := float64(InferenceRate(w, cfg))
+	return float64(res.PrepRate) / perAccel, nil
+}

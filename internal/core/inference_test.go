@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"trainbox/internal/arch"
+	"trainbox/internal/workload"
+)
+
+func TestInferenceWallArrivesEarlierThanTraining(t *testing.T) {
+	// Section II-A's aside, quantified: forward-only accelerators consume
+	// samples faster while preparation cost is unchanged, so the
+	// baseline saturates at fewer accelerators than in training.
+	cfg := DefaultInferenceConfig()
+	for _, name := range []string{"Resnet-50", "TF-SR"} {
+		w, _ := workload.ByName(name)
+		trainSat := 48.0 / (float64(w.AccelRate) * w.Prep.TotalCPUSeconds())
+		infSat, err := InferenceSaturation(w, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if infSat >= trainSat {
+			t.Errorf("%s: inference saturates at %.1f accels, training at %.1f — inference should be earlier",
+				name, infSat, trainSat)
+		}
+	}
+}
+
+func TestSolveInferenceBottlenecks(t *testing.T) {
+	w, _ := workload.ByName("Resnet-50")
+	cfg := DefaultInferenceConfig()
+	base := mustBuild(t, arch.Config{Kind: arch.Baseline, NumAccels: 256})
+	res, err := SolveInference(base, w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.PrepBound || res.Bottleneck != ConstraintCPU {
+		t.Errorf("baseline inference bottleneck = %s, want host-cpu", res.Bottleneck)
+	}
+	// TrainBox removes the host constraints for serving too.
+	tb := mustBuild(t, arch.Config{Kind: arch.TrainBox, NumAccels: 256})
+	resTB, err := SolveInference(tb, w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(resTB.Throughput) <= float64(res.Throughput) {
+		t.Errorf("TrainBox serving %v should beat baseline %v", resTB.Throughput, res.Throughput)
+	}
+	if resTB.Bottleneck == ConstraintCPU || resTB.Bottleneck == ConstraintMemory ||
+		resTB.Bottleneck == ConstraintRC {
+		t.Errorf("TrainBox serving still host-bound: %s", resTB.Bottleneck)
+	}
+}
+
+func TestInferenceRateScalesWithConfig(t *testing.T) {
+	w, _ := workload.ByName("Resnet-50")
+	small := InferenceRate(w, InferenceConfig{BatchSize: 8, SpeedupOverTraining: 3})
+	large := InferenceRate(w, InferenceConfig{BatchSize: 512, SpeedupOverTraining: 3})
+	if small >= large {
+		t.Error("larger serving batch should raise per-accelerator rate")
+	}
+	x1 := InferenceRate(w, InferenceConfig{BatchSize: 64, SpeedupOverTraining: 1})
+	x3 := InferenceRate(w, InferenceConfig{BatchSize: 64, SpeedupOverTraining: 3})
+	if float64(x3) < 2.9*float64(x1) {
+		t.Error("speedup multiplier not applied")
+	}
+}
+
+func TestSolveInferenceValidation(t *testing.T) {
+	w, _ := workload.ByName("Resnet-50")
+	sys := mustBuild(t, arch.Config{Kind: arch.Baseline, NumAccels: 8})
+	if _, err := SolveInference(sys, w, InferenceConfig{BatchSize: 0, SpeedupOverTraining: 3}); err == nil {
+		t.Error("zero batch accepted")
+	}
+	if _, err := SolveInference(sys, w, InferenceConfig{BatchSize: 8, SpeedupOverTraining: 0}); err == nil {
+		t.Error("zero speedup accepted")
+	}
+	bad := w
+	bad.AccelRate = 0
+	if _, err := SolveInference(sys, bad, DefaultInferenceConfig()); err == nil {
+		t.Error("invalid workload accepted")
+	}
+	if _, err := InferenceSaturation(bad, DefaultInferenceConfig()); err == nil {
+		t.Error("invalid workload accepted by saturation")
+	}
+}

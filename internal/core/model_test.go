@@ -1,0 +1,308 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"trainbox/internal/arch"
+	"trainbox/internal/units"
+	"trainbox/internal/workload"
+)
+
+func build(t *testing.T, k arch.Kind, n int) *arch.System {
+	t.Helper()
+	sys, err := arch.Build(arch.Config{Kind: k, NumAccels: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func solve(t *testing.T, k arch.Kind, n int, w workload.Workload) Result {
+	t.Helper()
+	res, err := Solve(build(t, k, n), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestFig19SpeedupStructure is the headline reproduction: the relative
+// ordering and rough magnitudes of Figure 19 at 256 accelerators.
+func TestFig19SpeedupStructure(t *testing.T) {
+	var sumTB, sumAcc, maxTB float64
+	var maxName string
+	for _, w := range workload.Workloads() {
+		base := solve(t, arch.Baseline, 256, w)
+		acc := solve(t, arch.BaselineAcc, 256, w)
+		p2p := solve(t, arch.BaselineAccP2P, 256, w)
+		gen4 := solve(t, arch.BaselineAccP2PGen4, 256, w)
+		tb := solve(t, arch.TrainBox, 256, w)
+
+		b := float64(base.Throughput)
+		spAcc := float64(acc.Throughput) / b
+		spTB := float64(tb.Throughput) / b
+		sumAcc += spAcc
+		sumTB += spTB
+		if spTB > maxTB {
+			maxTB, maxName = spTB, w.Name
+		}
+
+		// Ordering: Baseline < B+Acc = B+Acc+P2P < Gen4 < TrainBox.
+		if !(spAcc > 1.5) {
+			t.Errorf("%s: B+Acc speedup = %.2f, want > 1.5", w.Name, spAcc)
+		}
+		if math.Abs(float64(p2p.Throughput-acc.Throughput)) > 1e-6*float64(acc.Throughput) {
+			t.Errorf("%s: P2P alone changed throughput (%v vs %v) — Section VI-C says it must not",
+				w.Name, p2p.Throughput, acc.Throughput)
+		}
+		if float64(gen4.Throughput) <= float64(p2p.Throughput)*1.5 {
+			t.Errorf("%s: Gen4 should roughly double the P2P variant", w.Name)
+		}
+		if float64(tb.Throughput) <= float64(gen4.Throughput) {
+			t.Errorf("%s: TrainBox (%v) must beat Gen4 (%v) — locality over raw bandwidth",
+				w.Name, tb.Throughput, gen4.Throughput)
+		}
+	}
+	avgTB := sumTB / 7
+	avgAcc := sumAcc / 7
+	// Paper: 44.4× average TrainBox speedup; 3.32× from acceleration
+	// alone; the largest improvement (84.3×) on TF-AA.
+	if avgTB < 35 || avgTB > 55 {
+		t.Errorf("average TrainBox speedup = %.1f×, want ≈44×", avgTB)
+	}
+	if avgAcc < 2.5 || avgAcc > 5 {
+		t.Errorf("average B+Acc speedup = %.1f×, want ≈3.3×", avgAcc)
+	}
+	if maxName != "TF-AA" {
+		t.Errorf("largest speedup on %s, want TF-AA", maxName)
+	}
+	if maxTB < 70 || maxTB > 110 {
+		t.Errorf("max speedup = %.0f×, want ≈84×", maxTB)
+	}
+}
+
+func TestBaselineIsCPUBoundAtScale(t *testing.T) {
+	for _, w := range workload.Workloads() {
+		res := solve(t, arch.Baseline, 256, w)
+		if res.Bottleneck != ConstraintCPU {
+			t.Errorf("%s baseline bottleneck = %s, want host CPU (Figure 10a dominates)",
+				w.Name, res.Bottleneck)
+		}
+		if !res.PrepBound {
+			t.Errorf("%s baseline at 256 should be preparation bound", w.Name)
+		}
+	}
+}
+
+func TestBaselineComputeBoundAtSmallScale(t *testing.T) {
+	// With one accelerator, preparation easily keeps up and the
+	// accelerator is the bottleneck — the historical regime.
+	for _, w := range workload.Workloads() {
+		res := solve(t, arch.Baseline, 1, w)
+		if res.PrepBound {
+			t.Errorf("%s with one accelerator should be compute bound, got %s",
+				w.Name, res.Bottleneck)
+		}
+	}
+}
+
+func TestBaselineSaturationNearEighteen(t *testing.T) {
+	// Figure 8: "after 18 neural network accelerators, all models do not
+	// benefit from more accelerators". Verify throughput at 256 ≈
+	// throughput at 32 for the slowest-saturating model (Inception-v4).
+	w, _ := workload.ByName("Inception-v4")
+	t32 := solve(t, arch.Baseline, 32, w).Throughput
+	t256 := solve(t, arch.Baseline, 256, w).Throughput
+	if math.Abs(float64(t256-t32)) > 0.02*float64(t32) {
+		t.Errorf("Inception-v4 baseline grew from %v (32) to %v (256); should have saturated", t32, t256)
+	}
+	// And it still scales from 8 → 16.
+	t8 := solve(t, arch.Baseline, 8, w).Throughput
+	t16 := solve(t, arch.Baseline, 16, w).Throughput
+	if float64(t16) < 1.5*float64(t8) {
+		t.Errorf("Inception-v4 should still scale at 8→16 (%v → %v)", t8, t16)
+	}
+}
+
+func TestBAccShiftsBottleneckToRootComplex(t *testing.T) {
+	// Section IV-D: after offload "the pressure on the PCIe RC becomes
+	// double", making the RC the binding constraint.
+	for _, w := range workload.Workloads() {
+		res := solve(t, arch.BaselineAcc, 256, w)
+		if res.Bottleneck != ConstraintRC {
+			t.Errorf("%s B+Acc bottleneck = %s, want root complex", w.Name, res.Bottleneck)
+		}
+	}
+}
+
+func TestTrainBoxReachesComputeBoundOrPrep(t *testing.T) {
+	// TrainBox removes every host-side constraint: the bottleneck must be
+	// either the accelerators themselves or the preparation devices —
+	// never the host CPU, DRAM, or root complex.
+	for _, w := range workload.Workloads() {
+		res := solve(t, arch.TrainBox, 256, w)
+		if res.Bottleneck == ConstraintCPU || res.Bottleneck == ConstraintMemory ||
+			res.Bottleneck == ConstraintRC {
+			t.Errorf("%s TrainBox still host-bound: %s", w.Name, res.Bottleneck)
+		}
+	}
+}
+
+func TestInceptionTrainBoxPoolIrrelevant(t *testing.T) {
+	// Figure 21: "TrainBox without prep-pool is not shown [for
+	// Inception-v4] because its performance is same as TrainBox."
+	w, _ := workload.ByName("Inception-v4")
+	noPool := solve(t, arch.TrainBoxNoPool, 256, w).Throughput
+	pool := solve(t, arch.TrainBox, 256, w).Throughput
+	if math.Abs(float64(noPool-pool)) > 1e-6*float64(pool) {
+		t.Errorf("Inception-v4: no-pool %v vs pool %v, want identical", noPool, pool)
+	}
+}
+
+func TestTFSRNeedsPool(t *testing.T) {
+	// Figure 21: TF-SR without the pool loses throughput; with the pool
+	// it reaches the target.
+	w, _ := workload.ByName("TF-SR")
+	noPool := solve(t, arch.TrainBoxNoPool, 256, w)
+	pool := solve(t, arch.TrainBox, 256, w)
+	if float64(noPool.Throughput) >= 0.8*float64(pool.Throughput) {
+		t.Errorf("TF-SR no-pool %v should fall well short of pooled %v",
+			noPool.Throughput, pool.Throughput)
+	}
+	if noPool.Bottleneck != ConstraintPrep {
+		t.Errorf("TF-SR no-pool bottleneck = %s, want prep-device", noPool.Bottleneck)
+	}
+	// With the pool, the system reaches the accelerator target.
+	if pool.Bottleneck != ConstraintCompute {
+		t.Errorf("TF-SR pooled bottleneck = %s, want compute", pool.Bottleneck)
+	}
+}
+
+func TestGPUPrepCrossesCPUOnlyAtScale(t *testing.T) {
+	// Figure 21: "At small scale, data preparation acceleration using
+	// GPUs shows lower throughput than the baseline... Only when the
+	// number of GPUs is large enough, its throughput becomes higher."
+	w, _ := workload.ByName("Inception-v4")
+	gpuSmall, err := Solve(mustBuild(t, arch.Config{Kind: arch.BaselineAcc, NumAccels: 16, Prep: arch.PrepGPU}), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpuSmall := solve(t, arch.Baseline, 16, w)
+	if float64(gpuSmall.Throughput) >= float64(cpuSmall.Throughput) {
+		t.Errorf("GPU prep at 16 accels (%v) should trail CPU baseline (%v)",
+			gpuSmall.Throughput, cpuSmall.Throughput)
+	}
+	gpuLarge, err := Solve(mustBuild(t, arch.Config{Kind: arch.BaselineAcc, NumAccels: 256, Prep: arch.PrepGPU}), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpuLarge := solve(t, arch.Baseline, 256, w)
+	if float64(gpuLarge.Throughput) <= float64(cpuLarge.Throughput) {
+		t.Errorf("GPU prep at 256 accels (%v) should beat CPU baseline (%v)",
+			gpuLarge.Throughput, cpuLarge.Throughput)
+	}
+	// FPGA prep beats GPU prep at every scale (Section VI-D).
+	for _, n := range []int{4, 16, 64, 256} {
+		g, err := Solve(mustBuild(t, arch.Config{Kind: arch.BaselineAcc, NumAccels: n, Prep: arch.PrepGPU}), w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := Solve(mustBuild(t, arch.Config{Kind: arch.BaselineAcc, NumAccels: n, Prep: arch.PrepFPGA}), w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float64(f.Throughput) < float64(g.Throughput) {
+			t.Errorf("n=%d: FPGA prep (%v) below GPU prep (%v)", n, f.Throughput, g.Throughput)
+		}
+	}
+}
+
+func mustBuild(t *testing.T, cfg arch.Config) *arch.System {
+	t.Helper()
+	sys, err := arch.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestBatchSweepFavorsTrainBoxAtLargeBatches(t *testing.T) {
+	// Figure 20: TrainBox wins at every batch size, and the speedup grows
+	// with batch size.
+	w, _ := workload.ByName("Resnet-50")
+	base := build(t, arch.Baseline, 256)
+	tb := build(t, arch.TrainBox, 256)
+	prevSpeedup := 0.0
+	for _, batch := range []int{8, 32, 128, 512, 2048, 8192} {
+		rb, err := SolveBatch(base, w, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := SolveBatch(tb, w, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		speedup := float64(rt.Throughput) / float64(rb.Throughput)
+		if speedup < 1 {
+			t.Errorf("batch %d: TrainBox slower than baseline (%.2f×)", batch, speedup)
+		}
+		if speedup < prevSpeedup*0.999 {
+			t.Errorf("batch %d: speedup %.2f declined from %.2f — Figure 20 says it grows",
+				batch, speedup, prevSpeedup)
+		}
+		prevSpeedup = speedup
+	}
+	if prevSpeedup < 10 {
+		t.Errorf("largest-batch speedup = %.1f×, want ≫10×", prevSpeedup)
+	}
+}
+
+func TestSolveInputValidation(t *testing.T) {
+	sys := build(t, arch.Baseline, 8)
+	w, _ := workload.ByName("Resnet-50")
+	if _, err := SolveBatch(sys, w, 0); err == nil {
+		t.Error("zero batch accepted")
+	}
+	bad := w
+	bad.AccelRate = 0
+	if _, err := Solve(sys, bad); err == nil {
+		t.Error("invalid workload accepted")
+	}
+}
+
+func TestConstraintsExposeAllRates(t *testing.T) {
+	w, _ := workload.ByName("Resnet-50")
+	res := solve(t, arch.TrainBox, 64, w)
+	for _, name := range []string{ConstraintCompute, ConstraintPrep, ConstraintLink, ConstraintSSD} {
+		if _, ok := res.Constraints[name]; !ok {
+			t.Errorf("constraint %s missing from TrainBox result", name)
+		}
+	}
+	// The reported throughput equals the minimum constraint.
+	minRate := units.SamplesPerSec(math.Inf(1))
+	for _, r := range res.Constraints {
+		if r < minRate {
+			minRate = r
+		}
+	}
+	if res.Throughput != minRate {
+		t.Errorf("Throughput %v != min constraint %v", res.Throughput, minRate)
+	}
+}
+
+// TestThroughputMonotoneInScale: more accelerators never reduce
+// throughput under any architecture (a solver sanity invariant).
+func TestThroughputMonotoneInScale(t *testing.T) {
+	w, _ := workload.ByName("RNN-L")
+	for _, k := range arch.Kinds() {
+		prev := units.SamplesPerSec(0)
+		for _, n := range []int{1, 4, 16, 64, 256} {
+			res := solve(t, k, n, w)
+			if res.Throughput < prev*(1-1e-9) {
+				t.Errorf("%v: throughput fell from %v to %v at n=%d", k, prev, res.Throughput, n)
+			}
+			prev = res.Throughput
+		}
+	}
+}

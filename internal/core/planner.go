@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"trainbox/internal/arch"
+	"trainbox/internal/fpga"
+	"trainbox/internal/units"
+	"trainbox/internal/workload"
+)
+
+// RackPlan is a provisioning recommendation: the smallest TrainBox
+// deployment that sustains a target training throughput for a workload.
+type RackPlan struct {
+	Workload string
+	// TargetRate is the requested training throughput.
+	TargetRate units.SamplesPerSec
+	// Accels and Boxes are the accelerator and train-box counts.
+	Accels, Boxes int
+	// InBoxFPGAs and PoolFPGAs split the preparation capacity.
+	InBoxFPGAs, PoolFPGAs int
+	// SSDs is the total SSD count.
+	SSDs int
+	// Achieved is the solved throughput of the planned system.
+	Achieved units.SamplesPerSec
+	// Bottleneck names the planned system's binding constraint.
+	Bottleneck string
+}
+
+// PlanRack sizes a TrainBox deployment for a target rate: it computes
+// the accelerator count from the workload's per-accelerator rate
+// (rounded up to whole boxes), then sizes the prep-pool the way the
+// train initializer would, then verifies with the solver. It fails when
+// no feasible plan exists within maxAccels (e.g., the target exceeds
+// what maxAccels accelerators can compute).
+func PlanRack(w workload.Workload, target units.SamplesPerSec, maxAccels int) (RackPlan, error) {
+	if err := w.Validate(); err != nil {
+		return RackPlan{}, err
+	}
+	if target <= 0 {
+		return RackPlan{}, fmt.Errorf("core: target rate %v must be positive", target)
+	}
+	if maxAccels <= 0 {
+		maxAccels = 1024
+	}
+
+	// Accelerators needed, with a small margin for sync overhead, rounded
+	// up to whole train boxes.
+	perAccel := float64(w.EffectiveAccelRate(w.BatchSize))
+	needed := int(math.Ceil(float64(target) / perAccel * 1.02))
+	if needed < 1 {
+		needed = 1
+	}
+	boxes := (needed + arch.AccelsPerBox - 1) / arch.AccelsPerBox
+	accels := boxes * arch.AccelsPerBox
+
+	for accels <= maxAccels {
+		// Pool sizing: deficit between required prep rate and in-box
+		// FPGA capacity.
+		inBoxFPGAs := boxes * arch.FPGAsPerTrainBox
+		prepPerFPGA := float64(fpga.PrepRate(w.Type))
+		deficit := float64(target) - float64(inBoxFPGAs)*prepPerFPGA
+		pool := 0
+		if deficit > 0 {
+			pool = int(math.Ceil(deficit / prepPerFPGA * 1.05)) // margin for Ethernet loss
+		}
+		sys, err := arch.Build(arch.Config{
+			Kind: arch.TrainBox, NumAccels: accels, PoolFPGAs: maxInt(pool, 1),
+		})
+		if err != nil {
+			return RackPlan{}, err
+		}
+		res, err := Solve(sys, w)
+		if err != nil {
+			return RackPlan{}, err
+		}
+		if float64(res.Throughput) >= float64(target) {
+			return RackPlan{
+				Workload:   w.Name,
+				TargetRate: target,
+				Accels:     accels,
+				Boxes:      boxes,
+				InBoxFPGAs: inBoxFPGAs,
+				PoolFPGAs:  pool,
+				SSDs:       len(sys.SSDs),
+				Achieved:   res.Throughput,
+				Bottleneck: res.Bottleneck,
+			}, nil
+		}
+		// Undershoot (sync overhead, Ethernet ceiling, fabric): add a box.
+		boxes++
+		accels = boxes * arch.AccelsPerBox
+	}
+	return RackPlan{}, fmt.Errorf("core: target %v for %s infeasible within %d accelerators",
+		target, w.Name, maxAccels)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

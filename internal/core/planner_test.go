@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	archpkg "trainbox/internal/arch"
+	"trainbox/internal/units"
+	"trainbox/internal/workload"
+)
+
+func TestPlanRackMeetsTarget(t *testing.T) {
+	for _, c := range []struct {
+		name   string
+		target units.SamplesPerSec
+	}{
+		{"Resnet-50", 500_000},
+		{"TF-SR", 100_000},
+		{"Inception-v4", 50_000},
+	} {
+		w, _ := workload.ByName(c.name)
+		plan, err := PlanRack(w, c.target, 1024)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if float64(plan.Achieved) < float64(c.target) {
+			t.Errorf("%s: achieved %v below target %v", c.name, plan.Achieved, c.target)
+		}
+		if plan.Accels != plan.Boxes*8 {
+			t.Errorf("%s: accels %d not whole boxes", c.name, plan.Accels)
+		}
+		if plan.SSDs != plan.Boxes*2 {
+			t.Errorf("%s: SSDs = %d, want 2 per box", c.name, plan.SSDs)
+		}
+	}
+}
+
+func TestPlanRackMinimality(t *testing.T) {
+	// One fewer box must miss the target (the plan is not padded).
+	w, _ := workload.ByName("Resnet-50")
+	const target = 500_000
+	plan, err := PlanRack(w, target, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Boxes <= 1 {
+		t.Skip("plan already minimal")
+	}
+	smaller := mustBuild(t, archpkg.Config{
+		Kind: archpkg.TrainBox, NumAccels: (plan.Boxes - 1) * 8,
+		PoolFPGAs: max(plan.PoolFPGAs, 1),
+	})
+	res, err := Solve(smaller, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(res.Throughput) >= target {
+		t.Errorf("plan not minimal: %d boxes also reach %v", plan.Boxes-1, res.Throughput)
+	}
+}
+
+func TestPlanRackPoolOnlyWhenNeeded(t *testing.T) {
+	// A small Inception-v4 target fits in-box capacity: no pool.
+	w, _ := workload.ByName("Inception-v4")
+	plan, err := PlanRack(w, 20_000, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.PoolFPGAs != 0 {
+		t.Errorf("small plan allocated %d pool FPGAs, want 0", plan.PoolFPGAs)
+	}
+	// RNN-S is prep-hungry: the pool must be substantial.
+	w2, _ := workload.ByName("RNN-S")
+	plan2, err := PlanRack(w2, 1_000_000, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan2.PoolFPGAs < plan2.InBoxFPGAs {
+		t.Errorf("RNN-S pool = %d FPGAs, expected more than in-box %d",
+			plan2.PoolFPGAs, plan2.InBoxFPGAs)
+	}
+}
+
+func TestPlanRackInfeasible(t *testing.T) {
+	w, _ := workload.ByName("TF-SR")
+	// 16 accelerators cannot serve a million samples/s.
+	if _, err := PlanRack(w, 1_000_000, 16); err == nil {
+		t.Error("infeasible target accepted")
+	}
+	if _, err := PlanRack(w, 0, 64); err == nil {
+		t.Error("zero target accepted")
+	}
+	bad := w
+	bad.AccelRate = 0
+	if _, err := PlanRack(bad, 1000, 64); err == nil {
+		t.Error("invalid workload accepted")
+	}
+}

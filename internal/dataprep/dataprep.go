@@ -1,0 +1,230 @@
+// Package dataprep is the data-preparation library of the reproduction:
+// the functional equivalent of the paper's Caffe+DALI front-end (baseline)
+// and of the FPGA preparation engines (offload path).
+//
+// It composes the real kernels from internal/imgproc and internal/dsp
+// into deterministic per-sample pipelines:
+//
+//	image: JPEG decode → random crop → random mirror → Gaussian noise → float32 CHW
+//	audio: PCM decode → noise augment → log-Mel spectrogram → SpecAugment masks → normalize
+//
+// Determinism matters: the same (dataset seed, sample key, epoch) triple
+// always yields the same augmented sample, which is what lets the tests
+// assert that the CPU path and the FPGA emulator produce bit-identical
+// outputs — the paper's offload-correctness property.
+package dataprep
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"trainbox/internal/dsp"
+	"trainbox/internal/imgproc"
+	"trainbox/internal/storage"
+)
+
+// ImageConfig parameterizes the image pipeline.
+type ImageConfig struct {
+	CropW, CropH int
+	// MirrorProb is the probability of a horizontal flip.
+	MirrorProb float64
+	// NoiseStd is the Gaussian pixel-noise standard deviation (8-bit
+	// counts); 0 disables.
+	NoiseStd float64
+	// Mean and Std are per-channel normalization constants (nil = none).
+	Mean, Std []float64
+	// Augment disables random crop/mirror/noise when false (center crop
+	// only) — the "without augmentation" arm of Figure 5.
+	Augment bool
+}
+
+// DefaultImageConfig returns the Imagenet-style pipeline: 224×224 random
+// crop, 50% mirror, light noise, Imagenet normalization.
+func DefaultImageConfig() ImageConfig {
+	return ImageConfig{
+		CropW: imgproc.ModelSize, CropH: imgproc.ModelSize,
+		MirrorProb: 0.5, NoiseStd: 4,
+		Mean: imgproc.ImagenetMean, Std: imgproc.ImagenetStd,
+		Augment: true,
+	}
+}
+
+// AudioConfig parameterizes the audio pipeline.
+type AudioConfig struct {
+	Mel dsp.MelConfig
+	// NoiseStd is waveform noise (augmentation); 0 disables.
+	NoiseStd float64
+	// TimeMaskWidth and FreqMaskWidth are SpecAugment maximum widths;
+	// 0 disables that mask.
+	TimeMaskWidth int
+	FreqMaskWidth int
+	// Normalize standardizes the final spectrogram.
+	Normalize bool
+	// Augment disables noise and masking when false.
+	Augment bool
+}
+
+// DefaultAudioConfig returns the speech front-end with SpecAugment.
+func DefaultAudioConfig() AudioConfig {
+	return AudioConfig{
+		Mel:      dsp.DefaultMelConfig(),
+		NoiseStd: 0.005, TimeMaskWidth: 40, FreqMaskWidth: 15,
+		Normalize: true, Augment: true,
+	}
+}
+
+// SampleSeed derives the deterministic RNG seed for one prepared sample.
+// Identical inputs always produce the identical seed on any platform.
+func SampleSeed(datasetSeed int64, key string, epoch int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%d", datasetSeed, key, epoch)
+	return int64(h.Sum64())
+}
+
+// PrepareImage runs the full image pipeline on stored JPEG bytes.
+func PrepareImage(jpegData []byte, cfg ImageConfig, seed int64) (*imgproc.Tensor, error) {
+	img, err := imgproc.DecodeJPEG(jpegData)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var cropped *imgproc.Image
+	if cfg.Augment {
+		cropped, err = imgproc.RandomCrop(img, cfg.CropW, cfg.CropH, rng)
+	} else {
+		cropped, err = imgproc.CenterCrop(img, cfg.CropW, cfg.CropH)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Augment && rng.Float64() < cfg.MirrorProb {
+		cropped = imgproc.Mirror(cropped)
+	}
+	if cfg.Augment && cfg.NoiseStd > 0 {
+		cropped = imgproc.GaussianNoise(cropped, cfg.NoiseStd, rng)
+	}
+	return imgproc.ToTensor(cropped, cfg.Mean, cfg.Std)
+}
+
+// PrepareAudio runs the full audio pipeline on stored PCM16 bytes.
+func PrepareAudio(pcmData []byte, cfg AudioConfig, seed int64) (*dsp.Spectrogram, error) {
+	signal, err := dsp.PCM16Decode(pcmData)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	if cfg.Augment && cfg.NoiseStd > 0 {
+		dsp.AddNoise(signal, cfg.NoiseStd, rng)
+	}
+	mel, err := dsp.LogMelSpectrogram(signal, cfg.Mel)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Augment {
+		if cfg.TimeMaskWidth > 0 {
+			dsp.TimeMask(mel, cfg.TimeMaskWidth, 0, rng)
+		}
+		if cfg.FreqMaskWidth > 0 {
+			dsp.FreqMask(mel, cfg.FreqMaskWidth, 0, rng)
+		}
+	}
+	if cfg.Normalize {
+		dsp.Normalize(mel)
+	}
+	return mel, nil
+}
+
+// Prepared is one pipeline output: exactly one of Image, Audio, or
+// Video is set.
+type Prepared struct {
+	Key   string
+	Label int
+	Image *imgproc.Tensor
+	Audio *dsp.Spectrogram
+	// Video holds one tensor per sampled frame.
+	Video []*imgproc.Tensor
+	Err   error
+}
+
+// Preparer turns a stored object into a prepared sample. Both the CPU
+// executor and the FPGA emulator implement it; the contract tested in
+// internal/fpga is that they are bit-identical for equal seeds.
+type Preparer interface {
+	Prepare(obj storage.Object, seed int64) Prepared
+}
+
+// ImagePreparer is the CPU image Preparer.
+type ImagePreparer struct {
+	Config ImageConfig
+}
+
+// Prepare implements Preparer.
+func (p ImagePreparer) Prepare(obj storage.Object, seed int64) Prepared {
+	t, err := PrepareImage(obj.Data, p.Config, seed)
+	return Prepared{Key: obj.Key, Label: obj.Label, Image: t, Err: err}
+}
+
+// AudioPreparer is the CPU audio Preparer.
+type AudioPreparer struct {
+	Config AudioConfig
+}
+
+// Prepare implements Preparer.
+func (p AudioPreparer) Prepare(obj storage.Object, seed int64) Prepared {
+	s, err := PrepareAudio(obj.Data, p.Config, seed)
+	return Prepared{Key: obj.Key, Label: obj.Label, Audio: s, Err: err}
+}
+
+// Executor prepares batches with a worker pool — the software-pipelined,
+// batched baseline of Section III-B ("batching, software pipelining, and
+// data partitioning").
+type Executor struct {
+	prep        Preparer
+	workers     int
+	datasetSeed int64
+}
+
+// NewExecutor creates an executor; workers ≤ 0 selects GOMAXPROCS.
+func NewExecutor(prep Preparer, workers int, datasetSeed int64) *Executor {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Executor{prep: prep, workers: workers, datasetSeed: datasetSeed}
+}
+
+// PrepareBatch prepares the keyed objects from the store for the given
+// epoch, preserving key order in the result. The first storage or
+// pipeline error is returned (with partial results discarded).
+func (e *Executor) PrepareBatch(store *storage.Store, keys []string, epoch int) ([]Prepared, error) {
+	out := make([]Prepared, len(keys))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < e.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				obj, err := store.Get(keys[i])
+				if err != nil {
+					out[i] = Prepared{Key: keys[i], Err: err}
+					continue
+				}
+				out[i] = e.prep.Prepare(obj, SampleSeed(e.datasetSeed, keys[i], epoch))
+			}
+		}()
+	}
+	for i := range keys {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for _, p := range out {
+		if p.Err != nil {
+			return nil, fmt.Errorf("dataprep: sample %q: %w", p.Key, p.Err)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,57 @@
+package dataprep
+
+import (
+	"fmt"
+
+	"trainbox/internal/dsp"
+	"trainbox/internal/imgproc"
+	"trainbox/internal/storage"
+)
+
+// BuildImageDataset fills the store with n synthetic labelled JPEGs (the
+// Imagenet stand-in): keys "img-%05d", labels cycling over numClasses.
+func BuildImageDataset(store *storage.Store, n, numClasses int, seed int64) error {
+	if n <= 0 || numClasses <= 0 {
+		return fmt.Errorf("dataprep: invalid dataset shape n=%d classes=%d", n, numClasses)
+	}
+	cfg := imgproc.DefaultSynthConfig()
+	for i := 0; i < n; i++ {
+		class := i % numClasses
+		img := imgproc.SynthesizeImage(cfg, seed+int64(i), class)
+		data, err := imgproc.EncodeJPEG(img, cfg.Quality)
+		if err != nil {
+			return err
+		}
+		if err := store.Put(storage.Object{
+			Key:   fmt.Sprintf("img-%05d", i),
+			Label: class,
+			Data:  data,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BuildAudioDataset fills the store with n synthetic labelled PCM
+// streams (the Librispeech stand-in): keys "aud-%05d".
+func BuildAudioDataset(store *storage.Store, n, numClasses int, seed int64) error {
+	if n <= 0 || numClasses <= 0 {
+		return fmt.Errorf("dataprep: invalid dataset shape n=%d classes=%d", n, numClasses)
+	}
+	cfg := dsp.DefaultSynthConfig()
+	for i := 0; i < n; i++ {
+		sig, err := dsp.SynthesizeAudio(cfg, seed+int64(i))
+		if err != nil {
+			return err
+		}
+		if err := store.Put(storage.Object{
+			Key:   fmt.Sprintf("aud-%05d", i),
+			Label: i % numClasses,
+			Data:  dsp.PCM16Encode(sig),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

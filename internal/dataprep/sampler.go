@@ -1,0 +1,108 @@
+package dataprep
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file implements the order-dependent preparation operations the
+// paper's footnote 3 sets aside ("shuffling, weighted sampling ... have
+// dependency among items; TrainBox can support them in either data
+// replication among SSDs or communication through the prep-pool
+// network"): deterministic epoch shuffling and weighted sampling over
+// dataset keys. Both operate on keys — cheap metadata — which is exactly
+// why the paper can push them to the host or replicate them, while the
+// byte-heavy per-item work stays on the FPGAs.
+
+// ShuffleKeys returns a deterministic Fisher–Yates permutation of keys
+// for the (datasetSeed, epoch) pair. Every train box shuffling with the
+// same seed computes the same global order, which is how replicated
+// metadata keeps shards consistent without inter-box communication.
+func ShuffleKeys(keys []string, datasetSeed int64, epoch int) []string {
+	out := append([]string(nil), keys...)
+	rng := rand.New(rand.NewSource(SampleSeed(datasetSeed, "shuffle", epoch)))
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// WeightedSampler draws keys with replacement proportionally to their
+// weights, using the alias method for O(1) draws after O(n) setup.
+type WeightedSampler struct {
+	keys  []string
+	prob  []float64
+	alias []int
+}
+
+// NewWeightedSampler builds a sampler over keys with matching positive
+// weights (class rebalancing, importance sampling).
+func NewWeightedSampler(keys []string, weights []float64) (*WeightedSampler, error) {
+	n := len(keys)
+	if n == 0 {
+		return nil, fmt.Errorf("dataprep: sampler needs at least one key")
+	}
+	if len(weights) != n {
+		return nil, fmt.Errorf("dataprep: %d keys but %d weights", n, len(weights))
+	}
+	var total float64
+	for i, w := range weights {
+		if w <= 0 {
+			return nil, fmt.Errorf("dataprep: weight[%d] = %v must be positive", i, w)
+		}
+		total += w
+	}
+	// Vose's alias method.
+	s := &WeightedSampler{
+		keys:  append([]string(nil), keys...),
+		prob:  make([]float64, n),
+		alias: make([]int, n),
+	}
+	scaled := make([]float64, n)
+	var small, large []int
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		l := small[len(small)-1]
+		small = small[:len(small)-1]
+		g := large[len(large)-1]
+		large = large[:len(large)-1]
+		s.prob[l] = scaled[l]
+		s.alias[l] = g
+		scaled[g] = scaled[g] + scaled[l] - 1
+		if scaled[g] < 1 {
+			small = append(small, g)
+		} else {
+			large = append(large, g)
+		}
+	}
+	for _, i := range append(small, large...) {
+		s.prob[i] = 1
+		s.alias[i] = i
+	}
+	return s, nil
+}
+
+// Draw returns one key sampled by weight.
+func (s *WeightedSampler) Draw(rng *rand.Rand) string {
+	i := rng.Intn(len(s.keys))
+	if rng.Float64() < s.prob[i] {
+		return s.keys[i]
+	}
+	return s.keys[s.alias[i]]
+}
+
+// DrawBatch returns n keys sampled by weight (with replacement) for a
+// deterministic (datasetSeed, epoch) pair.
+func (s *WeightedSampler) DrawBatch(n int, datasetSeed int64, epoch int) []string {
+	rng := rand.New(rand.NewSource(SampleSeed(datasetSeed, "weighted", epoch)))
+	out := make([]string, n)
+	for i := range out {
+		out[i] = s.Draw(rng)
+	}
+	return out
+}

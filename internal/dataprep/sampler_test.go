@@ -1,0 +1,185 @@
+package dataprep
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestShuffleKeysIsDeterministicPermutation(t *testing.T) {
+	keys := make([]string, 50)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%02d", i)
+	}
+	a := ShuffleKeys(keys, 1, 0)
+	b := ShuffleKeys(keys, 1, 0)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same (seed, epoch) gave different shuffles")
+		}
+	}
+	c := ShuffleKeys(keys, 1, 1)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different epochs gave identical shuffles")
+	}
+	// Permutation: sorted content unchanged.
+	sortedA := append([]string(nil), a...)
+	sort.Strings(sortedA)
+	for i := range keys {
+		if sortedA[i] != keys[i] {
+			t.Fatal("shuffle lost or duplicated keys")
+		}
+	}
+	// Input untouched.
+	if keys[0] != "k00" || keys[49] != "k49" {
+		t.Error("ShuffleKeys modified its input")
+	}
+}
+
+func TestShuffleKeysPropertyPermutation(t *testing.T) {
+	f := func(seed int64, epoch uint8, n uint8) bool {
+		keys := make([]string, int(n%40)+1)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("x%03d", i)
+		}
+		out := ShuffleKeys(keys, seed, int(epoch))
+		if len(out) != len(keys) {
+			return false
+		}
+		seen := map[string]bool{}
+		for _, k := range out {
+			if seen[k] {
+				return false
+			}
+			seen[k] = true
+		}
+		return len(seen) == len(keys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightedSamplerValidation(t *testing.T) {
+	if _, err := NewWeightedSampler(nil, nil); err == nil {
+		t.Error("empty sampler accepted")
+	}
+	if _, err := NewWeightedSampler([]string{"a"}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := NewWeightedSampler([]string{"a", "b"}, []float64{1, 0}); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, err := NewWeightedSampler([]string{"a"}, []float64{-1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestWeightedSamplerFrequenciesMatchWeights(t *testing.T) {
+	keys := []string{"a", "b", "c"}
+	weights := []float64{1, 2, 7}
+	s, err := NewWeightedSampler(keys, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const draws = 200000
+	rng := rand.New(rand.NewSource(5))
+	counts := map[string]int{}
+	for i := 0; i < draws; i++ {
+		counts[s.Draw(rng)]++
+	}
+	for i, k := range keys {
+		want := weights[i] / 10
+		got := float64(counts[k]) / draws
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("%s frequency = %.4f, want %.4f", k, got, want)
+		}
+	}
+}
+
+func TestWeightedSamplerUniformSpecialCase(t *testing.T) {
+	keys := []string{"a", "b", "c", "d"}
+	s, err := NewWeightedSampler(keys, []float64{5, 5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	counts := map[string]int{}
+	for i := 0; i < 40000; i++ {
+		counts[s.Draw(rng)]++
+	}
+	for _, k := range keys {
+		got := float64(counts[k]) / 40000
+		if math.Abs(got-0.25) > 0.01 {
+			t.Errorf("%s frequency = %.4f, want 0.25", k, got)
+		}
+	}
+}
+
+func TestDrawBatchDeterministic(t *testing.T) {
+	s, err := NewWeightedSampler([]string{"a", "b"}, []float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := s.DrawBatch(32, 7, 0)
+	y := s.DrawBatch(32, 7, 0)
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatal("DrawBatch not deterministic")
+		}
+	}
+	z := s.DrawBatch(32, 7, 1)
+	same := true
+	for i := range x {
+		if x[i] != z[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different epochs gave identical batches")
+	}
+	if len(s.DrawBatch(0, 1, 0)) != 0 {
+		t.Error("zero draw batch should be empty")
+	}
+}
+
+// TestWeightedSamplerPropertyOnlyKnownKeys: every drawn key must be one
+// of the sampler's keys.
+func TestWeightedSamplerPropertyOnlyKnownKeys(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		k := int(n%8) + 1
+		keys := make([]string, k)
+		weights := make([]float64, k)
+		rng := rand.New(rand.NewSource(seed))
+		valid := map[string]bool{}
+		for i := range keys {
+			keys[i] = fmt.Sprintf("w%d", i)
+			weights[i] = 0.1 + rng.Float64()*5
+			valid[keys[i]] = true
+		}
+		s, err := NewWeightedSampler(keys, weights)
+		if err != nil {
+			return false
+		}
+		for _, drawn := range s.DrawBatch(50, seed, 0) {
+			if !valid[drawn] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

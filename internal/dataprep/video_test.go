@@ -1,0 +1,159 @@
+package dataprep
+
+import (
+	"testing"
+
+	"trainbox/internal/storage"
+)
+
+func videoStore(t *testing.T, n, frames int) *storage.Store {
+	t.Helper()
+	s := storage.NewStore(storage.DefaultSSDSpec())
+	if err := BuildVideoDataset(s, n, 3, frames, 9); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBuildVideoDataset(t *testing.T) {
+	s := videoStore(t, 3, 8)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	obj, err := s.Get("vid-00001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Label != 1 {
+		t.Errorf("label = %d", obj.Label)
+	}
+	if err := BuildVideoDataset(s, 0, 3, 8, 1); err == nil {
+		t.Error("zero clips accepted")
+	}
+	if err := BuildVideoDataset(s, 1, 3, 0, 1); err == nil {
+		t.Error("zero frames accepted")
+	}
+}
+
+func TestPrepareVideoShapes(t *testing.T) {
+	s := videoStore(t, 1, 16)
+	obj, _ := s.Get("vid-00000")
+	cfg := DefaultVideoConfig()
+	cfg.FramesPerClip = 8
+	tensors, err := PrepareVideo(obj.Data, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tensors) != 8 {
+		t.Fatalf("tensors = %d", len(tensors))
+	}
+	for _, ten := range tensors {
+		if ten.C != 3 || ten.H != 224 || ten.W != 224 {
+			t.Fatalf("tensor shape %dx%dx%d", ten.C, ten.H, ten.W)
+		}
+	}
+}
+
+func TestPrepareVideoClipConsistentAugmentation(t *testing.T) {
+	// All frames of a clip share one crop window: static background
+	// pixels must be identical across frames except where the moving
+	// shape passes. Verify by preparing the same clip twice with the
+	// same seed (deterministic) and once with a different seed
+	// (different window).
+	s := videoStore(t, 1, 8)
+	obj, _ := s.Get("vid-00000")
+	cfg := DefaultVideoConfig()
+	cfg.FramesPerClip = 4
+	a, err := PrepareVideo(obj.Data, cfg, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PrepareVideo(obj.Data, cfg, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := range a {
+		for i := range a[f].Data {
+			if a[f].Data[i] != b[f].Data[i] {
+				t.Fatal("same seed produced different clips")
+			}
+		}
+	}
+	c, err := PrepareVideo(obj.Data, cfg, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a[0].Data {
+		if a[0].Data[i] != c[0].Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical augmented clips")
+	}
+}
+
+func TestPrepareVideoCenterCropWithoutAugment(t *testing.T) {
+	s := videoStore(t, 1, 8)
+	obj, _ := s.Get("vid-00000")
+	cfg := DefaultVideoConfig()
+	cfg.FramesPerClip = 2
+	cfg.Augment = false
+	a, err := PrepareVideo(obj.Data, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PrepareVideo(obj.Data, cfg, 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := range a {
+		for i := range a[f].Data {
+			if a[f].Data[i] != b[f].Data[i] {
+				t.Fatal("non-augmented video pipeline depends on seed")
+			}
+		}
+	}
+}
+
+func TestPrepareVideoErrors(t *testing.T) {
+	if _, err := PrepareVideo([]byte("junk"), DefaultVideoConfig(), 1); err == nil {
+		t.Error("garbage clip accepted")
+	}
+	s := videoStore(t, 1, 4)
+	obj, _ := s.Get("vid-00000")
+	cfg := DefaultVideoConfig()
+	cfg.FramesPerClip = 0
+	if _, err := PrepareVideo(obj.Data, cfg, 1); err == nil {
+		t.Error("zero frames-per-clip accepted")
+	}
+	cfg = DefaultVideoConfig()
+	cfg.FramesPerClip = 99
+	if _, err := PrepareVideo(obj.Data, cfg, 1); err == nil {
+		t.Error("oversampling accepted")
+	}
+	cfg = DefaultVideoConfig()
+	cfg.FramesPerClip = 2
+	cfg.CropW = 999
+	if _, err := PrepareVideo(obj.Data, cfg, 1); err == nil {
+		t.Error("oversized crop accepted")
+	}
+}
+
+func TestVideoPreparerThroughExecutor(t *testing.T) {
+	s := videoStore(t, 4, 8)
+	cfg := DefaultVideoConfig()
+	cfg.FramesPerClip = 4
+	e := NewExecutor(VideoPreparer{Config: cfg}, 2, 9)
+	batch, err := e.PrepareBatch(s, s.Keys(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range batch {
+		if len(p.Video) != 4 || p.Image != nil || p.Audio != nil {
+			t.Fatalf("wrong sample kind: %+v", p.Key)
+		}
+	}
+}

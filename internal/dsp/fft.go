@@ -1,0 +1,127 @@
+// Package dsp implements the audio data-preparation substrate of the
+// TrainBox reproduction: FFT, windowed STFT, Mel filterbanks, log-Mel
+// spectrograms, SpecAugment-style masking and feature normalization —
+// the operation set the paper's audio FPGA engine implements (Table III)
+// and that the baseline runs on host CPUs.
+//
+// Everything is implemented from scratch on float64/complex128 with no
+// dependencies beyond the standard library. The FFT is an iterative
+// radix-2 Cooley–Tukey transform; correctness is established in tests
+// against a naive O(n²) DFT and via algebraic properties (linearity,
+// Parseval, round-trip).
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// FFT computes the in-place forward discrete Fourier transform of x.
+// len(x) must be a power of two (ErrNotPow2 otherwise).
+func FFT(x []complex128) error { return fft(x, false) }
+
+// IFFT computes the in-place inverse DFT of x, including the 1/n scale,
+// so IFFT(FFT(x)) == x up to rounding. len(x) must be a power of two.
+func IFFT(x []complex128) error {
+	if err := fft(x, true); err != nil {
+		return err
+	}
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] /= n
+	}
+	return nil
+}
+
+// ErrNotPow2 is returned when a transform length is not a power of two.
+var ErrNotPow2 = fmt.Errorf("dsp: transform length must be a power of two")
+
+func fft(x []complex128, inverse bool) error {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if n&(n-1) != 0 {
+		return ErrNotPow2
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Butterflies.
+	for size := 2; size <= n; size <<= 1 {
+		ang := 2 * math.Pi / float64(size)
+		if !inverse {
+			ang = -ang
+		}
+		wStep := complex(math.Cos(ang), math.Sin(ang))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			half := size / 2
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+	return nil
+}
+
+// FFTReal transforms a real signal and returns the full complex spectrum.
+// len(x) must be a power of two.
+func FFTReal(x []float64) ([]complex128, error) {
+	out := make([]complex128, len(x))
+	for i, v := range x {
+		out[i] = complex(v, 0)
+	}
+	if err := FFT(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// NaiveDFT computes the O(n²) forward DFT; it exists as a test oracle and
+// as the reference definition of the transform the FFT must match.
+func NaiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for t := 0; t < n; t++ {
+			ang := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			sum += x[t] * complex(math.Cos(ang), math.Sin(ang))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// NextPow2 returns the smallest power of two ≥ n (and ≥ 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// HannWindow returns the n-point periodic Hann window, the standard STFT
+// analysis window.
+func HannWindow(n int) []float64 {
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := range w {
+		w[i] = 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(n)))
+	}
+	return w
+}

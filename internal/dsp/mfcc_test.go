@@ -1,0 +1,181 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPreEmphasisFilter(t *testing.T) {
+	x := []float64{1, 1, 1, 1}
+	PreEmphasis(x, 0.97)
+	if x[0] != 1 {
+		t.Errorf("x[0] = %v, want unchanged", x[0])
+	}
+	for i := 1; i < 4; i++ {
+		if math.Abs(x[i]-0.03) > 1e-12 {
+			t.Errorf("x[%d] = %v, want 0.03", i, x[i])
+		}
+	}
+	PreEmphasis(nil, 0.97) // no panic on empty
+}
+
+func TestPreEmphasisBoostsHighFrequencies(t *testing.T) {
+	// A fast alternating signal should keep most of its energy; a slow
+	// one should lose most of it.
+	n := 1024
+	fast := make([]float64, n)
+	slow := make([]float64, n)
+	for i := range fast {
+		fast[i] = math.Sin(math.Pi * float64(i) * 0.9) // near Nyquist
+		slow[i] = math.Sin(2 * math.Pi * float64(i) / 512)
+	}
+	energy := func(x []float64) float64 {
+		var s float64
+		for _, v := range x {
+			s += v * v
+		}
+		return s
+	}
+	eFast, eSlow := energy(fast), energy(slow)
+	PreEmphasis(fast, 0.97)
+	PreEmphasis(slow, 0.97)
+	if energy(fast)/eFast < 1 {
+		t.Errorf("high-frequency energy ratio = %v, want > 1", energy(fast)/eFast)
+	}
+	if energy(slow)/eSlow > 0.2 {
+		t.Errorf("low-frequency energy ratio = %v, want ≪ 1", energy(slow)/eSlow)
+	}
+}
+
+func TestDCT2RoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		back := IDCT2(DCT2(x))
+		for i := range x {
+			if math.Abs(back[i]-x[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDCT2IsOrthonormal(t *testing.T) {
+	// Parseval for an orthonormal transform: energy preserved.
+	rng := rand.New(rand.NewSource(3))
+	x := make([]float64, 32)
+	var ex float64
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		ex += x[i] * x[i]
+	}
+	c := DCT2(x)
+	var ec float64
+	for _, v := range c {
+		ec += v * v
+	}
+	if math.Abs(ex-ec) > 1e-9*ex {
+		t.Errorf("energy not preserved: %v vs %v", ex, ec)
+	}
+}
+
+func TestDCT2ConstantSignal(t *testing.T) {
+	x := []float64{2, 2, 2, 2}
+	c := DCT2(x)
+	if math.Abs(c[0]-4) > 1e-12 { // 2·√4 = 4 under orthonormal scaling
+		t.Errorf("DC coefficient = %v, want 4", c[0])
+	}
+	for k := 1; k < 4; k++ {
+		if math.Abs(c[k]) > 1e-12 {
+			t.Errorf("AC coefficient %d = %v, want 0", k, c[k])
+		}
+	}
+	if len(DCT2(nil)) != 0 || len(IDCT2(nil)) != 0 {
+		t.Error("empty transforms should return empty")
+	}
+}
+
+func TestMFCCShape(t *testing.T) {
+	sig, err := SynthesizeAudio(SynthConfig{SampleRate: 16000, Duration: 1, NumTones: 3, NoiseStd: 0.01}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultMFCCConfig()
+	out, err := MFCC(sig, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Bins != 13 {
+		t.Errorf("coefficients = %d, want 13", out.Bins)
+	}
+	if out.Frames != cfg.Mel.STFT.NumFrames(len(sig)) {
+		t.Errorf("frames = %d", out.Frames)
+	}
+	for i, v := range out.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("coefficient %d is %v", i, v)
+		}
+	}
+}
+
+func TestMFCCDoesNotModifyInput(t *testing.T) {
+	sig, _ := SynthesizeAudio(SynthConfig{SampleRate: 16000, Duration: 0.5, NumTones: 2}, 1)
+	orig := append([]float64(nil), sig...)
+	if _, err := MFCC(sig, DefaultMFCCConfig()); err != nil {
+		t.Fatal(err)
+	}
+	for i := range sig {
+		if sig[i] != orig[i] {
+			t.Fatal("MFCC modified its input signal")
+		}
+	}
+}
+
+func TestMFCCValidation(t *testing.T) {
+	cfg := DefaultMFCCConfig()
+	cfg.NumCoeffs = 0
+	if _, err := MFCC(make([]float64, 1000), cfg); err == nil {
+		t.Error("zero coefficients accepted")
+	}
+	cfg.NumCoeffs = cfg.Mel.NumMels + 1
+	if _, err := MFCC(make([]float64, 1000), cfg); err == nil {
+		t.Error("too many coefficients accepted")
+	}
+}
+
+func TestDeltasOfLinearRampAreConstant(t *testing.T) {
+	s := NewSpectrogram(20, 2)
+	for tt := 0; tt < 20; tt++ {
+		s.Set(tt, 0, float64(tt)*3)
+		s.Set(tt, 1, 5)
+	}
+	d, err := Deltas(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interior frames of a slope-3 ramp have delta exactly 3.
+	for tt := 2; tt < 18; tt++ {
+		if math.Abs(d.At(tt, 0)-3) > 1e-12 {
+			t.Errorf("delta[%d] = %v, want 3", tt, d.At(tt, 0))
+		}
+		if d.At(tt, 1) != 0 {
+			t.Errorf("constant channel delta = %v, want 0", d.At(tt, 1))
+		}
+	}
+}
+
+func TestDeltasValidation(t *testing.T) {
+	if _, err := Deltas(NewSpectrogram(4, 4), 0); err == nil {
+		t.Error("zero width accepted")
+	}
+}

@@ -1,0 +1,46 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Resample converts a signal from one sample rate to another with linear
+// interpolation — the rate-normalization step real speech front-ends run
+// before the STFT (datasets mix 8/16/44.1 kHz material; the paper's
+// point that "the required resource also depends on the original data
+// features (e.g., sampling rate)" is exactly this op's cost varying with
+// input rate).
+func Resample(signal []float64, fromRate, toRate int) ([]float64, error) {
+	if fromRate <= 0 || toRate <= 0 {
+		return nil, fmt.Errorf("dsp: invalid rates %d→%d", fromRate, toRate)
+	}
+	if len(signal) == 0 {
+		return nil, nil
+	}
+	if fromRate == toRate {
+		return append([]float64(nil), signal...), nil
+	}
+	ratio := float64(fromRate) / float64(toRate)
+	outLen := int(math.Ceil(float64(len(signal)) / ratio))
+	out := make([]float64, outLen)
+	for i := range out {
+		pos := float64(i) * ratio
+		i0 := int(pos)
+		if i0 >= len(signal)-1 {
+			out[i] = signal[len(signal)-1]
+			continue
+		}
+		frac := pos - float64(i0)
+		out[i] = signal[i0]*(1-frac) + signal[i0+1]*frac
+	}
+	return out, nil
+}
+
+// DurationSeconds returns the signal length in seconds at a rate.
+func DurationSeconds(n, rate int) float64 {
+	if rate <= 0 {
+		return 0
+	}
+	return float64(n) / float64(rate)
+}

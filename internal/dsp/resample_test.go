@@ -1,0 +1,124 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestResampleIdentity(t *testing.T) {
+	sig := []float64{1, 2, 3, 4}
+	out, err := Resample(sig, 16000, 16000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sig {
+		if out[i] != sig[i] {
+			t.Fatal("identity resample changed values")
+		}
+	}
+	// Returned slice is a copy.
+	out[0] = 99
+	if sig[0] != 1 {
+		t.Error("identity resample aliased the input")
+	}
+}
+
+func TestResampleLengthRatio(t *testing.T) {
+	sig := make([]float64, 16000)
+	down, err := Resample(sig, 16000, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(len(down))-8000) > 1 {
+		t.Errorf("downsampled length = %d, want ≈8000", len(down))
+	}
+	up, err := Resample(sig, 16000, 44100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(len(up))-44100) > 2 {
+		t.Errorf("upsampled length = %d, want ≈44100", len(up))
+	}
+}
+
+func TestResamplePreservesToneFrequency(t *testing.T) {
+	// A 440 Hz tone at 8 kHz upsampled to 16 kHz must still peak at the
+	// bin for 440 Hz under the 16 kHz STFT.
+	const freq = 440.0
+	src := make([]float64, 8000)
+	for i := range src {
+		src[i] = math.Sin(2 * math.Pi * freq * float64(i) / 8000)
+	}
+	up, err := Resample(src, 8000, 16000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultSTFTConfig()
+	s, err := PowerSTFT(up, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fftLen := NextPow2(cfg.WindowSize)
+	wantBin := int(math.Round(freq * float64(fftLen) / float64(cfg.SampleRate)))
+	mid := s.Frames / 2
+	peak := 0
+	for f := 0; f < s.Bins; f++ {
+		if s.At(mid, f) > s.At(mid, peak) {
+			peak = f
+		}
+	}
+	if math.Abs(float64(peak-wantBin)) > 1 {
+		t.Errorf("peak bin after resample = %d, want ≈%d", peak, wantBin)
+	}
+}
+
+func TestResamplePropertyBounded(t *testing.T) {
+	// Linear interpolation never exceeds the input's range.
+	f := func(seed int64) bool {
+		sig, err := SynthesizeAudio(SynthConfig{SampleRate: 8000, Duration: 0.1, NumTones: 2}, seed)
+		if err != nil {
+			return false
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range sig {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		out, err := Resample(sig, 8000, 11025)
+		if err != nil {
+			return false
+		}
+		for _, v := range out {
+			if v < lo-1e-12 || v > hi+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResampleValidation(t *testing.T) {
+	if _, err := Resample([]float64{1}, 0, 8000); err == nil {
+		t.Error("zero source rate accepted")
+	}
+	if _, err := Resample([]float64{1}, 8000, -1); err == nil {
+		t.Error("negative target rate accepted")
+	}
+	out, err := Resample(nil, 8000, 16000)
+	if err != nil || out != nil {
+		t.Error("empty signal should resample to empty")
+	}
+}
+
+func TestDurationSeconds(t *testing.T) {
+	if DurationSeconds(16000, 16000) != 1 {
+		t.Error("1-second duration wrong")
+	}
+	if DurationSeconds(100, 0) != 0 {
+		t.Error("zero rate should give 0")
+	}
+}

@@ -1,0 +1,231 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// STFTConfig describes short-time Fourier transform framing. Defaults
+// (via DefaultSTFTConfig) follow common speech front-ends: 25 ms windows,
+// 10 ms hop, 16 kHz sample rate.
+type STFTConfig struct {
+	SampleRate int // Hz
+	WindowSize int // samples per frame; FFT length is NextPow2(WindowSize)
+	HopSize    int // samples between frame starts
+}
+
+// DefaultSTFTConfig returns the standard 16 kHz / 25 ms / 10 ms speech
+// front-end configuration.
+func DefaultSTFTConfig() STFTConfig {
+	return STFTConfig{SampleRate: 16000, WindowSize: 400, HopSize: 160}
+}
+
+// Validate reports the first configuration error, or nil.
+func (c STFTConfig) Validate() error {
+	if c.SampleRate <= 0 {
+		return fmt.Errorf("dsp: sample rate %d must be positive", c.SampleRate)
+	}
+	if c.WindowSize <= 0 {
+		return fmt.Errorf("dsp: window size %d must be positive", c.WindowSize)
+	}
+	if c.HopSize <= 0 {
+		return fmt.Errorf("dsp: hop size %d must be positive", c.HopSize)
+	}
+	return nil
+}
+
+// NumFrames returns how many full frames fit in n samples.
+func (c STFTConfig) NumFrames(n int) int {
+	if n < c.WindowSize {
+		return 0
+	}
+	return 1 + (n-c.WindowSize)/c.HopSize
+}
+
+// NumBins returns the number of non-redundant spectrum bins per frame
+// (fftLen/2 + 1).
+func (c STFTConfig) NumBins() int {
+	return NextPow2(c.WindowSize)/2 + 1
+}
+
+// Spectrogram is a time×frequency matrix stored row-major: Data[t*Bins+f].
+type Spectrogram struct {
+	Frames int
+	Bins   int
+	Data   []float64
+}
+
+// At returns the value at frame t, bin f.
+func (s *Spectrogram) At(t, f int) float64 { return s.Data[t*s.Bins+f] }
+
+// Set stores v at frame t, bin f.
+func (s *Spectrogram) Set(t, f int, v float64) { s.Data[t*s.Bins+f] = v }
+
+// NewSpectrogram allocates a zeroed frames×bins spectrogram.
+func NewSpectrogram(frames, bins int) *Spectrogram {
+	return &Spectrogram{Frames: frames, Bins: bins, Data: make([]float64, frames*bins)}
+}
+
+// PowerSTFT computes the power spectrogram |STFT|² of signal with Hann
+// windowing. It returns an empty (0-frame) spectrogram for signals
+// shorter than one window.
+func PowerSTFT(signal []float64, cfg STFTConfig) (*Spectrogram, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	frames := cfg.NumFrames(len(signal))
+	fftLen := NextPow2(cfg.WindowSize)
+	bins := fftLen/2 + 1
+	out := NewSpectrogram(frames, bins)
+	window := HannWindow(cfg.WindowSize)
+	buf := make([]complex128, fftLen)
+	for t := 0; t < frames; t++ {
+		start := t * cfg.HopSize
+		for i := 0; i < cfg.WindowSize; i++ {
+			buf[i] = complex(signal[start+i]*window[i], 0)
+		}
+		for i := cfg.WindowSize; i < fftLen; i++ {
+			buf[i] = 0
+		}
+		if err := FFT(buf); err != nil {
+			return nil, err
+		}
+		for f := 0; f < bins; f++ {
+			re, im := real(buf[f]), imag(buf[f])
+			out.Set(t, f, re*re+im*im)
+		}
+	}
+	return out, nil
+}
+
+// HzToMel converts frequency in Hz to the Mel scale (HTK formula).
+func HzToMel(hz float64) float64 { return 2595 * math.Log10(1+hz/700) }
+
+// MelToHz converts a Mel value back to Hz.
+func MelToHz(mel float64) float64 { return 700 * (math.Pow(10, mel/2595) - 1) }
+
+// MelFilterbank is a bank of triangular filters mapping FFT bins to Mel
+// channels. Filters[m][f] is the weight of bin f in channel m.
+type MelFilterbank struct {
+	NumMels int
+	NumBins int
+	Filters [][]float64
+}
+
+// NewMelFilterbank constructs numMels triangular filters spanning
+// [fMin, fMax] Hz for spectra with numBins bins at the given sample rate.
+func NewMelFilterbank(numMels, numBins, sampleRate int, fMin, fMax float64) (*MelFilterbank, error) {
+	if numMels <= 0 || numBins <= 1 || sampleRate <= 0 {
+		return nil, fmt.Errorf("dsp: invalid filterbank shape mels=%d bins=%d rate=%d", numMels, numBins, sampleRate)
+	}
+	if fMax <= fMin || fMin < 0 {
+		return nil, fmt.Errorf("dsp: invalid filterbank range [%g,%g]", fMin, fMax)
+	}
+	nyquist := float64(sampleRate) / 2
+	if fMax > nyquist {
+		fMax = nyquist
+	}
+	// numMels+2 equally spaced points on the Mel scale define the
+	// triangle corners.
+	melMin, melMax := HzToMel(fMin), HzToMel(fMax)
+	points := make([]float64, numMels+2)
+	// fftLen = 2*(numBins-1); bin f covers frequency f*rate/fftLen.
+	fftLen := 2 * (numBins - 1)
+	for i := range points {
+		mel := melMin + (melMax-melMin)*float64(i)/float64(numMels+1)
+		hz := MelToHz(mel)
+		points[i] = hz * float64(fftLen) / float64(sampleRate)
+	}
+	fb := &MelFilterbank{NumMels: numMels, NumBins: numBins, Filters: make([][]float64, numMels)}
+	for m := 0; m < numMels; m++ {
+		left, center, right := points[m], points[m+1], points[m+2]
+		row := make([]float64, numBins)
+		for f := 0; f < numBins; f++ {
+			x := float64(f)
+			switch {
+			case x <= left || x >= right:
+				// outside the triangle
+			case x <= center:
+				if center > left {
+					row[f] = (x - left) / (center - left)
+				}
+			default:
+				if right > center {
+					row[f] = (right - x) / (right - center)
+				}
+			}
+		}
+		fb.Filters[m] = row
+	}
+	return fb, nil
+}
+
+// Apply maps a power spectrogram through the filterbank, producing a
+// frames×numMels Mel spectrogram.
+func (fb *MelFilterbank) Apply(s *Spectrogram) (*Spectrogram, error) {
+	if s.Bins != fb.NumBins {
+		return nil, fmt.Errorf("dsp: spectrogram has %d bins, filterbank expects %d", s.Bins, fb.NumBins)
+	}
+	out := NewSpectrogram(s.Frames, fb.NumMels)
+	for t := 0; t < s.Frames; t++ {
+		row := s.Data[t*s.Bins : (t+1)*s.Bins]
+		for m := 0; m < fb.NumMels; m++ {
+			var acc float64
+			filt := fb.Filters[m]
+			for f, w := range filt {
+				if w != 0 {
+					acc += w * row[f]
+				}
+			}
+			out.Set(t, m, acc)
+		}
+	}
+	return out, nil
+}
+
+// LogCompress applies log(x + eps) in place, the final step of a log-Mel
+// front-end.
+func LogCompress(s *Spectrogram, eps float64) {
+	for i, v := range s.Data {
+		s.Data[i] = math.Log(v + eps)
+	}
+}
+
+// MelConfig bundles the full waveform→log-Mel pipeline parameters.
+type MelConfig struct {
+	STFT    STFTConfig
+	NumMels int
+	FMin    float64
+	FMax    float64
+	LogEps  float64
+}
+
+// DefaultMelConfig returns an 80-channel log-Mel front-end over the
+// default STFT framing — the feature set used by the paper's speech
+// workloads (Mel spectrogram, Section II-A).
+func DefaultMelConfig() MelConfig {
+	return MelConfig{STFT: DefaultSTFTConfig(), NumMels: 80, FMin: 20, FMax: 7600, LogEps: 1e-10}
+}
+
+// LogMelSpectrogram runs the full front-end: Hann STFT → power spectrum →
+// Mel filterbank → log compression.
+func LogMelSpectrogram(signal []float64, cfg MelConfig) (*Spectrogram, error) {
+	power, err := PowerSTFT(signal, cfg.STFT)
+	if err != nil {
+		return nil, err
+	}
+	fb, err := NewMelFilterbank(cfg.NumMels, power.Bins, cfg.STFT.SampleRate, cfg.FMin, cfg.FMax)
+	if err != nil {
+		return nil, err
+	}
+	mel, err := fb.Apply(power)
+	if err != nil {
+		return nil, err
+	}
+	eps := cfg.LogEps
+	if eps <= 0 {
+		eps = 1e-10
+	}
+	LogCompress(mel, eps)
+	return mel, nil
+}

@@ -1,0 +1,223 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSTFTConfigValidate(t *testing.T) {
+	good := DefaultSTFTConfig()
+	if err := good.Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	bads := []STFTConfig{
+		{SampleRate: 0, WindowSize: 400, HopSize: 160},
+		{SampleRate: 16000, WindowSize: 0, HopSize: 160},
+		{SampleRate: 16000, WindowSize: 400, HopSize: 0},
+	}
+	for i, c := range bads {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestNumFrames(t *testing.T) {
+	c := STFTConfig{SampleRate: 16000, WindowSize: 400, HopSize: 160}
+	cases := map[int]int{0: 0, 399: 0, 400: 1, 559: 1, 560: 2, 16000: 98}
+	for n, want := range cases {
+		if got := c.NumFrames(n); got != want {
+			t.Errorf("NumFrames(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestPowerSTFTShape(t *testing.T) {
+	cfg := DefaultSTFTConfig()
+	sig := make([]float64, 16000) // 1 second
+	s, err := PowerSTFT(sig, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Frames != cfg.NumFrames(len(sig)) {
+		t.Errorf("frames = %d, want %d", s.Frames, cfg.NumFrames(len(sig)))
+	}
+	if s.Bins != 257 { // NextPow2(400)=512 → 257 bins
+		t.Errorf("bins = %d, want 257", s.Bins)
+	}
+}
+
+func TestPowerSTFTToneLandsInRightBin(t *testing.T) {
+	cfg := DefaultSTFTConfig()
+	const freq = 1000.0
+	n := 16000
+	sig := make([]float64, n)
+	for i := range sig {
+		sig[i] = math.Sin(2 * math.Pi * freq * float64(i) / float64(cfg.SampleRate))
+	}
+	s, err := PowerSTFT(sig, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected bin: freq/ (rate/fftLen) = 1000/(16000/512) = 32.
+	fftLen := NextPow2(cfg.WindowSize)
+	wantBin := int(math.Round(freq * float64(fftLen) / float64(cfg.SampleRate)))
+	mid := s.Frames / 2
+	peak := 0
+	for f := 0; f < s.Bins; f++ {
+		if s.At(mid, f) > s.At(mid, peak) {
+			peak = f
+		}
+	}
+	if abs := math.Abs(float64(peak - wantBin)); abs > 1 {
+		t.Errorf("peak bin = %d, want ≈%d", peak, wantBin)
+	}
+}
+
+func TestPowerSTFTNonNegativeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sig := make([]float64, 2000)
+		for i := range sig {
+			sig[i] = rng.NormFloat64()
+		}
+		s, err := PowerSTFT(sig, DefaultSTFTConfig())
+		if err != nil {
+			return false
+		}
+		for _, v := range s.Data {
+			if v < 0 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowerSTFTShortSignal(t *testing.T) {
+	s, err := PowerSTFT(make([]float64, 100), DefaultSTFTConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Frames != 0 {
+		t.Errorf("frames = %d, want 0", s.Frames)
+	}
+}
+
+func TestMelScaleRoundTrip(t *testing.T) {
+	for _, hz := range []float64{0, 100, 440, 1000, 4000, 8000} {
+		back := MelToHz(HzToMel(hz))
+		if math.Abs(back-hz) > 1e-9*(1+hz) {
+			t.Errorf("round trip %v -> %v", hz, back)
+		}
+	}
+	// Mel scale is monotonically increasing.
+	prev := -1.0
+	for hz := 0.0; hz <= 8000; hz += 50 {
+		m := HzToMel(hz)
+		if m <= prev {
+			t.Fatalf("Mel scale not increasing at %v Hz", hz)
+		}
+		prev = m
+	}
+}
+
+func TestMelFilterbankShapeAndCoverage(t *testing.T) {
+	fb, err := NewMelFilterbank(80, 257, 16000, 20, 7600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fb.Filters) != 80 {
+		t.Fatalf("filters = %d", len(fb.Filters))
+	}
+	for m, row := range fb.Filters {
+		if len(row) != 257 {
+			t.Fatalf("filter %d has %d bins", m, len(row))
+		}
+		var sum float64
+		for _, w := range row {
+			if w < 0 || w > 1 {
+				t.Fatalf("filter %d has weight %v outside [0,1]", m, w)
+			}
+			sum += w
+		}
+		if sum == 0 {
+			t.Errorf("filter %d is empty", m)
+		}
+	}
+}
+
+func TestMelFilterbankRejectsBadShapes(t *testing.T) {
+	cases := []struct {
+		mels, bins, rate int
+		fmin, fmax       float64
+	}{
+		{0, 257, 16000, 20, 7600},
+		{80, 1, 16000, 20, 7600},
+		{80, 257, 0, 20, 7600},
+		{80, 257, 16000, 7600, 20},
+		{80, 257, 16000, -5, 7600},
+	}
+	for i, c := range cases {
+		if _, err := NewMelFilterbank(c.mels, c.bins, c.rate, c.fmin, c.fmax); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestMelFilterbankApplyDimensionMismatch(t *testing.T) {
+	fb, _ := NewMelFilterbank(10, 257, 16000, 20, 7600)
+	if _, err := fb.Apply(NewSpectrogram(3, 100)); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestLogMelSpectrogramEndToEnd(t *testing.T) {
+	sig, err := SynthesizeAudio(DefaultSynthConfig(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultMelConfig()
+	mel, err := LogMelSpectrogram(sig, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mel.Bins != cfg.NumMels {
+		t.Errorf("bins = %d, want %d", mel.Bins, cfg.NumMels)
+	}
+	wantFrames := cfg.STFT.NumFrames(len(sig))
+	if mel.Frames != wantFrames {
+		t.Errorf("frames = %d, want %d", mel.Frames, wantFrames)
+	}
+	for i, v := range mel.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("cell %d is %v", i, v)
+		}
+	}
+}
+
+func TestLogMelDeterministicPerSeed(t *testing.T) {
+	a, _ := SynthesizeAudio(DefaultSynthConfig(), 7)
+	b, _ := SynthesizeAudio(DefaultSynthConfig(), 7)
+	c, _ := SynthesizeAudio(DefaultSynthConfig(), 8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different audio")
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical audio")
+	}
+}

@@ -1,0 +1,97 @@
+// Package eth models the dedicated Ethernet data-preparation network
+// that connects train-box FPGAs to the prep-pool (Section IV-D).
+//
+// The paper's argument for Ethernet is bandwidth parity with PCIe
+// (100 Gb/s = 12.5 GB/s vs 16 GB/s) on a channel that does not contend
+// with the PCIe tree; next-batch prefetching hides its latency. The model
+// therefore only needs per-port bandwidth and a non-blocking top-of-rack
+// switch with an aggregate ceiling.
+package eth
+
+import (
+	"fmt"
+
+	"trainbox/internal/units"
+)
+
+// LinkSpec describes one Ethernet port.
+type LinkSpec struct {
+	Bandwidth units.BytesPerSec
+}
+
+// Link100G is the 100 Gb/s port on the paper's FPGAs (12.5 GB/s).
+var Link100G = LinkSpec{Bandwidth: 12.5 * units.GBps}
+
+// SwitchSpec describes a top-of-rack switch.
+type SwitchSpec struct {
+	Ports int
+	// AggregateBandwidth caps total traffic through the fabric; 0 means
+	// fully non-blocking (ports × link bandwidth).
+	AggregateBandwidth units.BytesPerSec
+}
+
+// Network is an analytical model of the prep-pool network: a set of
+// same-speed ports behind one switch.
+type Network struct {
+	link  LinkSpec
+	sw    SwitchSpec
+	inUse int
+}
+
+// NewNetwork builds a prep-pool network with the given port count.
+func NewNetwork(link LinkSpec, sw SwitchSpec) (*Network, error) {
+	if link.Bandwidth <= 0 {
+		return nil, fmt.Errorf("eth: non-positive link bandwidth")
+	}
+	if sw.Ports <= 0 {
+		return nil, fmt.Errorf("eth: switch needs at least one port")
+	}
+	return &Network{link: link, sw: sw}, nil
+}
+
+// Link returns the per-port spec.
+func (n *Network) Link() LinkSpec { return n.link }
+
+// Ports returns the switch port count.
+func (n *Network) Ports() int { return n.sw.Ports }
+
+// Attach reserves a port, returning an error when the switch is full.
+func (n *Network) Attach() error {
+	if n.inUse >= n.sw.Ports {
+		return fmt.Errorf("eth: all %d ports in use", n.sw.Ports)
+	}
+	n.inUse++
+	return nil
+}
+
+// Attached returns the number of reserved ports.
+func (n *Network) Attached() int { return n.inUse }
+
+// PortBandwidth returns the usable bandwidth of one port given the
+// aggregate ceiling and the number of attached ports: min(link,
+// aggregate/attached).
+func (n *Network) PortBandwidth() units.BytesPerSec {
+	bw := n.link.Bandwidth
+	if n.sw.AggregateBandwidth > 0 && n.inUse > 0 {
+		share := n.sw.AggregateBandwidth / units.BytesPerSec(n.inUse)
+		if share < bw {
+			bw = share
+		}
+	}
+	return bw
+}
+
+// TransferTime returns the time to move v bytes over one port.
+func (n *Network) TransferTime(v units.Bytes) float64 {
+	return units.Seconds(v, n.PortBandwidth())
+}
+
+// OffloadRate converts a per-sample offload volume (bytes shipped to the
+// prep-pool and results shipped back) into the maximum samples/s one port
+// sustains.
+func (n *Network) OffloadRate(perSample units.Bytes) units.SamplesPerSec {
+	if perSample <= 0 {
+		return units.SamplesPerSec(1e30)
+	}
+	return units.SamplesPerSec(float64(n.PortBandwidth()) / float64(perSample))
+}

@@ -1,0 +1,87 @@
+package eth
+
+import (
+	"math"
+	"testing"
+
+	"trainbox/internal/units"
+)
+
+func TestNewNetworkValidation(t *testing.T) {
+	if _, err := NewNetwork(LinkSpec{Bandwidth: 0}, SwitchSpec{Ports: 4}); err == nil {
+		t.Error("zero-bandwidth link accepted")
+	}
+	if _, err := NewNetwork(Link100G, SwitchSpec{Ports: 0}); err == nil {
+		t.Error("zero-port switch accepted")
+	}
+}
+
+func TestAttachExhaustsPorts(t *testing.T) {
+	n, err := NewNetwork(Link100G, SwitchSpec{Ports: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Attach(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Attach(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Attach(); err == nil {
+		t.Error("third attach on 2-port switch accepted")
+	}
+	if n.Attached() != 2 || n.Ports() != 2 {
+		t.Errorf("attached=%d ports=%d", n.Attached(), n.Ports())
+	}
+}
+
+func TestPortBandwidthNonBlocking(t *testing.T) {
+	n, _ := NewNetwork(Link100G, SwitchSpec{Ports: 8})
+	for i := 0; i < 8; i++ {
+		n.Attach()
+	}
+	if got := n.PortBandwidth(); got != Link100G.Bandwidth {
+		t.Errorf("non-blocking port bandwidth = %v, want %v", got, Link100G.Bandwidth)
+	}
+}
+
+func TestPortBandwidthAggregateCeiling(t *testing.T) {
+	n, _ := NewNetwork(Link100G, SwitchSpec{Ports: 8, AggregateBandwidth: 50 * units.GBps})
+	for i := 0; i < 8; i++ {
+		n.Attach()
+	}
+	want := 50 * units.GBps / 8
+	if got := n.PortBandwidth(); math.Abs(float64(got-want)) > 1 {
+		t.Errorf("blocked port bandwidth = %v, want %v", got, want)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	n, _ := NewNetwork(Link100G, SwitchSpec{Ports: 2})
+	got := n.TransferTime(12.5 * units.GB)
+	want := float64(12.5*units.GB) / float64(Link100G.Bandwidth)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("TransferTime = %v, want %v", got, want)
+	}
+}
+
+func TestOffloadRate(t *testing.T) {
+	n, _ := NewNetwork(Link100G, SwitchSpec{Ports: 2})
+	// 1.25 MB per sample over 12.5 GB/s = 10,000 samples/s.
+	got := n.OffloadRate(units.Bytes(1.25e6))
+	if math.Abs(float64(got)-10000) > 0.01 {
+		t.Errorf("OffloadRate = %v, want 10000", got)
+	}
+	if n.OffloadRate(0) < 1e29 {
+		t.Error("zero-volume offload should be unconstrained")
+	}
+}
+
+func TestLink100GMatchesPaperArgument(t *testing.T) {
+	// Section IV-D: "100Gbs=12.5GB/s vs 16GB/s" — Ethernet must be the
+	// same order as a PCIe Gen3 x16 link.
+	ratio := float64(Link100G.Bandwidth) / 16e9
+	if ratio < 0.7 || ratio > 1.0 {
+		t.Errorf("100G/PCIe ratio = %v, want ≈0.78", ratio)
+	}
+}

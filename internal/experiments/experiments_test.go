@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFig2aRenders(t *testing.T) {
+	out := Fig2a().String()
+	if !strings.Contains(out, "2012") || !strings.Contains(out, "2019") {
+		t.Errorf("fig2a missing years:\n%s", out)
+	}
+}
+
+func TestFig2bSaturatesNearTwo(t *testing.T) {
+	res := Fig2b()
+	if res.NormalizedAt256 < 1.9 || res.NormalizedAt256 > 2.2 {
+		t.Errorf("normalized latency at 256 = %.3f, want ≈2 (Figure 2b)", res.NormalizedAt256)
+	}
+	if len(res.Table.Rows) != 9 {
+		t.Errorf("fig2b rows = %d", len(res.Table.Rows))
+	}
+}
+
+func TestFig3FinalRatio(t *testing.T) {
+	res, err := Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: prep is 54.9× the others in the final configuration; the
+	// model's calibration lands in the tens.
+	if res.FinalPrepOverOthers < 20 || res.FinalPrepOverOthers > 100 {
+		t.Errorf("final prep/others = %.1f×, want tens (paper 54.9×)", res.FinalPrepOverOthers)
+	}
+	if len(res.Table.Rows) != 4 {
+		t.Errorf("fig3 rows = %d, want 4", len(res.Table.Rows))
+	}
+}
+
+func TestFig5AugmentationWins(t *testing.T) {
+	res, err := Fig5(DefaultFig5Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalWith <= res.FinalWithout {
+		t.Errorf("augmented accuracy %.3f should beat plain %.3f (Figure 5)",
+			res.FinalWith, res.FinalWithout)
+	}
+	if res.FinalWith-res.FinalWithout < 0.05 {
+		t.Errorf("augmentation gap = %.3f, want a clear margin", res.FinalWith-res.FinalWithout)
+	}
+	if res.FinalWith < 0.55 {
+		t.Errorf("augmented model accuracy %.3f suspiciously low", res.FinalWith)
+	}
+}
+
+func TestFig5RejectsDegenerateConfig(t *testing.T) {
+	if _, err := Fig5(Fig5Config{}); err == nil {
+		t.Error("degenerate config accepted")
+	}
+}
+
+func TestFig8SaturationNearEighteen(t *testing.T) {
+	res, err := Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 8: saturation "after 18 neural network accelerators".
+	if res.MaxSaturation < 14 || res.MaxSaturation > 22 {
+		t.Errorf("max baseline saturation = %.1f accel-equivalents, want ≈18", res.MaxSaturation)
+	}
+	if len(res.Table.Rows) != 7 {
+		t.Errorf("fig8 rows = %d", len(res.Table.Rows))
+	}
+}
+
+func TestFig9MeanPrepShare(t *testing.T) {
+	res, err := Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 98.1% on average.
+	if res.MeanPrepShare < 0.93 || res.MeanPrepShare > 1 {
+		t.Errorf("mean prep share = %.3f, want ≈0.98", res.MeanPrepShare)
+	}
+}
+
+func TestFig10Headlines(t *testing.T) {
+	res, err := Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxCPU < 60 || res.MaxCPU > 130 {
+		t.Errorf("max CPU = %.1f×, paper reports 100.7×", res.MaxCPU)
+	}
+	if res.MaxMemory < 12 || res.MaxMemory > 26 {
+		t.Errorf("max memory = %.1f×, paper reports 17.9×", res.MaxMemory)
+	}
+	if res.MaxCores < 3000 {
+		t.Errorf("max cores = %.0f, paper reports 4,833", res.MaxCores)
+	}
+	for _, tb := range []string{res.CPU.String(), res.Memory.String(), res.PCIe.String()} {
+		if !strings.Contains(tb, "Resnet-50") {
+			t.Error("fig10 table missing workloads")
+		}
+	}
+}
+
+func TestFig11SharesMatchPaper(t *testing.T) {
+	tb, err := Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tb.String()
+	if !strings.Contains(out, "image") || !strings.Contains(out, "audio") {
+		t.Errorf("fig11 missing input types:\n%s", out)
+	}
+	if len(tb.Rows) != 6 { // 2 inputs × 3 resources
+		t.Errorf("fig11 rows = %d, want 6", len(tb.Rows))
+	}
+}
+
+func TestTableIMatchesWorkloads(t *testing.T) {
+	tb := TableI()
+	if len(tb.Rows) != 7 {
+		t.Errorf("table I rows = %d", len(tb.Rows))
+	}
+	if !strings.Contains(tb.String(), "7431") {
+		t.Error("table I missing ResNet-50 throughput")
+	}
+}
+
+func TestTablesIIAndIII(t *testing.T) {
+	t2, err := TableII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(t2.String(), "Jpeg decoder") {
+		t.Error("table II missing JPEG decoder")
+	}
+	t3, err := TableIII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(t3.String(), "Spectrogram") {
+		t.Error("table III missing spectrogram engine")
+	}
+	// Both end with a totals row.
+	if t2.Rows[len(t2.Rows)-1][0] != "Total (%)" || t3.Rows[len(t3.Rows)-1][0] != "Total (%)" {
+		t.Error("missing totals rows")
+	}
+}
+
+func TestFig19Headlines(t *testing.T) {
+	res, err := Fig19()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgTrainBox < 35 || res.AvgTrainBox > 55 {
+		t.Errorf("average TrainBox speedup = %.1f×, paper reports 44.4×", res.AvgTrainBox)
+	}
+	if res.AvgAcc < 2.5 || res.AvgAcc > 6 {
+		t.Errorf("average B+Acc speedup = %.1f×, paper reports 3.32×", res.AvgAcc)
+	}
+	if res.MaxName != "TF-AA" {
+		t.Errorf("max speedup on %s, paper reports TF-AA", res.MaxName)
+	}
+	if res.ClusteringGain < 8 || res.ClusteringGain > 16 {
+		t.Errorf("clustering gain = %.1f×, paper reports 13.4×", res.ClusteringGain)
+	}
+}
+
+func TestFig20GrowsWithBatch(t *testing.T) {
+	res, err := Fig20()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpeedupAtLargest < 10 {
+		t.Errorf("speedup at batch 8192 = %.1f×, want ≫10×", res.SpeedupAtLargest)
+	}
+	if len(res.Table.Rows) != 6 {
+		t.Errorf("fig20 rows = %d, want 6", len(res.Table.Rows))
+	}
+}
+
+func TestFig21ShapesForBothWorkloads(t *testing.T) {
+	inc, err := Fig21("Inception-v4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inception: pool irrelevant (same final value).
+	if math.Abs(inc.FinalByConfig["TrainBox"]-inc.FinalByConfig["TrainBox w/o prep-pool"]) > 1e-6 {
+		t.Errorf("Inception pool should be irrelevant: %v vs %v",
+			inc.FinalByConfig["TrainBox"], inc.FinalByConfig["TrainBox w/o prep-pool"])
+	}
+	// TrainBox reaches near the target; baseline saturates near 18.
+	if inc.FinalByConfig["TrainBox"] < 240 {
+		t.Errorf("Inception TrainBox = %.1f accel-equivalents, want ≈256", inc.FinalByConfig["TrainBox"])
+	}
+	if inc.FinalByConfig["Baseline (CPU)"] > 22 {
+		t.Errorf("Inception baseline = %.1f, want ≈18.3", inc.FinalByConfig["Baseline (CPU)"])
+	}
+
+	sr, err := Fig21("TF-SR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TF-SR: pool matters; baseline saturates ≈4.4.
+	if sr.FinalByConfig["TrainBox"] <= sr.FinalByConfig["TrainBox w/o prep-pool"]*1.2 {
+		t.Errorf("TF-SR pool should add clear throughput: %v vs %v",
+			sr.FinalByConfig["TrainBox"], sr.FinalByConfig["TrainBox w/o prep-pool"])
+	}
+	if math.Abs(sr.FinalByConfig["Baseline (CPU)"]-4.4) > 1 {
+		t.Errorf("TF-SR baseline = %.1f, want ≈4.4", sr.FinalByConfig["Baseline (CPU)"])
+	}
+	// FPGA prep dominates GPU prep.
+	if sr.FinalByConfig["Baseline+Acc (FPGA)"] < sr.FinalByConfig["Baseline+Acc (GPU)"] {
+		t.Error("FPGA prep should beat GPU prep for TF-SR")
+	}
+	if _, err := Fig21("nope"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestFig22Renders(t *testing.T) {
+	tb, err := Fig22()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 8 { // 2 inputs × 4 architectures
+		t.Errorf("fig22 rows = %d, want 8", len(tb.Rows))
+	}
+	if !strings.Contains(tb.String(), "TrainBox") {
+		t.Error("fig22 missing TrainBox rung")
+	}
+}

@@ -1,0 +1,55 @@
+package fpga
+
+import (
+	"fmt"
+
+	"trainbox/internal/dataprep"
+	"trainbox/internal/nvme"
+)
+
+// P2PHandler is the functional model of Figure 17's P2P module: the
+// FPGA fetches stored items from SSDs through its own NVMe command
+// generator (internal/nvme, after the paper's DCS-engine) and runs the
+// preparation engine on them — the SSD→FPGA half of the device-centric
+// datapath, with no host software involved.
+type P2PHandler struct {
+	client *nvme.Client
+	engine *Emulator
+}
+
+// NewP2PHandler binds an FPGA engine to an SSD namespace with a queue
+// pair of the given depth.
+func NewP2PHandler(ns *nvme.Namespace, engine *Emulator, queueDepth int) (*P2PHandler, error) {
+	if ns == nil || engine == nil {
+		return nil, fmt.Errorf("fpga: p2p handler needs a namespace and an engine")
+	}
+	client, err := nvme.NewClient(ns, queueDepth)
+	if err != nil {
+		return nil, err
+	}
+	return &P2PHandler{client: client, engine: engine}, nil
+}
+
+// PrepareByKey fetches the keyed object over NVMe and prepares it with
+// the FPGA engine — the full SSD→FPGA→(accelerator) per-sample path.
+func (h *P2PHandler) PrepareByKey(key string, seed int64) dataprep.Prepared {
+	obj, err := h.client.ReadObject(key)
+	if err != nil {
+		return dataprep.Prepared{Key: key, Err: err}
+	}
+	return h.engine.Prepare(obj, seed)
+}
+
+// PrepareBatch prepares the keyed objects in order, deriving per-sample
+// seeds the same way the host executor does, so the device-centric path
+// is drop-in bit-equal with the host path.
+func (h *P2PHandler) PrepareBatch(keys []string, datasetSeed int64, epoch int) ([]dataprep.Prepared, error) {
+	out := make([]dataprep.Prepared, len(keys))
+	for i, key := range keys {
+		out[i] = h.PrepareByKey(key, dataprep.SampleSeed(datasetSeed, key, epoch))
+		if out[i].Err != nil {
+			return nil, fmt.Errorf("fpga: p2p sample %q: %w", key, out[i].Err)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,113 @@
+package fpga
+
+import (
+	"testing"
+
+	"trainbox/internal/dataprep"
+	"trainbox/internal/nvme"
+	"trainbox/internal/storage"
+)
+
+// TestP2PPathBitEqualWithHostPath is the end-to-end device-centric
+// integration: stored JPEGs fetched over the NVMe queue interface and
+// prepared by the FPGA engine must be bit-identical to the host path
+// (store read + CPU pipeline) for the same seeds.
+func TestP2PPathBitEqualWithHostPath(t *testing.T) {
+	store := storage.NewStore(storage.DefaultSSDSpec())
+	if err := dataprep.BuildImageDataset(store, 6, 4, 7); err != nil {
+		t.Fatal(err)
+	}
+	ns, err := nvme.LoadStore(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := dataprep.DefaultImageConfig()
+	handler, err := NewP2PHandler(ns, NewImageEmulator(cfg), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const datasetSeed, epoch = 7, 2
+	device, err := handler.PrepareBatch(store.Keys(), datasetSeed, epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostExec := dataprep.NewExecutor(dataprep.ImagePreparer{Config: cfg}, 2, datasetSeed)
+	host, err := hostExec.PrepareBatch(store, store.Keys(), epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(device) != len(host) {
+		t.Fatalf("batch sizes differ: %d vs %d", len(device), len(host))
+	}
+	for i := range host {
+		if device[i].Label != host[i].Label {
+			t.Fatalf("sample %d label mismatch", i)
+		}
+		for j := range host[i].Image.Data {
+			if device[i].Image.Data[j] != host[i].Image.Data[j] {
+				t.Fatalf("sample %d diverges at element %d — P2P path not transparent", i, j)
+			}
+		}
+	}
+}
+
+func TestP2PHandlerErrors(t *testing.T) {
+	store := storage.NewStore(storage.DefaultSSDSpec())
+	if err := dataprep.BuildImageDataset(store, 2, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	ns, err := nvme.LoadStore(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewP2PHandler(nil, NewImageEmulator(dataprep.DefaultImageConfig()), 8); err == nil {
+		t.Error("nil namespace accepted")
+	}
+	if _, err := NewP2PHandler(ns, nil, 8); err == nil {
+		t.Error("nil engine accepted")
+	}
+	if _, err := NewP2PHandler(ns, NewImageEmulator(dataprep.DefaultImageConfig()), 1); err == nil {
+		t.Error("sub-minimum queue depth accepted")
+	}
+	h, err := NewP2PHandler(ns, NewImageEmulator(dataprep.DefaultImageConfig()), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := h.PrepareByKey("missing", 1); out.Err == nil {
+		t.Error("missing key prepared")
+	}
+	if _, err := h.PrepareBatch([]string{"missing"}, 1, 0); err == nil {
+		t.Error("batch with missing key accepted")
+	}
+}
+
+func TestP2PAudioPath(t *testing.T) {
+	store := storage.NewStore(storage.DefaultSSDSpec())
+	if err := dataprep.BuildAudioDataset(store, 2, 2, 5); err != nil {
+		t.Fatal(err)
+	}
+	ns, err := nvme.LoadStore(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := dataprep.DefaultAudioConfig()
+	h, err := NewP2PHandler(ns, NewAudioEmulator(cfg), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := h.PrepareBatch(store.Keys(), 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostOut := dataprep.AudioPreparer{Config: cfg}
+	for i, key := range store.Keys() {
+		obj, _ := store.Get(key)
+		want := hostOut.Prepare(obj, dataprep.SampleSeed(5, key, 0))
+		for j := range want.Audio.Data {
+			if batch[i].Audio.Data[j] != want.Audio.Data[j] {
+				t.Fatalf("audio sample %d diverges at %d", i, j)
+			}
+		}
+	}
+}

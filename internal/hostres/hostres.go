@@ -1,0 +1,89 @@
+// Package hostres models the host-side resources the paper's bottleneck
+// analysis tracks: CPU cores and DRAM bandwidth (Section III-C). The
+// PCIe root complex, the third host resource, lives in internal/pcie as
+// part of the tree.
+//
+// The reference machine throughout the paper is NVIDIA DGX-2: 48
+// physical Xeon cores and 239 GB/s of memory bandwidth; Figure 10
+// normalizes every requirement to that machine.
+package hostres
+
+import (
+	"fmt"
+
+	"trainbox/internal/units"
+)
+
+// HostSpec describes a host's CPU and memory resources.
+type HostSpec struct {
+	Name string
+	// Cores is the number of physical CPU cores.
+	Cores int
+	// MemoryBandwidth is the aggregate DRAM bandwidth.
+	MemoryBandwidth units.BytesPerSec
+}
+
+// DGX2 is the paper's reference host: two-socket Xeon with 48 physical
+// cores and 239 GB/s of memory bandwidth (Section III-B/III-C).
+func DGX2() HostSpec {
+	return HostSpec{Name: "dgx-2", Cores: 48, MemoryBandwidth: 239 * units.GBps}
+}
+
+// Validate reports the first spec error, or nil.
+func (h HostSpec) Validate() error {
+	if h.Cores <= 0 {
+		return fmt.Errorf("hostres: %s has %d cores", h.Name, h.Cores)
+	}
+	if h.MemoryBandwidth <= 0 {
+		return fmt.Errorf("hostres: %s has non-positive memory bandwidth", h.Name)
+	}
+	return nil
+}
+
+// Demand is a per-sample host-resource demand: CPU core-seconds and DRAM
+// bytes consumed to prepare one sample.
+type Demand struct {
+	CPUSeconds  float64
+	MemoryBytes units.Bytes
+}
+
+// Add returns the component-wise sum of two demands.
+func (d Demand) Add(o Demand) Demand {
+	return Demand{CPUSeconds: d.CPUSeconds + o.CPUSeconds, MemoryBytes: d.MemoryBytes + o.MemoryBytes}
+}
+
+// Scale returns the demand multiplied by k.
+func (d Demand) Scale(k float64) Demand {
+	return Demand{CPUSeconds: d.CPUSeconds * k, MemoryBytes: d.MemoryBytes * units.Bytes(k)}
+}
+
+// MaxRate returns the highest sample rate the host sustains under the
+// per-sample demand: min(cores/CPUSeconds, memBW/MemoryBytes). A
+// zero-demand component is unconstraining.
+func (h HostSpec) MaxRate(d Demand) units.SamplesPerSec {
+	rate := 1e30
+	if d.CPUSeconds > 0 {
+		if r := float64(h.Cores) / d.CPUSeconds; r < rate {
+			rate = r
+		}
+	}
+	if d.MemoryBytes > 0 {
+		if r := float64(h.MemoryBandwidth) / float64(d.MemoryBytes); r < rate {
+			rate = r
+		}
+	}
+	return units.SamplesPerSec(rate)
+}
+
+// CoresRequired returns how many cores sustain the target sample rate
+// under the per-sample CPU demand (fractional; callers round up for
+// provisioning).
+func (h HostSpec) CoresRequired(rate units.SamplesPerSec, d Demand) float64 {
+	return float64(rate) * d.CPUSeconds
+}
+
+// MemoryBWRequired returns the DRAM bandwidth that sustains the target
+// sample rate under the per-sample memory demand.
+func (h HostSpec) MemoryBWRequired(rate units.SamplesPerSec, d Demand) units.BytesPerSec {
+	return units.BytesPerSec(float64(rate) * float64(d.MemoryBytes))
+}

@@ -1,0 +1,94 @@
+package hostres
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"trainbox/internal/units"
+)
+
+func TestDGX2Reference(t *testing.T) {
+	h := DGX2()
+	if h.Cores != 48 {
+		t.Errorf("DGX-2 cores = %d, want 48 (Section III-B)", h.Cores)
+	}
+	if h.MemoryBandwidth != 239*units.GBps {
+		t.Errorf("DGX-2 mem BW = %v, want 239 GB/s (Section III-C)", h.MemoryBandwidth)
+	}
+	if err := h.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	if err := (HostSpec{Name: "x", Cores: 0, MemoryBandwidth: units.GBps}).Validate(); err == nil {
+		t.Error("zero cores accepted")
+	}
+	if err := (HostSpec{Name: "x", Cores: 4, MemoryBandwidth: 0}).Validate(); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+}
+
+func TestMaxRateTakesBindingConstraint(t *testing.T) {
+	h := HostSpec{Name: "x", Cores: 10, MemoryBandwidth: 100 * units.GBps}
+	// CPU-bound: 10 cores / 1 ms per sample = 10,000/s; memory allows 1e5/s.
+	d := Demand{CPUSeconds: 1e-3, MemoryBytes: units.Bytes(1e6)}
+	if got := h.MaxRate(d); math.Abs(float64(got)-10000) > 1e-6 {
+		t.Errorf("CPU-bound rate = %v, want 10000", got)
+	}
+	// Memory-bound.
+	d = Demand{CPUSeconds: 1e-6, MemoryBytes: units.Bytes(1e8)}
+	if got := h.MaxRate(d); math.Abs(float64(got)-1000) > 1e-6 {
+		t.Errorf("memory-bound rate = %v, want 1000", got)
+	}
+	// No demand: unconstrained.
+	if got := h.MaxRate(Demand{}); float64(got) < 1e29 {
+		t.Errorf("zero demand rate = %v, want unbounded", got)
+	}
+}
+
+func TestDemandAddScale(t *testing.T) {
+	a := Demand{CPUSeconds: 1, MemoryBytes: 100}
+	b := Demand{CPUSeconds: 2, MemoryBytes: 300}
+	sum := a.Add(b)
+	if sum.CPUSeconds != 3 || sum.MemoryBytes != 400 {
+		t.Errorf("Add = %+v", sum)
+	}
+	sc := a.Scale(2.5)
+	if sc.CPUSeconds != 2.5 || sc.MemoryBytes != 250 {
+		t.Errorf("Scale = %+v", sc)
+	}
+}
+
+func TestRequiredResourcesInvertMaxRate(t *testing.T) {
+	f := func(cpuMs, memKB float64) bool {
+		cpu := math.Mod(math.Abs(cpuMs), 10) + 0.01 // 0.01..10 ms
+		mem := math.Mod(math.Abs(memKB), 1e4) + 1   // 1..10000 KB
+		d := Demand{CPUSeconds: cpu * 1e-3, MemoryBytes: units.Bytes(mem * 1e3)}
+		h := DGX2()
+		rate := h.MaxRate(d)
+		cores := h.CoresRequired(rate, d)
+		bw := h.MemoryBWRequired(rate, d)
+		// At the max rate, at least one resource is fully used and none
+		// is overcommitted.
+		overC := cores > float64(h.Cores)*(1+1e-9)
+		overM := float64(bw) > float64(h.MemoryBandwidth)*(1+1e-9)
+		atCap := cores >= float64(h.Cores)*(1-1e-9) || float64(bw) >= float64(h.MemoryBandwidth)*(1-1e-9)
+		return !overC && !overM && atCap
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoresRequiredScalesLinearly(t *testing.T) {
+	h := DGX2()
+	d := Demand{CPUSeconds: 2e-3}
+	if got := h.CoresRequired(1000, d); math.Abs(got-2) > 1e-9 {
+		t.Errorf("CoresRequired = %v, want 2", got)
+	}
+	if got := h.MemoryBWRequired(1000, Demand{MemoryBytes: units.MB}); math.Abs(float64(got)-float64(1000*units.MB)) > 1 {
+		t.Errorf("MemoryBWRequired = %v", got)
+	}
+}

@@ -1,0 +1,133 @@
+package imgproc
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file implements the advanced augmentations the paper's Related
+// Work points at (Section VII-B): RICAP crop-and-patch (Takahashi et
+// al. [43]), plus the resize and photometric-jitter operations every
+// production preparation pipeline (DALI included) offers. TrainBox's
+// thesis is that such emerging augmentations make on-line preparation
+// even more expensive — these kernels are what the prep accelerators
+// would host next.
+
+// Resize scales the image to w×h with bilinear interpolation.
+func Resize(im *Image, w, h int) (*Image, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("imgproc: resize to invalid %dx%d", w, h)
+	}
+	out := NewImage(w, h)
+	xRatio := float64(im.W) / float64(w)
+	yRatio := float64(im.H) / float64(h)
+	for y := 0; y < h; y++ {
+		srcY := (float64(y) + 0.5) * yRatio
+		y0 := int(srcY - 0.5)
+		fy := srcY - 0.5 - float64(y0)
+		y1 := y0 + 1
+		if y0 < 0 {
+			y0, fy = 0, 0
+		}
+		if y1 >= im.H {
+			y1 = im.H - 1
+		}
+		for x := 0; x < w; x++ {
+			srcX := (float64(x) + 0.5) * xRatio
+			x0 := int(srcX - 0.5)
+			fx := srcX - 0.5 - float64(x0)
+			x1 := x0 + 1
+			if x0 < 0 {
+				x0, fx = 0, 0
+			}
+			if x1 >= im.W {
+				x1 = im.W - 1
+			}
+			var rgb [3]float64
+			for c := 0; c < 3; c++ {
+				tl := float64(im.Pix[(y0*im.W+x0)*3+c])
+				tr := float64(im.Pix[(y0*im.W+x1)*3+c])
+				bl := float64(im.Pix[(y1*im.W+x0)*3+c])
+				br := float64(im.Pix[(y1*im.W+x1)*3+c])
+				top := tl + (tr-tl)*fx
+				bot := bl + (br-bl)*fx
+				rgb[c] = top + (bot-top)*fy
+			}
+			out.Set(x, y, clampU8(rgb[0]), clampU8(rgb[1]), clampU8(rgb[2]))
+		}
+	}
+	return out, nil
+}
+
+// RICAP implements random image cropping and patching (Takahashi et al.):
+// four source images are randomly cropped and patched into one w×h
+// training image around a random interior boundary point; the returned
+// weights are each source's area fraction, used for soft labels.
+func RICAP(sources [4]*Image, w, h int, rng *rand.Rand) (*Image, [4]float64, error) {
+	var weights [4]float64
+	if w <= 1 || h <= 1 {
+		return nil, weights, fmt.Errorf("imgproc: RICAP target %dx%d too small", w, h)
+	}
+	for i, src := range sources {
+		if src == nil {
+			return nil, weights, fmt.Errorf("imgproc: RICAP source %d is nil", i)
+		}
+		if src.W < w || src.H < h {
+			return nil, weights, fmt.Errorf("imgproc: RICAP source %d (%dx%d) smaller than target %dx%d",
+				i, src.W, src.H, w, h)
+		}
+	}
+	// Interior boundary point: quadrant q gets size (wq, hq).
+	bx := 1 + rng.Intn(w-1)
+	by := 1 + rng.Intn(h-1)
+	quads := [4][4]int{
+		// {x offset, y offset, width, height} within the target.
+		{0, 0, bx, by},
+		{bx, 0, w - bx, by},
+		{0, by, bx, h - by},
+		{bx, by, w - bx, h - by},
+	}
+	out := NewImage(w, h)
+	for q, geom := range quads {
+		qw, qh := geom[2], geom[3]
+		crop, err := RandomCrop(sources[q], qw, qh, rng)
+		if err != nil {
+			return nil, weights, err
+		}
+		for y := 0; y < qh; y++ {
+			for x := 0; x < qw; x++ {
+				r, g, b := crop.At(x, y)
+				out.Set(geom[0]+x, geom[1]+y, r, g, b)
+			}
+		}
+		weights[q] = float64(qw*qh) / float64(w*h)
+	}
+	return out, weights, nil
+}
+
+// JitterConfig bounds photometric jitter.
+type JitterConfig struct {
+	// MaxBrightness is the maximum absolute additive shift (8-bit counts).
+	MaxBrightness float64
+	// MaxContrast is the maximum multiplicative deviation from 1
+	// (e.g. 0.2 → gain in [0.8, 1.2]).
+	MaxContrast float64
+}
+
+// ColorJitter applies a random brightness shift and contrast gain
+// (around the mid-gray 128) to a copy of the image.
+func ColorJitter(im *Image, cfg JitterConfig, rng *rand.Rand) *Image {
+	out := im.Clone()
+	if rng == nil {
+		return out
+	}
+	shift := (rng.Float64()*2 - 1) * cfg.MaxBrightness
+	gain := 1 + (rng.Float64()*2-1)*cfg.MaxContrast
+	if cfg.MaxBrightness == 0 && cfg.MaxContrast == 0 {
+		return out
+	}
+	for i, v := range out.Pix {
+		out.Pix[i] = clampU8((float64(v)-128)*gain + 128 + shift)
+	}
+	return out
+}

@@ -1,0 +1,260 @@
+package imgproc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestResizeShapeAndIdentity(t *testing.T) {
+	im := gradientImage(16, 16)
+	out, err := Resize(im, 8, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.W != 8 || out.H != 12 {
+		t.Fatalf("resized to %dx%d", out.W, out.H)
+	}
+	// Identity resize reproduces the image exactly (bilinear with
+	// aligned centers).
+	same, err := Resize(im, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range im.Pix {
+		if same.Pix[i] != im.Pix[i] {
+			t.Fatalf("identity resize changed pixel %d: %d vs %d", i, same.Pix[i], im.Pix[i])
+		}
+	}
+}
+
+func TestResizeConstantImageStaysConstant(t *testing.T) {
+	im := NewImage(10, 10)
+	for i := range im.Pix {
+		im.Pix[i] = 77
+	}
+	for _, dims := range [][2]int{{5, 5}, {20, 20}, {3, 17}} {
+		out, err := Resize(im, dims[0], dims[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out.Pix {
+			if v != 77 {
+				t.Fatalf("resize %v: pixel %d = %d, want 77", dims, i, v)
+			}
+		}
+	}
+}
+
+func TestResizePreservesMeanApproximately(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		im := NewImage(32, 32)
+		for i := range im.Pix {
+			im.Pix[i] = uint8(rng.Intn(256))
+		}
+		out, err := Resize(im, 16, 16)
+		if err != nil {
+			return false
+		}
+		mean := func(p []uint8) float64 {
+			var s float64
+			for _, v := range p {
+				s += float64(v)
+			}
+			return s / float64(len(p))
+		}
+		return math.Abs(mean(im.Pix)-mean(out.Pix)) < 6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResizeRejectsBadDims(t *testing.T) {
+	im := gradientImage(4, 4)
+	if _, err := Resize(im, 0, 4); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := Resize(im, 4, -1); err == nil {
+		t.Error("negative height accepted")
+	}
+}
+
+func ricapSources() [4]*Image {
+	var srcs [4]*Image
+	for i := range srcs {
+		im := NewImage(64, 64)
+		for p := range im.Pix {
+			im.Pix[p] = uint8(50 * (i + 1)) // source i is uniform 50(i+1)
+		}
+		srcs[i] = im
+	}
+	return srcs
+}
+
+func TestRICAPComposesFourQuadrants(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	out, weights, err := RICAP(ricapSources(), 48, 48, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.W != 48 || out.H != 48 {
+		t.Fatalf("output %dx%d", out.W, out.H)
+	}
+	// Weights are a probability distribution over the four sources.
+	var sum float64
+	for q, w := range weights {
+		if w <= 0 || w >= 1 {
+			t.Errorf("weight[%d] = %v outside (0,1)", q, w)
+		}
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("weights sum to %v", sum)
+	}
+	// Every pixel belongs to exactly one uniform source; counts must
+	// match the weights exactly.
+	counts := map[uint8]int{}
+	for y := 0; y < 48; y++ {
+		for x := 0; x < 48; x++ {
+			r, _, _ := out.At(x, y)
+			counts[r]++
+		}
+	}
+	for q, w := range weights {
+		want := int(math.Round(w * 48 * 48))
+		got := counts[uint8(50*(q+1))]
+		if got != want {
+			t.Errorf("source %d pixel count = %d, want %d", q, got, want)
+		}
+	}
+}
+
+func TestRICAPPropertyWeightsMatchAreas(t *testing.T) {
+	srcs := ricapSources()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		_, weights, err := RICAP(srcs, 32, 24, rng)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, w := range weights {
+			if w < 0 {
+				return false
+			}
+			sum += w
+		}
+		return math.Abs(sum-1) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRICAPRejectsBadInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	srcs := ricapSources()
+	if _, _, err := RICAP(srcs, 1, 10, rng); err == nil {
+		t.Error("degenerate target accepted")
+	}
+	small := srcs
+	small[2] = NewImage(8, 8)
+	if _, _, err := RICAP(small, 48, 48, rng); err == nil {
+		t.Error("undersized source accepted")
+	}
+	var withNil [4]*Image
+	copy(withNil[:], srcs[:])
+	withNil[1] = nil
+	if _, _, err := RICAP(withNil, 48, 48, rng); err == nil {
+		t.Error("nil source accepted")
+	}
+}
+
+func TestColorJitterBoundsAndDeterminism(t *testing.T) {
+	im := gradientImage(16, 16)
+	cfg := JitterConfig{MaxBrightness: 30, MaxContrast: 0.3}
+	a := ColorJitter(im, cfg, rand.New(rand.NewSource(4)))
+	b := ColorJitter(im, cfg, rand.New(rand.NewSource(4)))
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatal("same seed, different jitter")
+		}
+	}
+	changed := 0
+	for i := range a.Pix {
+		if a.Pix[i] != im.Pix[i] {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Error("jitter changed nothing")
+	}
+	// Original untouched.
+	r, _, _ := im.At(3, 0)
+	if r != 3 {
+		t.Error("ColorJitter modified its input")
+	}
+}
+
+func TestColorJitterNoopCases(t *testing.T) {
+	im := gradientImage(4, 4)
+	for _, out := range []*Image{
+		ColorJitter(im, JitterConfig{}, rand.New(rand.NewSource(1))),
+		ColorJitter(im, JitterConfig{MaxBrightness: 30}, nil),
+	} {
+		for i := range im.Pix {
+			if out.Pix[i] != im.Pix[i] {
+				t.Fatal("noop jitter changed pixels")
+			}
+		}
+	}
+}
+
+func TestSynthesizeStripedProperties(t *testing.T) {
+	cfg := SynthConfig{Size: 64}
+	a := SynthesizeStriped(cfg, 1, 0)
+	b := SynthesizeStriped(cfg, 1, 0)
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatal("striped synthesis not deterministic")
+		}
+	}
+	// Grayscale: all three channels equal.
+	for y := 0; y < 64; y += 7 {
+		for x := 0; x < 64; x += 7 {
+			r, g, bl := a.At(x, y)
+			if r != g || g != bl {
+				t.Fatal("striped image is not grayscale")
+			}
+		}
+	}
+	// Equal mean intensity across classes (the no-shortcut property).
+	mean := func(im *Image) float64 {
+		var s float64
+		for _, v := range im.Pix {
+			s += float64(v)
+		}
+		return s / float64(len(im.Pix))
+	}
+	m0 := mean(SynthesizeStriped(cfg, 5, 0))
+	m2 := mean(SynthesizeStriped(cfg, 5, 2))
+	if math.Abs(m0-m2) > 12 {
+		t.Errorf("class means differ too much: %v vs %v", m0, m2)
+	}
+	// Different classes produce different stripe patterns.
+	c0 := SynthesizeStriped(cfg, 5, 0)
+	c2 := SynthesizeStriped(cfg, 5, 2)
+	same := true
+	for i := range c0.Pix {
+		if c0.Pix[i] != c2.Pix[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("classes 0 and 2 produced identical stripes")
+	}
+}

@@ -1,0 +1,130 @@
+package imgproc
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Crop extracts the w×h window whose top-left corner is (x, y) — the
+// "Crop" engine of Table II.
+func Crop(im *Image, x, y, w, h int) (*Image, error) {
+	if w <= 0 || h <= 0 || x < 0 || y < 0 || x+w > im.W || y+h > im.H {
+		return nil, fmt.Errorf("imgproc: crop %dx%d@(%d,%d) outside %dx%d", w, h, x, y, im.W, im.H)
+	}
+	out := NewImage(w, h)
+	for row := 0; row < h; row++ {
+		srcOff := ((y+row)*im.W + x) * 3
+		dstOff := row * w * 3
+		copy(out.Pix[dstOff:dstOff+w*3], im.Pix[srcOff:srcOff+w*3])
+	}
+	return out, nil
+}
+
+// CenterCrop extracts the centered w×h window.
+func CenterCrop(im *Image, w, h int) (*Image, error) {
+	return Crop(im, (im.W-w)/2, (im.H-h)/2, w, h)
+}
+
+// RandomCrop extracts a uniformly random w×h window. This is the paper's
+// headline augmentation: a 256×256 image yields 32×32 distinct 224×224
+// crops, which is why static pre-augmentation needs ~2.2 PB (Section
+// III-D).
+func RandomCrop(im *Image, w, h int, rng *rand.Rand) (*Image, error) {
+	if w > im.W || h > im.H {
+		return nil, fmt.Errorf("imgproc: random crop %dx%d larger than %dx%d", w, h, im.W, im.H)
+	}
+	x := rng.Intn(im.W - w + 1)
+	y := rng.Intn(im.H - h + 1)
+	return Crop(im, x, y, w, h)
+}
+
+// NumDistinctCrops returns how many distinct w×h crop positions an
+// image offers ((W−w+1)·(H−h+1)); used by the storage-overhead analysis.
+func NumDistinctCrops(imW, imH, w, h int) int {
+	if w > imW || h > imH {
+		return 0
+	}
+	return (imW - w + 1) * (imH - h + 1)
+}
+
+// Mirror returns the horizontally flipped image — the "Mirror" engine of
+// Table II.
+func Mirror(im *Image) *Image {
+	out := NewImage(im.W, im.H)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			r, g, b := im.At(x, y)
+			out.Set(im.W-1-x, y, r, g, b)
+		}
+	}
+	return out
+}
+
+// GaussianNoise adds clamped zero-mean Gaussian noise with the given
+// standard deviation (in 8-bit counts) to every channel — the "Gaussian
+// noise" engine of Table II. A nil rng or non-positive stddev returns an
+// unmodified copy.
+func GaussianNoise(im *Image, stddev float64, rng *rand.Rand) *Image {
+	out := im.Clone()
+	if rng == nil || stddev <= 0 {
+		return out
+	}
+	for i, v := range out.Pix {
+		out.Pix[i] = clampU8(float64(v) + rng.NormFloat64()*stddev)
+	}
+	return out
+}
+
+// Tensor is a float32 CHW tensor: Data[c*H*W + y*W + x].
+type Tensor struct {
+	C, H, W int
+	Data    []float32
+}
+
+// Bytes returns the tensor's memory footprint: 4·C·H·W. For a 224×224
+// RGB image this is 602,112 bytes — the "amplified data size due to
+// decompression and type casting" the paper attributes data-load traffic
+// to (Section III-C).
+func (t *Tensor) Bytes() int { return 4 * len(t.Data) }
+
+// At returns the value at channel c, row y, column x.
+func (t *Tensor) At(c, y, x int) float32 { return t.Data[c*t.H*t.W+y*t.W+x] }
+
+// ToTensor casts the image to a float32 CHW tensor — the "Cast" engine
+// of Table II — normalizing each channel as (v/255 − mean[c]) / std[c].
+// Nil mean/std default to 0 and 1 (plain [0,1] scaling).
+func ToTensor(im *Image, mean, std []float64) (*Tensor, error) {
+	if mean == nil {
+		mean = []float64{0, 0, 0}
+	}
+	if std == nil {
+		std = []float64{1, 1, 1}
+	}
+	if len(mean) != 3 || len(std) != 3 {
+		return nil, fmt.Errorf("imgproc: mean/std must have 3 channels, got %d/%d", len(mean), len(std))
+	}
+	for c, s := range std {
+		if s <= 0 {
+			return nil, fmt.Errorf("imgproc: std[%d] = %v must be positive", c, s)
+		}
+	}
+	t := &Tensor{C: 3, H: im.H, W: im.W, Data: make([]float32, 3*im.H*im.W)}
+	plane := im.H * im.W
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			i := (y*im.W + x) * 3
+			for c := 0; c < 3; c++ {
+				v := (float64(im.Pix[i+c])/255 - mean[c]) / std[c]
+				t.Data[c*plane+y*im.W+x] = float32(v)
+			}
+		}
+	}
+	return t, nil
+}
+
+// ImagenetMean and ImagenetStd are the conventional per-channel
+// normalization constants for Imagenet-trained models.
+var (
+	ImagenetMean = []float64{0.485, 0.456, 0.406}
+	ImagenetStd  = []float64{0.229, 0.224, 0.225}
+)

@@ -1,0 +1,115 @@
+package imgproc
+
+import (
+	"testing"
+)
+
+func TestSynthesizeVideoShapeAndMotion(t *testing.T) {
+	cfg := SynthConfig{Size: 64, Quality: 85}
+	v, err := SynthesizeVideo(cfg, 3, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Frames) != 8 {
+		t.Fatalf("frames = %d", len(v.Frames))
+	}
+	w, h := v.FrameSize()
+	if w != 64 || h != 64 {
+		t.Fatalf("frame size %dx%d", w, h)
+	}
+	// Motion: consecutive frames differ.
+	diff := 0
+	for i := range v.Frames[0].Pix {
+		if v.Frames[0].Pix[i] != v.Frames[4].Pix[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("no motion between frames 0 and 4")
+	}
+	// Determinism.
+	v2, _ := SynthesizeVideo(cfg, 3, 1, 8)
+	for f := range v.Frames {
+		for i := range v.Frames[f].Pix {
+			if v.Frames[f].Pix[i] != v2.Frames[f].Pix[i] {
+				t.Fatal("video synthesis not deterministic")
+			}
+		}
+	}
+	if _, err := SynthesizeVideo(cfg, 3, 1, 0); err == nil {
+		t.Error("zero frames accepted")
+	}
+}
+
+func TestMJPEGRoundTrip(t *testing.T) {
+	cfg := SynthConfig{Size: 48, Quality: 90}
+	v, err := SynthesizeVideo(cfg, 5, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeMJPEG(v, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeMJPEG(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Frames) != 4 {
+		t.Fatalf("decoded frames = %d", len(back.Frames))
+	}
+	w, h := back.FrameSize()
+	if w != 48 || h != 48 {
+		t.Fatalf("decoded size %dx%d", w, h)
+	}
+}
+
+func TestMJPEGRejectsGarbage(t *testing.T) {
+	if _, err := DecodeMJPEG([]byte("nope")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := DecodeMJPEG([]byte{'t', 'b', 'v', '1', 5, 0, 0, 0, 1}); err == nil {
+		t.Error("truncated clip accepted")
+	}
+	if _, err := EncodeMJPEG(&Video{}, 90); err == nil {
+		t.Error("empty clip accepted")
+	}
+	// Mixed geometry rejected.
+	v := &Video{Frames: []*Image{NewImage(8, 8), NewImage(4, 4)}}
+	if _, err := EncodeMJPEG(v, 90); err == nil {
+		t.Error("mixed-geometry clip accepted")
+	}
+}
+
+func TestSampleFramesUniform(t *testing.T) {
+	v := &Video{Frames: make([]*Image, 16)}
+	for i := range v.Frames {
+		im := NewImage(1, 1)
+		im.Set(0, 0, uint8(i), 0, 0)
+		v.Frames[i] = im
+	}
+	out, err := v.SampleFrames(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint8{0, 4, 8, 12}
+	for i, f := range out {
+		r, _, _ := f.At(0, 0)
+		if r != want[i] {
+			t.Errorf("sample %d = frame %d, want %d", i, r, want[i])
+		}
+	}
+	all, err := v.SampleFrames(16)
+	if err != nil || len(all) != 16 {
+		t.Error("full sampling failed")
+	}
+	if _, err := v.SampleFrames(0); err == nil {
+		t.Error("zero samples accepted")
+	}
+	if _, err := v.SampleFrames(17); err == nil {
+		t.Error("oversampling accepted")
+	}
+	if w, h := (&Video{}).FrameSize(); w != 0 || h != 0 {
+		t.Error("empty clip size should be 0,0")
+	}
+}

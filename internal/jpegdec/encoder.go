@@ -1,0 +1,334 @@
+package jpegdec
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file is the encoder half of the from-scratch codec: baseline
+// sequential JPEG with 4:4:4 sampling, Annex-K Huffman tables, and
+// libjpeg-style quality scaling. Together with Decode it closes the
+// loop: the reproduction can write and read its own storage format with
+// no library involvement, and round-trip tests pin both directions.
+
+// Annex K luminance/chrominance base quantization tables (natural order).
+var baseQuantLuma = [64]int32{
+	16, 11, 10, 16, 24, 40, 51, 61,
+	12, 12, 14, 19, 26, 58, 60, 55,
+	14, 13, 16, 24, 40, 57, 69, 56,
+	14, 17, 22, 29, 51, 87, 80, 62,
+	18, 22, 37, 56, 68, 109, 103, 77,
+	24, 35, 55, 64, 81, 104, 113, 92,
+	49, 64, 78, 87, 103, 121, 120, 101,
+	72, 92, 95, 98, 112, 100, 103, 99,
+}
+
+var baseQuantChroma = [64]int32{
+	17, 18, 24, 47, 99, 99, 99, 99,
+	18, 21, 26, 66, 99, 99, 99, 99,
+	24, 26, 56, 99, 99, 99, 99, 99,
+	47, 66, 99, 99, 99, 99, 99, 99,
+	99, 99, 99, 99, 99, 99, 99, 99,
+	99, 99, 99, 99, 99, 99, 99, 99,
+	99, 99, 99, 99, 99, 99, 99, 99,
+	99, 99, 99, 99, 99, 99, 99, 99,
+}
+
+// scaleQuant applies the libjpeg quality mapping.
+func scaleQuant(base *[64]int32, quality int) [64]int32 {
+	if quality < 1 {
+		quality = 1
+	}
+	if quality > 100 {
+		quality = 100
+	}
+	var scale int32
+	if quality < 50 {
+		scale = int32(5000 / quality)
+	} else {
+		scale = int32(200 - 2*quality)
+	}
+	var out [64]int32
+	for i, v := range base {
+		q := (v*scale + 50) / 100
+		if q < 1 {
+			q = 1
+		}
+		if q > 255 {
+			q = 255
+		}
+		out[i] = q
+	}
+	return out
+}
+
+// Annex K Huffman specifications: bit-length counts and symbol lists.
+var (
+	dcLumaCounts   = [16]int{0, 1, 5, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0}
+	dcLumaSymbols  = []byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+	dcChromaCounts = [16]int{0, 3, 1, 1, 1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0}
+	dcChromaSyms   = []byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+
+	acLumaCounts = [16]int{0, 2, 1, 3, 3, 2, 4, 3, 5, 5, 4, 4, 0, 0, 1, 0x7D}
+	acLumaSyms   = []byte{
+		0x01, 0x02, 0x03, 0x00, 0x04, 0x11, 0x05, 0x12, 0x21, 0x31, 0x41, 0x06, 0x13, 0x51, 0x61, 0x07,
+		0x22, 0x71, 0x14, 0x32, 0x81, 0x91, 0xA1, 0x08, 0x23, 0x42, 0xB1, 0xC1, 0x15, 0x52, 0xD1, 0xF0,
+		0x24, 0x33, 0x62, 0x72, 0x82, 0x09, 0x0A, 0x16, 0x17, 0x18, 0x19, 0x1A, 0x25, 0x26, 0x27, 0x28,
+		0x29, 0x2A, 0x34, 0x35, 0x36, 0x37, 0x38, 0x39, 0x3A, 0x43, 0x44, 0x45, 0x46, 0x47, 0x48, 0x49,
+		0x4A, 0x53, 0x54, 0x55, 0x56, 0x57, 0x58, 0x59, 0x5A, 0x63, 0x64, 0x65, 0x66, 0x67, 0x68, 0x69,
+		0x6A, 0x73, 0x74, 0x75, 0x76, 0x77, 0x78, 0x79, 0x7A, 0x83, 0x84, 0x85, 0x86, 0x87, 0x88, 0x89,
+		0x8A, 0x92, 0x93, 0x94, 0x95, 0x96, 0x97, 0x98, 0x99, 0x9A, 0xA2, 0xA3, 0xA4, 0xA5, 0xA6, 0xA7,
+		0xA8, 0xA9, 0xAA, 0xB2, 0xB3, 0xB4, 0xB5, 0xB6, 0xB7, 0xB8, 0xB9, 0xBA, 0xC2, 0xC3, 0xC4, 0xC5,
+		0xC6, 0xC7, 0xC8, 0xC9, 0xCA, 0xD2, 0xD3, 0xD4, 0xD5, 0xD6, 0xD7, 0xD8, 0xD9, 0xDA, 0xE1, 0xE2,
+		0xE3, 0xE4, 0xE5, 0xE6, 0xE7, 0xE8, 0xE9, 0xEA, 0xF1, 0xF2, 0xF3, 0xF4, 0xF5, 0xF6, 0xF7, 0xF8,
+		0xF9, 0xFA,
+	}
+	acChromaCounts = [16]int{0, 2, 1, 2, 4, 4, 3, 4, 7, 5, 4, 4, 0, 1, 2, 0x77}
+	acChromaSyms   = []byte{
+		0x00, 0x01, 0x02, 0x03, 0x11, 0x04, 0x05, 0x21, 0x31, 0x06, 0x12, 0x41, 0x51, 0x07, 0x61, 0x71,
+		0x13, 0x22, 0x32, 0x81, 0x08, 0x14, 0x42, 0x91, 0xA1, 0xB1, 0xC1, 0x09, 0x23, 0x33, 0x52, 0xF0,
+		0x15, 0x62, 0x72, 0xD1, 0x0A, 0x16, 0x24, 0x34, 0xE1, 0x25, 0xF1, 0x17, 0x18, 0x19, 0x1A, 0x26,
+		0x27, 0x28, 0x29, 0x2A, 0x35, 0x36, 0x37, 0x38, 0x39, 0x3A, 0x43, 0x44, 0x45, 0x46, 0x47, 0x48,
+		0x49, 0x4A, 0x53, 0x54, 0x55, 0x56, 0x57, 0x58, 0x59, 0x5A, 0x63, 0x64, 0x65, 0x66, 0x67, 0x68,
+		0x69, 0x6A, 0x73, 0x74, 0x75, 0x76, 0x77, 0x78, 0x79, 0x7A, 0x82, 0x83, 0x84, 0x85, 0x86, 0x87,
+		0x88, 0x89, 0x8A, 0x92, 0x93, 0x94, 0x95, 0x96, 0x97, 0x98, 0x99, 0x9A, 0xA2, 0xA3, 0xA4, 0xA5,
+		0xA6, 0xA7, 0xA8, 0xA9, 0xAA, 0xB2, 0xB3, 0xB4, 0xB5, 0xB6, 0xB7, 0xB8, 0xB9, 0xBA, 0xC2, 0xC3,
+		0xC4, 0xC5, 0xC6, 0xC7, 0xC8, 0xC9, 0xCA, 0xD2, 0xD3, 0xD4, 0xD5, 0xD6, 0xD7, 0xD8, 0xD9, 0xDA,
+		0xE2, 0xE3, 0xE4, 0xE5, 0xE6, 0xE7, 0xE8, 0xE9, 0xEA, 0xF2, 0xF3, 0xF4, 0xF5, 0xF6, 0xF7, 0xF8,
+		0xF9, 0xFA,
+	}
+)
+
+// encTable maps symbol → (code, length) for encoding.
+type encTable struct {
+	code [256]uint16
+	size [256]uint8
+}
+
+func newEncTable(counts [16]int, symbols []byte) *encTable {
+	t := &encTable{}
+	code := uint16(0)
+	k := 0
+	for l := 1; l <= 16; l++ {
+		for i := 0; i < counts[l-1]; i++ {
+			s := symbols[k]
+			t.code[s] = code
+			t.size[s] = uint8(l)
+			code++
+			k++
+		}
+		code <<= 1
+	}
+	return t
+}
+
+// bitWriter emits MSB-first bits with JPEG byte stuffing.
+type bitWriter struct {
+	out []byte
+	acc uint32
+	n   int
+}
+
+func (w *bitWriter) write(bits uint32, n int) {
+	for i := n - 1; i >= 0; i-- {
+		w.acc = w.acc<<1 | (bits>>uint(i))&1
+		w.n++
+		if w.n == 8 {
+			b := byte(w.acc)
+			w.out = append(w.out, b)
+			if b == 0xFF {
+				w.out = append(w.out, 0x00)
+			}
+			w.acc, w.n = 0, 0
+		}
+	}
+}
+
+// flush pads the final partial byte with 1-bits (the JPEG convention).
+func (w *bitWriter) flush() {
+	for w.n != 0 {
+		w.write(1, 1)
+	}
+}
+
+// magnitude returns the bit size and offset encoding of v.
+func magnitude(v int32) (size int, bits uint32) {
+	a := v
+	if a < 0 {
+		a = -a
+	}
+	for a > 0 {
+		size++
+		a >>= 1
+	}
+	if v < 0 {
+		bits = uint32(v + (1 << uint(size)) - 1)
+	} else {
+		bits = uint32(v)
+	}
+	return size, bits
+}
+
+// fdct8x8 computes the forward DCT of a level-shifted block.
+func fdct8x8(block *[64]float64) {
+	var tmp [64]float64
+	for y := 0; y < 8; y++ {
+		for u := 0; u < 8; u++ {
+			var s float64
+			for x := 0; x < 8; x++ {
+				s += block[y*8+x] * idctCos[u][x]
+			}
+			tmp[y*8+u] = s * 2 // forward transform uses the transpose × 2
+		}
+	}
+	for u := 0; u < 8; u++ {
+		for v := 0; v < 8; v++ {
+			var s float64
+			for y := 0; y < 8; y++ {
+				s += tmp[y*8+u] * idctCos[v][y]
+			}
+			block[v*8+u] = s / 2
+		}
+	}
+}
+
+// Encode compresses interleaved RGB pixels as a baseline 4:4:4 JPEG.
+func Encode(img *Image, quality int) ([]byte, error) {
+	if img == nil || img.W <= 0 || img.H <= 0 || len(img.Pix) != img.W*img.H*3 {
+		return nil, fmt.Errorf("jpegdec: invalid image for encode")
+	}
+	qLuma := scaleQuant(&baseQuantLuma, quality)
+	qChroma := scaleQuant(&baseQuantChroma, quality)
+
+	var out []byte
+	emit := func(b ...byte) { out = append(out, b...) }
+	emitSeg := func(marker byte, payload []byte) {
+		emit(0xFF, marker)
+		l := len(payload) + 2
+		emit(byte(l>>8), byte(l))
+		emit(payload...)
+	}
+
+	emit(0xFF, 0xD8) // SOI
+	// DQT ×2.
+	for id, q := range [2][64]int32{qLuma, qChroma} {
+		p := make([]byte, 1, 65)
+		p[0] = byte(id)
+		for i := 0; i < 64; i++ {
+			p = append(p, byte(q[zigzag[i]]))
+		}
+		emitSeg(0xDB, p)
+	}
+	// SOF0: three components, 1×1 sampling (4:4:4).
+	sof := []byte{8,
+		byte(img.H >> 8), byte(img.H), byte(img.W >> 8), byte(img.W), 3,
+		1, 0x11, 0, // Y
+		2, 0x11, 1, // Cb
+		3, 0x11, 1, // Cr
+	}
+	emitSeg(0xC0, sof)
+	// DHT ×4.
+	emitDHT := func(class, id byte, counts [16]int, syms []byte) {
+		p := make([]byte, 1, 1+16+len(syms))
+		p[0] = class<<4 | id
+		for _, c := range counts {
+			p = append(p, byte(c))
+		}
+		p = append(p, syms...)
+		emitSeg(0xC4, p)
+	}
+	emitDHT(0, 0, dcLumaCounts, dcLumaSymbols)
+	emitDHT(1, 0, acLumaCounts, acLumaSyms)
+	emitDHT(0, 1, dcChromaCounts, dcChromaSyms)
+	emitDHT(1, 1, acChromaCounts, acChromaSyms)
+	// SOS.
+	emitSeg(0xDA, []byte{3, 1, 0x00, 2, 0x11, 3, 0x11, 0, 63, 0})
+
+	// Entropy-coded data.
+	dcL := newEncTable(dcLumaCounts, dcLumaSymbols)
+	acL := newEncTable(acLumaCounts, acLumaSyms)
+	dcC := newEncTable(dcChromaCounts, dcChromaSyms)
+	acC := newEncTable(acChromaCounts, acChromaSyms)
+	w := &bitWriter{}
+	var dcPred [3]int32
+	mcusX := (img.W + 7) / 8
+	mcusY := (img.H + 7) / 8
+	quants := [3]*[64]int32{&qLuma, &qChroma, &qChroma}
+	dcTabs := [3]*encTable{dcL, dcC, dcC}
+	acTabs := [3]*encTable{acL, acC, acC}
+	for my := 0; my < mcusY; my++ {
+		for mx := 0; mx < mcusX; mx++ {
+			for ci := 0; ci < 3; ci++ {
+				var block [64]float64
+				for y := 0; y < 8; y++ {
+					sy := my*8 + y
+					if sy >= img.H {
+						sy = img.H - 1
+					}
+					for x := 0; x < 8; x++ {
+						sx := mx*8 + x
+						if sx >= img.W {
+							sx = img.W - 1
+						}
+						i := (sy*img.W + sx) * 3
+						r := float64(img.Pix[i])
+						g := float64(img.Pix[i+1])
+						b := float64(img.Pix[i+2])
+						var v float64
+						switch ci {
+						case 0:
+							v = 0.299*r + 0.587*g + 0.114*b
+						case 1:
+							v = -0.168736*r - 0.331264*g + 0.5*b + 128
+						default:
+							v = 0.5*r - 0.418688*g - 0.081312*b + 128
+						}
+						block[y*8+x] = v - 128
+					}
+				}
+				fdct8x8(&block)
+				encodeBlock(w, &block, quants[ci], dcTabs[ci], acTabs[ci], &dcPred[ci])
+			}
+		}
+	}
+	w.flush()
+	out = append(out, w.out...)
+	emit(0xFF, 0xD9) // EOI
+	return out, nil
+}
+
+// encodeBlock quantizes and entropy-codes one transformed block.
+func encodeBlock(w *bitWriter, block *[64]float64, q *[64]int32, dc, ac *encTable, pred *int32) {
+	var coef [64]int32
+	for i := 0; i < 64; i++ {
+		coef[i] = int32(math.Round(block[zigzag[i]] / float64(q[zigzag[i]])))
+	}
+	// DC.
+	diff := coef[0] - *pred
+	*pred = coef[0]
+	size, bits := magnitude(diff)
+	w.write(uint32(dc.code[size]), int(dc.size[size]))
+	if size > 0 {
+		w.write(bits, size)
+	}
+	// AC with run-length and EOB/ZRL.
+	run := 0
+	for k := 1; k < 64; k++ {
+		if coef[k] == 0 {
+			run++
+			continue
+		}
+		for run > 15 {
+			w.write(uint32(ac.code[0xF0]), int(ac.size[0xF0])) // ZRL
+			run -= 16
+		}
+		s, b := magnitude(coef[k])
+		sym := byte(run<<4 | s)
+		w.write(uint32(ac.code[sym]), int(ac.size[sym]))
+		w.write(b, s)
+		run = 0
+	}
+	if run > 0 {
+		w.write(uint32(ac.code[0x00]), int(ac.size[0x00])) // EOB
+	}
+}

@@ -1,0 +1,200 @@
+package jpegdec
+
+import (
+	"bytes"
+	"image/jpeg"
+	"math"
+	"testing"
+
+	"trainbox/internal/imgproc"
+)
+
+// toImage converts an imgproc image into the codec's type.
+func toImage(src *imgproc.Image) *Image {
+	return &Image{W: src.W, H: src.H, Pix: append([]uint8(nil), src.Pix...)}
+}
+
+// mae computes the mean absolute difference between two same-size pixel
+// buffers.
+func mae(a, b []uint8) float64 {
+	var sum float64
+	for i := range a {
+		sum += math.Abs(float64(a[i]) - float64(b[i]))
+	}
+	return sum / float64(len(a))
+}
+
+func TestEncodeDecodableByStdlib(t *testing.T) {
+	src := imgproc.SynthesizeImage(imgproc.SynthConfig{Size: 80, Shapes: 6, Quality: 85}, 2, 4)
+	data, err := Encode(toImage(src), 85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := jpeg.Decode(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("stdlib cannot decode our output: %v", err)
+	}
+	b := ref.Bounds()
+	if b.Dx() != 80 || b.Dy() != 80 {
+		t.Fatalf("stdlib decoded %dx%d", b.Dx(), b.Dy())
+	}
+	// Pixel fidelity vs the source.
+	var sum float64
+	for y := 0; y < 80; y++ {
+		for x := 0; x < 80; x++ {
+			r, g, bl, _ := ref.At(x, y).RGBA()
+			wr, wg, wb := src.At(x, y)
+			sum += math.Abs(float64(r>>8) - float64(wr))
+			sum += math.Abs(float64(g>>8) - float64(wg))
+			sum += math.Abs(float64(bl>>8) - float64(wb))
+		}
+	}
+	if m := sum / (80 * 80 * 3); m > 6 {
+		t.Errorf("stdlib-decoded MAE vs source = %.2f", m)
+	}
+}
+
+func TestEncodeRoundTripOwnDecoder(t *testing.T) {
+	src := imgproc.SynthesizeImage(imgproc.SynthConfig{Size: 64, Shapes: 5, Quality: 90}, 7, 1)
+	data, err := Encode(toImage(src), 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, _, err := Decode(data)
+	if err != nil {
+		t.Fatalf("own decoder rejected own encoder: %v", err)
+	}
+	if back.W != 64 || back.H != 64 {
+		t.Fatalf("round trip size %dx%d", back.W, back.H)
+	}
+	if m := mae(src.Pix, back.Pix); m > 5 {
+		t.Errorf("self round-trip MAE = %.2f", m)
+	}
+}
+
+func TestEncodeQualityControlsSizeAndFidelity(t *testing.T) {
+	src := toImage(imgproc.SynthesizeImage(imgproc.SynthConfig{Size: 96, Shapes: 10, Quality: 85}, 3, 2))
+	lo, err := Encode(src, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := Encode(src, 95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hi) <= len(lo) {
+		t.Errorf("quality 95 (%d bytes) should exceed quality 30 (%d bytes)", len(hi), len(lo))
+	}
+	decLo, _, err := Decode(lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decHi, _, err := Decode(hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mae(src.Pix, decHi.Pix) >= mae(src.Pix, decLo.Pix) {
+		t.Error("higher quality should reduce reconstruction error")
+	}
+}
+
+func TestEncodeOddDimensions(t *testing.T) {
+	src := &Image{W: 13, H: 9, Pix: make([]uint8, 13*9*3)}
+	for i := range src.Pix {
+		src.Pix[i] = uint8(i * 7)
+	}
+	data, err := Encode(src, 85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, _, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.W != 13 || back.H != 9 {
+		t.Fatalf("round trip size %dx%d", back.W, back.H)
+	}
+	if _, err := jpeg.Decode(bytes.NewReader(data)); err != nil {
+		t.Fatalf("stdlib rejected odd-size output: %v", err)
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	if _, err := Encode(nil, 85); err == nil {
+		t.Error("nil image accepted")
+	}
+	if _, err := Encode(&Image{W: 2, H: 2, Pix: make([]uint8, 5)}, 85); err == nil {
+		t.Error("mismatched pixel buffer accepted")
+	}
+}
+
+func TestMagnitude(t *testing.T) {
+	cases := []struct {
+		v    int32
+		size int
+		bits uint32
+	}{
+		{0, 0, 0},
+		{1, 1, 1},
+		{-1, 1, 0},
+		{3, 2, 3},
+		{-3, 2, 0},
+		{7, 3, 7},
+		{-4, 3, 3},
+	}
+	for _, c := range cases {
+		s, b := magnitude(c.v)
+		if s != c.size || b != c.bits {
+			t.Errorf("magnitude(%d) = (%d, %b), want (%d, %b)", c.v, s, b, c.size, c.bits)
+		}
+	}
+}
+
+// TestFDCTInvertsIDCT pins the transform pair: FDCT followed by
+// dequantized IDCT (via the decoder's idct8x8 with a unit quant table)
+// must reproduce the block.
+func TestFDCTInvertsIDCT(t *testing.T) {
+	var block [64]float64
+	for i := range block {
+		block[i] = float64((i*37)%255) - 128
+	}
+	orig := block
+	fdct8x8(&block)
+	var coefs [64]int32
+	for i, v := range block {
+		coefs[i] = int32(math.Round(v * 8)) // ×8 fixed point to keep precision
+	}
+	var out [64]uint8
+	scaled := make([]int32, 64)
+	for i := range scaled {
+		scaled[i] = coefs[i]
+	}
+	// idct8x8 level-shifts by +128 and clamps; invert manually.
+	var fblock [64]int32
+	copy(fblock[:], scaled)
+	dst := make([]uint8, 64)
+	idctScaled(fblock[:], dst, 8)
+	for i := range out {
+		out[i] = dst[i]
+	}
+	for i := range orig {
+		want := orig[i] + 128
+		if math.Abs(float64(out[i])-want) > 1.5 {
+			t.Fatalf("idx %d: round trip %d vs %.1f", i, out[i], want)
+		}
+	}
+}
+
+// idctScaled undoes the ×8 fixed-point scale before the standard IDCT.
+func idctScaled(block []int32, dst []uint8, stride int) {
+	scaled := make([]int32, 64)
+	for i, v := range block {
+		scaled[i] = v
+	}
+	// Divide by 8 in float via a temporary quant of 1/8: easiest is to
+	// scale down the coefficients directly (they are multiples of ~8).
+	for i := range scaled {
+		scaled[i] = int32(math.Round(float64(scaled[i]) / 8))
+	}
+	idct8x8(scaled, dst, stride)
+}

@@ -1,0 +1,246 @@
+package jpegdec
+
+import (
+	"fmt"
+	"math"
+)
+
+// zigzag maps coefficient order in the stream to natural block order.
+var zigzag = [64]int{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+// entropyDecode runs the serial phase: the Huffman walk over every MCU,
+// producing dequantized-later coefficient blocks per component.
+func (d *decoder) entropyDecode() error {
+	mcuW := 8 * d.maxH
+	mcuH := 8 * d.maxV
+	mcusX := (d.width + mcuW - 1) / mcuW
+	mcusY := (d.height + mcuH - 1) / mcuH
+
+	d.coeffs = make([][]int32, len(d.comps))
+	d.bWide = make([]int, len(d.comps))
+	d.bHigh = make([]int, len(d.comps))
+	for i := range d.comps {
+		c := &d.comps[i]
+		c.blocksPerMCU = c.h * c.v
+		d.bWide[i] = mcusX * c.h
+		d.bHigh[i] = mcusY * c.v
+		d.coeffs[i] = make([]int32, d.bWide[i]*d.bHigh[i]*64)
+	}
+
+	r := &bitReader{data: d.data, pos: d.pos}
+	dcPred := make([]int32, len(d.comps))
+	mcu := 0
+	for my := 0; my < mcusY; my++ {
+		for mx := 0; mx < mcusX; mx++ {
+			if d.restart > 0 && mcu > 0 && mcu%d.restart == 0 {
+				if err := d.consumeRestart(r, (mcu/d.restart-1)%8); err != nil {
+					return err
+				}
+				for i := range dcPred {
+					dcPred[i] = 0
+				}
+			}
+			for ci := range d.comps {
+				c := &d.comps[ci]
+				for by := 0; by < c.v; by++ {
+					for bx := 0; bx < c.h; bx++ {
+						bRow := my*c.v + by
+						bCol := mx*c.h + bx
+						block := d.coeffs[ci][(bRow*d.bWide[ci]+bCol)*64 : (bRow*d.bWide[ci]+bCol)*64+64]
+						if err := d.decodeBlock(r, c, &dcPred[ci], block); err != nil {
+							return fmt.Errorf("jpegdec: mcu %d comp %d: %w", mcu, ci, err)
+						}
+					}
+				}
+			}
+			mcu++
+		}
+	}
+	d.pos = r.pos
+	return nil
+}
+
+// consumeRestart expects an aligned RSTn marker.
+func (d *decoder) consumeRestart(r *bitReader, n int) error {
+	r.align()
+	if r.pos+2 > len(r.data) {
+		return fmt.Errorf("jpegdec: truncated restart marker")
+	}
+	if r.data[r.pos] != 0xFF || r.data[r.pos+1] != byte(0xD0+n) {
+		return fmt.Errorf("jpegdec: expected RST%d, got %#x%#x", n, r.data[r.pos], r.data[r.pos+1])
+	}
+	r.pos += 2
+	return nil
+}
+
+// decodeBlock performs the serial Huffman walk for one 8×8 block,
+// writing coefficients in natural order (zigzag applied here).
+func (d *decoder) decodeBlock(r *bitReader, c *component, dcPred *int32, out []int32) error {
+	// DC coefficient.
+	s, err := r.decodeSymbol(d.huffDC[c.dcTableID])
+	if err != nil {
+		return err
+	}
+	if s > 11 {
+		return fmt.Errorf("jpegdec: DC size %d", s)
+	}
+	var diff int32
+	if s > 0 {
+		v, err := r.bits(int(s))
+		if err != nil {
+			return err
+		}
+		diff = extend(v, int(s))
+	}
+	*dcPred += diff
+	out[0] = *dcPred
+
+	// AC coefficients.
+	for k := 1; k < 64; {
+		rs, err := r.decodeSymbol(d.huffAC[c.acTableID])
+		if err != nil {
+			return err
+		}
+		run, size := int(rs>>4), int(rs&0xF)
+		if size == 0 {
+			if run == 15 { // ZRL: sixteen zeros
+				k += 16
+				continue
+			}
+			break // EOB
+		}
+		k += run
+		if k > 63 {
+			return fmt.Errorf("jpegdec: AC index %d out of range", k)
+		}
+		v, err := r.bits(size)
+		if err != nil {
+			return err
+		}
+		out[zigzag[k]] = extend(v, size)
+		k++
+	}
+	return nil
+}
+
+// --- transform phase ---------------------------------------------------
+
+// idctCos[u][x] = cos((2x+1)uπ/16) scaled by the DCT normalization.
+var idctCos [8][8]float64
+
+func init() {
+	for u := 0; u < 8; u++ {
+		cu := 1.0
+		if u == 0 {
+			cu = 1 / math.Sqrt2
+		}
+		for x := 0; x < 8; x++ {
+			idctCos[u][x] = cu / 2 * math.Cos(float64(2*x+1)*float64(u)*math.Pi/16)
+		}
+	}
+}
+
+// idct8x8 computes the 2-D inverse DCT of the dequantized block into the
+// destination plane slice (separable row/column passes).
+func idct8x8(block []int32, dst []uint8, stride int) {
+	var tmp [64]float64
+	// Rows: for each output x within the row, sum over u.
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			var s float64
+			for u := 0; u < 8; u++ {
+				s += idctCos[u][x] * float64(block[y*8+u])
+			}
+			tmp[y*8+x] = s
+		}
+	}
+	// Columns.
+	for x := 0; x < 8; x++ {
+		for y := 0; y < 8; y++ {
+			var s float64
+			for v := 0; v < 8; v++ {
+				s += idctCos[v][y] * tmp[v*8+x]
+			}
+			val := s + 128 // level shift
+			switch {
+			case val < 0:
+				val = 0
+			case val > 255:
+				val = 255
+			}
+			dst[y*stride+x] = uint8(val + 0.5)
+		}
+	}
+}
+
+// transform runs the parallelizable phase: dequantize, IDCT, upsample,
+// and color-convert into interleaved RGB.
+func (d *decoder) transform() *Image {
+	// Per-component planes at full block resolution.
+	planes := make([][]uint8, len(d.comps))
+	strides := make([]int, len(d.comps))
+	for ci := range d.comps {
+		c := &d.comps[ci]
+		strides[ci] = d.bWide[ci] * 8
+		planes[ci] = make([]uint8, strides[ci]*d.bHigh[ci]*8)
+		q := &d.quant[c.quantID]
+		var block [64]int32
+		for bRow := 0; bRow < d.bHigh[ci]; bRow++ {
+			for bCol := 0; bCol < d.bWide[ci]; bCol++ {
+				src := d.coeffs[ci][(bRow*d.bWide[ci]+bCol)*64:]
+				for i := 0; i < 64; i++ {
+					block[i] = src[i] * q[i]
+				}
+				dst := planes[ci][(bRow*8)*strides[ci]+bCol*8:]
+				idct8x8(block[:], dst, strides[ci])
+			}
+		}
+	}
+
+	img := &Image{W: d.width, H: d.height, Pix: make([]uint8, d.width*d.height*3)}
+	if len(d.comps) == 1 {
+		for y := 0; y < d.height; y++ {
+			for x := 0; x < d.width; x++ {
+				g := planes[0][y*strides[0]+x]
+				i := (y*d.width + x) * 3
+				img.Pix[i], img.Pix[i+1], img.Pix[i+2] = g, g, g
+			}
+		}
+		return img
+	}
+	// Upsample chroma by sampling-factor ratio and convert YCbCr→RGB.
+	for y := 0; y < d.height; y++ {
+		for x := 0; x < d.width; x++ {
+			yy := int32(planes[0][(y*d.comps[0].v/d.maxV)*strides[0]+x*d.comps[0].h/d.maxH])
+			cb := int32(planes[1][(y*d.comps[1].v/d.maxV)*strides[1]+x*d.comps[1].h/d.maxH]) - 128
+			cr := int32(planes[2][(y*d.comps[2].v/d.maxV)*strides[2]+x*d.comps[2].h/d.maxH]) - 128
+			r := float64(yy) + 1.402*float64(cr)
+			g := float64(yy) - 0.344136*float64(cb) - 0.714136*float64(cr)
+			b := float64(yy) + 1.772*float64(cb)
+			i := (y*d.width + x) * 3
+			img.Pix[i] = clamp8(r)
+			img.Pix[i+1] = clamp8(g)
+			img.Pix[i+2] = clamp8(b)
+		}
+	}
+	return img
+}
+
+func clamp8(v float64) uint8 {
+	if v <= 0 {
+		return 0
+	}
+	if v >= 255 {
+		return 255
+	}
+	return uint8(v + 0.5)
+}

@@ -1,0 +1,288 @@
+// Package nn implements a small, from-scratch neural network (dense
+// layers, ReLU, softmax cross-entropy, SGD) on float64 slices.
+//
+// Its two jobs in the TrainBox reproduction:
+//
+//  1. demonstrate the paper's Figure 5 claim — training with on-line data
+//     augmentation reaches higher held-out accuracy than training
+//     without it — using the *real* augmentation kernels from
+//     internal/imgproc, and
+//  2. produce genuine gradient vectors for the ring all-reduce in
+//     internal/collective, so model synchronization is exercised on real
+//     data rather than zeros.
+//
+// It is intentionally minimal: the paper treats model computation as a
+// black-box throughput source (TPU measurements); this package only needs
+// to be a correct learner.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Layer is one dense layer with optional ReLU activation.
+type Layer struct {
+	In, Out int
+	// W is row-major Out×In; B has Out entries.
+	W, B []float64
+	ReLU bool
+
+	// Gradients of the last Backward call, same shapes as W and B.
+	GradW, GradB []float64
+
+	// cached forward values
+	lastInput []float64
+	lastPre   []float64
+}
+
+// NewLayer creates a dense layer with He-initialized weights.
+func NewLayer(in, out int, relu bool, rng *rand.Rand) *Layer {
+	l := &Layer{
+		In: in, Out: out, ReLU: relu,
+		W: make([]float64, in*out), B: make([]float64, out),
+		GradW: make([]float64, in*out), GradB: make([]float64, out),
+	}
+	scale := math.Sqrt(2 / float64(in))
+	for i := range l.W {
+		l.W[i] = rng.NormFloat64() * scale
+	}
+	return l
+}
+
+// Forward computes the layer output for one input vector.
+func (l *Layer) Forward(x []float64) []float64 {
+	if len(x) != l.In {
+		panic(fmt.Sprintf("nn: layer expects %d inputs, got %d", l.In, len(x)))
+	}
+	l.lastInput = append(l.lastInput[:0], x...)
+	if cap(l.lastPre) < l.Out {
+		l.lastPre = make([]float64, l.Out)
+	}
+	l.lastPre = l.lastPre[:l.Out]
+	out := make([]float64, l.Out)
+	for o := 0; o < l.Out; o++ {
+		sum := l.B[o]
+		row := l.W[o*l.In : (o+1)*l.In]
+		for i, v := range x {
+			sum += row[i] * v
+		}
+		l.lastPre[o] = sum
+		if l.ReLU && sum < 0 {
+			sum = 0
+		}
+		out[o] = sum
+	}
+	return out
+}
+
+// Backward accumulates gradients for the most recent Forward and returns
+// the gradient with respect to the layer input.
+func (l *Layer) Backward(gradOut []float64) []float64 {
+	if len(gradOut) != l.Out {
+		panic(fmt.Sprintf("nn: layer backward expects %d grads, got %d", l.Out, len(gradOut)))
+	}
+	gradIn := make([]float64, l.In)
+	for o := 0; o < l.Out; o++ {
+		g := gradOut[o]
+		if l.ReLU && l.lastPre[o] <= 0 {
+			g = 0
+		}
+		l.GradB[o] += g
+		row := l.W[o*l.In : (o+1)*l.In]
+		grow := l.GradW[o*l.In : (o+1)*l.In]
+		for i := range row {
+			grow[i] += g * l.lastInput[i]
+			gradIn[i] += g * row[i]
+		}
+	}
+	return gradIn
+}
+
+// ZeroGrad clears accumulated gradients.
+func (l *Layer) ZeroGrad() {
+	for i := range l.GradW {
+		l.GradW[i] = 0
+	}
+	for i := range l.GradB {
+		l.GradB[i] = 0
+	}
+}
+
+// Step applies SGD with the given learning rate, scaling gradients by
+// 1/batch.
+func (l *Layer) Step(lr float64, batch int) {
+	scale := lr / float64(batch)
+	for i := range l.W {
+		l.W[i] -= scale * l.GradW[i]
+	}
+	for i := range l.B {
+		l.B[i] -= scale * l.GradB[i]
+	}
+}
+
+// Network is a feed-forward stack of dense layers ending in logits.
+type Network struct {
+	Layers []*Layer
+}
+
+// NewMLP builds a multilayer perceptron with the given layer widths;
+// hidden layers use ReLU, the final layer emits logits.
+func NewMLP(widths []int, rng *rand.Rand) *Network {
+	if len(widths) < 2 {
+		panic("nn: MLP needs at least input and output widths")
+	}
+	net := &Network{}
+	for i := 0; i+1 < len(widths); i++ {
+		relu := i+2 < len(widths)
+		net.Layers = append(net.Layers, NewLayer(widths[i], widths[i+1], relu, rng))
+	}
+	return net
+}
+
+// Forward runs the network and returns the logits.
+func (n *Network) Forward(x []float64) []float64 {
+	for _, l := range n.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Softmax returns the softmax of logits (numerically stabilized).
+func Softmax(logits []float64) []float64 {
+	maxV := math.Inf(-1)
+	for _, v := range logits {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	out := make([]float64, len(logits))
+	var sum float64
+	for i, v := range logits {
+		out[i] = math.Exp(v - maxV)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// LossAndBackward computes softmax cross-entropy loss against the label,
+// backpropagates, and accumulates gradients. Forward must have been
+// called for this sample immediately before.
+func (n *Network) LossAndBackward(logits []float64, label int) float64 {
+	probs := Softmax(logits)
+	loss := -math.Log(math.Max(probs[label], 1e-12))
+	grad := append([]float64(nil), probs...)
+	grad[label] -= 1
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		grad = n.Layers[i].Backward(grad)
+	}
+	return loss
+}
+
+// ZeroGrad clears all layer gradients.
+func (n *Network) ZeroGrad() {
+	for _, l := range n.Layers {
+		l.ZeroGrad()
+	}
+}
+
+// Step applies SGD to every layer.
+func (n *Network) Step(lr float64, batch int) {
+	for _, l := range n.Layers {
+		l.Step(lr, batch)
+	}
+}
+
+// Predict returns the argmax class of the logits for x.
+func (n *Network) Predict(x []float64) int {
+	logits := n.Forward(x)
+	best := 0
+	for i, v := range logits {
+		if v > logits[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// NumParams returns the total learnable parameter count.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, l := range n.Layers {
+		total += len(l.W) + len(l.B)
+	}
+	return total
+}
+
+// Gradients flattens all accumulated gradients into one vector, the unit
+// of model synchronization. Layout: layer0.W, layer0.B, layer1.W, …
+func (n *Network) Gradients() []float64 {
+	out := make([]float64, 0, n.NumParams())
+	for _, l := range n.Layers {
+		out = append(out, l.GradW...)
+		out = append(out, l.GradB...)
+	}
+	return out
+}
+
+// SetGradients overwrites accumulated gradients from a flat vector with
+// the Gradients layout; it is how synchronized gradients are written back
+// after all-reduce.
+func (n *Network) SetGradients(flat []float64) error {
+	if len(flat) != n.NumParams() {
+		return fmt.Errorf("nn: gradient vector has %d entries, want %d", len(flat), n.NumParams())
+	}
+	off := 0
+	for _, l := range n.Layers {
+		off += copy(l.GradW, flat[off:off+len(l.GradW)])
+		off += copy(l.GradB, flat[off:off+len(l.GradB)])
+	}
+	return nil
+}
+
+// Sample is one training example.
+type Sample struct {
+	X     []float64
+	Label int
+}
+
+// TrainEpoch runs one epoch of minibatch SGD over samples (in order) and
+// returns the mean loss.
+func (n *Network) TrainEpoch(samples []Sample, batch int, lr float64) float64 {
+	if batch <= 0 {
+		batch = 1
+	}
+	var total float64
+	for start := 0; start < len(samples); start += batch {
+		end := start + batch
+		if end > len(samples) {
+			end = len(samples)
+		}
+		n.ZeroGrad()
+		for _, s := range samples[start:end] {
+			logits := n.Forward(s.X)
+			total += n.LossAndBackward(logits, s.Label)
+		}
+		n.Step(lr, end-start)
+	}
+	return total / float64(len(samples))
+}
+
+// Accuracy returns the fraction of samples the network classifies
+// correctly.
+func (n *Network) Accuracy(samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, s := range samples {
+		if n.Predict(s.X) == s.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(samples))
+}

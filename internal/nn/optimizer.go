@@ -1,0 +1,98 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// SGD is a stateful optimizer with optional momentum and L2 weight decay
+// — the update rule of the paper's workloads (large-minibatch SGD per
+// Goyal et al. [13], which the paper cites for its batch-size argument).
+type SGD struct {
+	// LR is the learning rate.
+	LR float64
+	// Momentum is the velocity coefficient (0 = plain SGD).
+	Momentum float64
+	// WeightDecay is the L2 coefficient applied to weights (not biases).
+	WeightDecay float64
+
+	velocity [][]float64 // per layer: W then B, lazily initialized
+}
+
+// NewSGD constructs an optimizer.
+func NewSGD(lr, momentum, weightDecay float64) (*SGD, error) {
+	if lr <= 0 {
+		return nil, fmt.Errorf("nn: learning rate %v must be positive", lr)
+	}
+	if momentum < 0 || momentum >= 1 {
+		return nil, fmt.Errorf("nn: momentum %v outside [0,1)", momentum)
+	}
+	if weightDecay < 0 {
+		return nil, fmt.Errorf("nn: weight decay %v must be non-negative", weightDecay)
+	}
+	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay}, nil
+}
+
+// Step applies one update from the network's accumulated gradients,
+// scaled by 1/batch, and leaves the gradients untouched (call ZeroGrad
+// before the next accumulation as usual).
+func (o *SGD) Step(n *Network, batch int) {
+	if batch <= 0 {
+		batch = 1
+	}
+	if o.velocity == nil {
+		o.velocity = make([][]float64, 2*len(n.Layers))
+		for i, l := range n.Layers {
+			o.velocity[2*i] = make([]float64, len(l.W))
+			o.velocity[2*i+1] = make([]float64, len(l.B))
+		}
+	}
+	inv := 1 / float64(batch)
+	for i, l := range n.Layers {
+		vw, vb := o.velocity[2*i], o.velocity[2*i+1]
+		for j := range l.W {
+			g := l.GradW[j]*inv + o.WeightDecay*l.W[j]
+			vw[j] = o.Momentum*vw[j] + g
+			l.W[j] -= o.LR * vw[j]
+		}
+		for j := range l.B {
+			g := l.GradB[j] * inv
+			vb[j] = o.Momentum*vb[j] + g
+			l.B[j] -= o.LR * vb[j]
+		}
+	}
+}
+
+// VelocityNorm returns the L2 norm of the optimizer state (diagnostics).
+func (o *SGD) VelocityNorm() float64 {
+	var s float64
+	for _, v := range o.velocity {
+		for _, x := range v {
+			s += x * x
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// TrainEpochWith runs one epoch of minibatch SGD with the optimizer and
+// returns the mean loss (the optimizer-parameterized version of
+// TrainEpoch).
+func (n *Network) TrainEpochWith(samples []Sample, batch int, opt *SGD) float64 {
+	if batch <= 0 {
+		batch = 1
+	}
+	var total float64
+	for start := 0; start < len(samples); start += batch {
+		end := start + batch
+		if end > len(samples) {
+			end = len(samples)
+		}
+		n.ZeroGrad()
+		for _, s := range samples[start:end] {
+			logits := n.Forward(s.X)
+			total += n.LossAndBackward(logits, s.Label)
+		}
+		opt.Step(n, end-start)
+	}
+	return total / float64(len(samples))
+}

@@ -1,0 +1,126 @@
+package pcie
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestAssignAddressesDisjointAndNested(t *testing.T) {
+	topo, ids := buildTestTree(t)
+	m := topo.AssignAddresses()
+
+	// Endpoint windows are pairwise disjoint.
+	endpoints := []NodeID{ids["ssd0"], ids["acc0"], ids["acc1"], ids["fpga0"]}
+	for i := range endpoints {
+		for j := i + 1; j < len(endpoints); j++ {
+			a, b := m.Range(endpoints[i]), m.Range(endpoints[j])
+			if a.Base < b.End() && b.Base < a.End() {
+				t.Fatalf("windows overlap: %+v and %+v", a, b)
+			}
+		}
+	}
+	// A switch's window covers each of its children.
+	for _, pair := range [][2]string{{"sw0", "ssd0"}, {"sw0", "acc0"}, {"sw1", "sw2"}, {"sw2", "fpga0"}} {
+		parent, child := m.Range(ids[pair[0]]), m.Range(ids[pair[1]])
+		if child.Base < parent.Base || child.End() > parent.End() {
+			t.Errorf("%s window %+v not inside %s window %+v", pair[1], child, pair[0], parent)
+		}
+	}
+	// Page zero stays unmapped.
+	if _, err := m.Owner(0); err == nil {
+		t.Error("address 0 should be unmapped")
+	}
+}
+
+func TestOwnerResolvesEveryEndpointAddress(t *testing.T) {
+	topo, ids := buildTestTree(t)
+	m := topo.AssignAddresses()
+	for _, name := range []string{"ssd0", "acc0", "acc1", "fpga0"} {
+		id := ids[name]
+		r := m.Range(id)
+		for _, addr := range []uint64{r.Base, r.Base + r.Size/2, r.End() - 1} {
+			owner, err := m.Owner(addr)
+			if err != nil {
+				t.Fatalf("%s addr %#x: %v", name, addr, err)
+			}
+			if owner != id {
+				t.Fatalf("%s addr %#x resolved to node %d", name, addr, owner)
+			}
+		}
+	}
+	if _, err := m.Owner(1 << 60); err == nil {
+		t.Error("out-of-map address resolved")
+	}
+}
+
+// TestRouteByAddressEqualsTreeRoute is the defining property: forwarding
+// by destination address through switch windows produces exactly the
+// tree path — which is why P2P traffic that stays under one switch never
+// reaches the root complex.
+func TestRouteByAddressEqualsTreeRoute(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		topo, devs := randomFanTree(2+r.Intn(3), 2+r.Intn(4))
+		m := topo.AssignAddresses()
+		src := devs[r.Intn(len(devs))]
+		dst := devs[r.Intn(len(devs))]
+		addr := m.Range(dst).Base + uint64(r.Intn(int(m.Range(dst).Size)))
+		got, err := m.RouteByAddress(src, addr)
+		if err != nil {
+			return false
+		}
+		want := topo.Route(src, dst)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 80,
+		Values: func(vals []reflect.Value, _ *rand.Rand) {
+			vals[0] = reflect.ValueOf(rng.Int63())
+		},
+	}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRouteByAddressLocalP2PSkipsRoot(t *testing.T) {
+	topo, ids := buildTestTree(t)
+	m := topo.AssignAddresses()
+	// ssd0 → acc0 live under sw0: the address route must not include
+	// any root-adjacent link.
+	segs, err := m.RouteByAddress(ids["ssd0"], m.Range(ids["acc0"]).Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range segs {
+		if topo.Node(s.Link).Parent == topo.Root() {
+			t.Fatalf("local P2P route crossed the root: %v", segs)
+		}
+	}
+	if _, err := m.RouteByAddress(ids["ssd0"], 0); err == nil {
+		t.Error("unmapped destination accepted")
+	}
+}
+
+func TestRouteByAddressSelf(t *testing.T) {
+	topo, ids := buildTestTree(t)
+	m := topo.AssignAddresses()
+	segs, err := m.RouteByAddress(ids["acc0"], m.Range(ids["acc0"]).Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 0 {
+		t.Errorf("self route = %v, want empty", segs)
+	}
+}

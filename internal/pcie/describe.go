@@ -1,0 +1,46 @@
+package pcie
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Describe renders the topology as an indented ASCII tree with link
+// bandwidths — the operator's view of a built server.
+func (t *Topology) Describe() string {
+	var sb strings.Builder
+	var walk func(id NodeID, depth int)
+	walk = func(id NodeID, depth int) {
+		n := t.nodes[id]
+		indent := strings.Repeat("  ", depth)
+		if id == t.root {
+			fmt.Fprintf(&sb, "%s%s [%s]\n", indent, n.Name, n.Kind)
+		} else {
+			fmt.Fprintf(&sb, "%s%s [%s] ↕ %v\n", indent, n.Name, n.Kind, t.links[id].Bandwidth)
+		}
+		for _, c := range n.children {
+			walk(c, depth+1)
+		}
+	}
+	walk(t.root, 0)
+	return sb.String()
+}
+
+// Stats summarizes the topology: node counts by kind and tree depth.
+type Stats struct {
+	Nodes    int
+	ByKind   map[NodeKind]int
+	MaxDepth int
+}
+
+// Summarize computes topology statistics.
+func (t *Topology) Summarize() Stats {
+	s := Stats{Nodes: len(t.nodes), ByKind: map[NodeKind]int{}}
+	for _, n := range t.nodes {
+		s.ByKind[n.Kind]++
+		if n.depth > s.MaxDepth {
+			s.MaxDepth = n.depth
+		}
+	}
+	return s
+}

@@ -1,0 +1,46 @@
+package pcie_test
+
+import (
+	"fmt"
+
+	"trainbox/internal/pcie"
+)
+
+// ExampleTopology_RouteCrossesRoot shows the locality property TrainBox's
+// clustering exploits: a transfer between devices under the same switch
+// never reaches the root complex.
+func ExampleTopology_RouteCrossesRoot() {
+	b := pcie.NewBuilder(pcie.Gen3)
+	rc := b.Root("rc")
+	box := b.Switch(rc, "trainbox0")
+	ssd := b.Device(box, pcie.KindSSD, "ssd")
+	fpga := b.Device(box, pcie.KindPrepAccel, "fpga")
+	other := b.Switch(rc, "trainbox1")
+	accFar := b.Device(other, pcie.KindNNAccel, "acc-far")
+	topo := b.Build()
+
+	fmt.Println("in-box:", topo.RouteCrossesRoot(ssd, fpga))
+	fmt.Println("cross-box:", topo.RouteCrossesRoot(ssd, accFar))
+	// Output:
+	// in-box: false
+	// cross-box: true
+}
+
+// ExampleTopology_MaxMinFair allocates a shared uplink between two flows.
+func ExampleTopology_MaxMinFair() {
+	b := pcie.NewBuilder(pcie.Gen3)
+	rc := b.Root("rc")
+	sw := b.Switch(rc, "sw")
+	src := b.Device(sw, pcie.KindSSD, "src")
+	a := b.Device(rc, pcie.KindNNAccel, "a")
+	c := b.Device(rc, pcie.KindNNAccel, "c")
+	topo := b.Build()
+
+	rates := topo.MaxMinFair([]pcie.Flow{
+		{Src: src, Dst: a, Weight: 1},
+		{Src: src, Dst: c, Weight: 1},
+	})
+	fmt.Println(rates.Rates[0], rates.Rates[1])
+	// Output:
+	// 8.00 GB/s 8.00 GB/s
+}

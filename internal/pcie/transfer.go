@@ -1,0 +1,122 @@
+package pcie
+
+import (
+	"math"
+
+	"trainbox/internal/sim"
+	"trainbox/internal/units"
+)
+
+// Network is a flow-level discrete-event simulation of transfers over a
+// Topology. Active transfers share directional link bandwidth max-min
+// fairly; every transfer start or completion recomputes the allocation
+// and reschedules completion events. This is the standard fluid-flow
+// abstraction: accurate for throughput questions (which is all training
+// cares about, per Section VI-A of the paper) without simulating packets.
+type Network struct {
+	eng  *sim.Engine
+	topo *Topology
+
+	active []*transfer
+
+	// BytesMoved accumulates completed-transfer volume for reporting.
+	BytesMoved sim.Counter
+	// Completed counts finished transfers.
+	Completed int
+}
+
+type transfer struct {
+	src, dst   NodeID
+	total      float64 // original bytes
+	remaining  float64 // bytes
+	rate       float64 // bytes/sec under current allocation
+	updated    float64 // sim time of last remaining-bytes update
+	done       func()
+	completion *sim.Event
+}
+
+// NewNetwork creates a transfer simulator over topo driven by eng.
+func NewNetwork(eng *sim.Engine, topo *Topology) *Network {
+	return &Network{eng: eng, topo: topo}
+}
+
+// Start begins a transfer of the given volume from src to dst; done (may
+// be nil) runs at completion time. Zero-byte or same-node transfers
+// complete after zero simulated delay (still asynchronously, preserving
+// event ordering).
+func (n *Network) Start(src, dst NodeID, bytes units.Bytes, done func()) {
+	if bytes <= 0 || src == dst {
+		n.eng.After(0, func() {
+			n.Completed++
+			if done != nil {
+				done()
+			}
+		})
+		return
+	}
+	tr := &transfer{src: src, dst: dst, total: float64(bytes), remaining: float64(bytes), updated: n.eng.Now(), done: done}
+	n.active = append(n.active, tr)
+	n.reallocate()
+}
+
+// Active reports the number of in-flight transfers.
+func (n *Network) Active() int { return len(n.active) }
+
+// reallocate advances progress of every active transfer, recomputes fair
+// rates, and reschedules completions.
+func (n *Network) reallocate() {
+	now := n.eng.Now()
+	for _, tr := range n.active {
+		tr.remaining -= tr.rate * (now - tr.updated)
+		if tr.remaining < 0 {
+			tr.remaining = 0
+		}
+		tr.updated = now
+		if tr.completion != nil {
+			n.eng.Cancel(tr.completion)
+			tr.completion = nil
+		}
+	}
+
+	flows := make([]Flow, len(n.active))
+	for i, tr := range n.active {
+		flows[i] = Flow{Src: tr.src, Dst: tr.dst, Weight: 1}
+	}
+	rates := n.topo.MaxMinFair(flows)
+
+	for i, tr := range n.active {
+		tr.rate = float64(rates.Rates[i])
+		var dt float64
+		if math.IsInf(tr.rate, 1) {
+			dt = 0
+		} else if tr.rate <= 0 {
+			// No capacity at all — leave the transfer stalled; a later
+			// reallocation may revive it. (Cannot happen on Builder
+			// topologies, which require positive bandwidth.)
+			continue
+		} else {
+			dt = tr.remaining / tr.rate
+		}
+		tr.completion = n.eng.After(dt, n.completer(tr))
+	}
+}
+
+// completer returns the completion action for tr.
+func (n *Network) completer(tr *transfer) func() {
+	return func() {
+		// Remove tr from the active set.
+		for i, a := range n.active {
+			if a == tr {
+				n.active = append(n.active[:i], n.active[i+1:]...)
+				break
+			}
+		}
+		n.BytesMoved.Add(tr.total)
+		n.Completed++
+		tr.completion = nil
+		n.reallocate()
+		if tr.done != nil {
+			tr.done()
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format (the JSON
+// array form loadable in chrome://tracing and Perfetto).
+type chromeEvent struct {
+	Name  string  `json:"name"`
+	Phase string  `json:"ph"`
+	TS    float64 `json:"ts"`  // microseconds
+	Dur   float64 `json:"dur"` // microseconds
+	PID   int     `json:"pid"`
+	TID   int     `json:"tid"`
+}
+
+// ChromeTrace serializes spans (seconds) as Chrome trace-event JSON,
+// one thread lane per span lane, so pipeline timelines from the DES
+// replays can be inspected in chrome://tracing or Perfetto.
+func ChromeTrace(spans []Span) ([]byte, error) {
+	lanes := map[string]int{}
+	var laneNames []string
+	for _, s := range spans {
+		if _, ok := lanes[s.Lane]; !ok {
+			lanes[s.Lane] = len(laneNames)
+			laneNames = append(laneNames, s.Lane)
+		}
+	}
+	events := make([]chromeEvent, 0, len(spans))
+	for _, s := range spans {
+		if s.End < s.Start {
+			return nil, fmt.Errorf("report: span on %q ends before it starts", s.Lane)
+		}
+		events = append(events, chromeEvent{
+			Name:  s.Lane,
+			Phase: "X",
+			TS:    s.Start * 1e6,
+			Dur:   (s.End - s.Start) * 1e6,
+			PID:   1,
+			TID:   lanes[s.Lane],
+		})
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].TS < events[j].TS })
+
+	// Assemble: metadata first, then duration events.
+	out := []any{}
+	for _, name := range laneNames {
+		out = append(out, map[string]any{
+			"name": "thread_name", "ph": "M", "pid": 1, "tid": lanes[name],
+			"args": map[string]string{"name": name},
+		})
+	}
+	for _, e := range events {
+		out = append(out, e)
+	}
+	return json.MarshalIndent(out, "", " ")
+}

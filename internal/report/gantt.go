@@ -1,0 +1,85 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Span is one activity interval on a Gantt lane.
+type Span struct {
+	Lane  string
+	Start float64
+	End   float64
+}
+
+// Gantt renders spans as an ASCII timeline, one lane per distinct Lane
+// value (in first-appearance order), scaled to the given width. It is
+// used to visualize the overlapped training pipeline (prep for batch i+1
+// against compute for batch i).
+func Gantt(title string, spans []Span, width int) string {
+	if width <= 0 || len(spans) == 0 {
+		return ""
+	}
+	var lanes []string
+	seen := map[string]bool{}
+	var tMin, tMax float64 = math.Inf(1), math.Inf(-1)
+	for _, s := range spans {
+		if !seen[s.Lane] {
+			seen[s.Lane] = true
+			lanes = append(lanes, s.Lane)
+		}
+		if s.Start < tMin {
+			tMin = s.Start
+		}
+		if s.End > tMax {
+			tMax = s.End
+		}
+	}
+	if tMax <= tMin {
+		return ""
+	}
+	laneW := 0
+	for _, l := range lanes {
+		if len([]rune(l)) > laneW {
+			laneW = len([]rune(l))
+		}
+	}
+	scale := func(t float64) int {
+		p := int(math.Round((t - tMin) / (tMax - tMin) * float64(width)))
+		if p < 0 {
+			p = 0
+		}
+		if p > width {
+			p = width
+		}
+		return p
+	}
+	bySpanStart := append([]Span(nil), spans...)
+	sort.SliceStable(bySpanStart, func(i, j int) bool { return bySpanStart[i].Start < bySpanStart[j].Start })
+
+	rows := map[string][]rune{}
+	for _, l := range lanes {
+		rows[l] = []rune(strings.Repeat(".", width))
+	}
+	for _, s := range bySpanStart {
+		row := rows[s.Lane]
+		from, to := scale(s.Start), scale(s.End)
+		if to == from {
+			to = from + 1
+		}
+		for i := from; i < to && i < width; i++ {
+			row[i] = '#'
+		}
+	}
+	var sb strings.Builder
+	if title != "" {
+		fmt.Fprintf(&sb, "-- %s --\n", title)
+	}
+	for _, l := range lanes {
+		fmt.Fprintf(&sb, "%-*s |%s|\n", laneW, l, string(rows[l]))
+	}
+	fmt.Fprintf(&sb, "%-*s  %-10.4g%*s\n", laneW, "t(s)", tMin, width-8, fmt.Sprintf("%.4g", tMax))
+	return sb.String()
+}

@@ -1,0 +1,147 @@
+// Package sim implements a small discrete-event simulation engine used by
+// the TrainBox system model to cross-check the analytical throughput
+// solver with an event-level replay of the same flows.
+//
+// The engine is callback-based: events are closures scheduled at absolute
+// simulated times. Helper types (Resource, Queue, Stats) build common
+// queueing-model structure on top of the raw event loop. The engine is
+// deterministic: ties in time are broken by insertion order.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled closure. It runs at its Time with the engine clock
+// already advanced.
+type Event struct {
+	Time   float64 // absolute simulated seconds
+	Action func()
+
+	seq   uint64 // insertion order, breaks ties deterministically
+	index int    // heap bookkeeping; -1 when not queued
+}
+
+// eventHeap orders events by (Time, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].Time != h[j].Time {
+		return h[i].Time < h[j].Time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation driver. The zero value is not
+// ready; use NewEngine.
+type Engine struct {
+	now     float64
+	queue   eventHeap
+	nextSeq uint64
+	steps   uint64
+	maxStep uint64 // safety bound; 0 = unlimited
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current simulated time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Steps reports how many events have been executed.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// SetStepLimit bounds the number of events Run will execute; exceeding it
+// makes Run return an error. Zero disables the bound.
+func (e *Engine) SetStepLimit(n uint64) { e.maxStep = n }
+
+// At schedules action to run at absolute time t. Scheduling in the past
+// panics: it is always a model bug.
+func (e *Engine) At(t float64, action func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
+	}
+	if math.IsNaN(t) {
+		panic("sim: scheduling at NaN time")
+	}
+	ev := &Event{Time: t, Action: action, seq: e.nextSeq}
+	e.nextSeq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules action to run d seconds from now. Negative delays panic.
+func (e *Engine) After(d float64, action func()) *Event {
+	return e.At(e.now+d, action)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op and returns false.
+func (e *Engine) Cancel(ev *Event) bool {
+	if ev == nil || ev.index < 0 || ev.index >= len(e.queue) || e.queue[ev.index] != ev {
+		return false
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+	return true
+}
+
+// Run executes events until the queue is empty or until the optional step
+// limit is exceeded (returned as an error).
+func (e *Engine) Run() error {
+	for len(e.queue) > 0 {
+		if e.maxStep != 0 && e.steps >= e.maxStep {
+			return fmt.Errorf("sim: step limit %d exceeded at t=%g", e.maxStep, e.now)
+		}
+		ev := heap.Pop(&e.queue).(*Event)
+		e.now = ev.Time
+		e.steps++
+		ev.Action()
+	}
+	return nil
+}
+
+// RunUntil executes events with time ≤ deadline, then advances the clock
+// to the deadline. Remaining events stay queued.
+func (e *Engine) RunUntil(deadline float64) error {
+	for len(e.queue) > 0 && e.queue[0].Time <= deadline {
+		if e.maxStep != 0 && e.steps >= e.maxStep {
+			return fmt.Errorf("sim: step limit %d exceeded at t=%g", e.maxStep, e.now)
+		}
+		ev := heap.Pop(&e.queue).(*Event)
+		e.now = ev.Time
+		e.steps++
+		ev.Action()
+	}
+	if deadline > e.now {
+		e.now = deadline
+	}
+	return nil
+}
+
+// Pending reports the number of events still queued.
+func (e *Engine) Pending() int { return len(e.queue) }

@@ -1,0 +1,308 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []float64
+	for _, d := range []float64{3, 1, 2, 1.5} {
+		d := d
+		e.At(d, func() { order = append(order, d) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 1.5, 2, 3}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order[%d] = %v, want %v (full: %v)", i, order[i], v, order)
+		}
+	}
+	if e.Now() != 3 {
+		t.Errorf("Now() = %v, want 3", e.Now())
+	}
+}
+
+func TestEngineTieBreakIsInsertionOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break violated at %d: got %v", i, order)
+		}
+	}
+}
+
+func TestEngineAfterChainsRelativeDelays(t *testing.T) {
+	e := NewEngine()
+	var finished float64
+	e.After(1, func() {
+		e.After(2, func() {
+			finished = e.Now()
+		})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if finished != 3 {
+		t.Errorf("nested After finished at %v, want 3", finished)
+	}
+}
+
+func TestEngineSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(2, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(1, func() {})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineNaNTimePanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("NaN time did not panic")
+		}
+	}()
+	e.At(math.NaN(), func() {})
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.At(1, func() { fired = true })
+	if !e.Cancel(ev) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if e.Cancel(ev) {
+		t.Error("double Cancel returned true")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Error("cancelled event fired")
+	}
+}
+
+func TestEngineCancelMiddleOfHeap(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	evs := make([]*Event, 5)
+	for i := 0; i < 5; i++ {
+		i := i
+		evs[i] = e.At(float64(i), func() { order = append(order, i) })
+	}
+	e.Cancel(evs[2])
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 3, 4}
+	if len(order) != len(want) {
+		t.Fatalf("got %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("got %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEngineStepLimit(t *testing.T) {
+	e := NewEngine()
+	e.SetStepLimit(10)
+	var tick func()
+	tick = func() { e.After(1, tick) }
+	e.After(1, tick)
+	if err := e.Run(); err == nil {
+		t.Fatal("unbounded self-rescheduling did not hit step limit")
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var count int
+	for i := 1; i <= 10; i++ {
+		e.At(float64(i), func() { count++ })
+	}
+	if err := e.RunUntil(5); err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Errorf("events run = %d, want 5", count)
+	}
+	if e.Now() != 5 {
+		t.Errorf("Now() = %v, want 5", e.Now())
+	}
+	if e.Pending() != 5 {
+		t.Errorf("Pending() = %d, want 5", e.Pending())
+	}
+}
+
+func TestResourceSerializesAtCapacity(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "cpu", 2)
+	var completions []float64
+	for i := 0; i < 4; i++ {
+		r.Use(1, 10, func() { completions = append(completions, e.Now()) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Two run at [0,10), the next two at [10,20).
+	want := []float64{10, 10, 20, 20}
+	if len(completions) != 4 {
+		t.Fatalf("completions = %v", completions)
+	}
+	for i, w := range want {
+		if completions[i] != w {
+			t.Fatalf("completion[%d] = %v, want %v", i, completions[i], w)
+		}
+	}
+}
+
+func TestResourceFIFOHeadOfLineBlocking(t *testing.T) {
+	// A 2-unit request at the head must not be bypassed by a later 1-unit
+	// request even when one unit is free.
+	e := NewEngine()
+	r := NewResource(e, "link", 2)
+	var order []string
+	r.Use(1, 5, nil) // holds one unit until t=5
+	r.Acquire(2, func() {
+		order = append(order, "big")
+		e.After(1, func() { r.Release(2) })
+	})
+	r.Acquire(1, func() { order = append(order, "small") })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "big" || order[1] != "small" {
+		t.Fatalf("grant order = %v, want [big small]", order)
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "cpu", 4)
+	r.Use(4, 10, nil)
+	e.At(20, func() {}) // extend simulated time to 20
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Busy 4/4 for 10 s of 20 s -> 50%.
+	if got := r.Utilization(); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("Utilization = %v, want 0.5", got)
+	}
+}
+
+func TestResourceMeanWait(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "one", 1)
+	r.Use(1, 10, nil)
+	r.Use(1, 10, nil) // waits 10
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.MeanWait(); math.Abs(got-5) > 1e-9 {
+		t.Errorf("MeanWait = %v, want 5", got)
+	}
+}
+
+func TestResourceInvalidOps(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "x", 2)
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("over-capacity acquire", func() { r.Acquire(3, func() {}) })
+	mustPanic("zero acquire", func() { r.Acquire(0, func() {}) })
+	mustPanic("over-release", func() { r.Release(1) })
+	mustPanic("zero capacity", func() { NewResource(e, "y", 0) })
+}
+
+func TestStatsSummary(t *testing.T) {
+	var s Stats
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		s.Observe(v)
+	}
+	if s.N() != 5 || s.Sum() != 15 || s.Mean() != 3 || s.Min() != 1 || s.Max() != 5 {
+		t.Errorf("summary wrong: n=%d sum=%v mean=%v min=%v max=%v",
+			s.N(), s.Sum(), s.Mean(), s.Min(), s.Max())
+	}
+	if got := s.Percentile(50); got != 3 {
+		t.Errorf("P50 = %v, want 3", got)
+	}
+	if got := s.Percentile(100); got != 5 {
+		t.Errorf("P100 = %v, want 5", got)
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Errorf("P0 = %v, want 1", got)
+	}
+	wantSD := math.Sqrt(2) // population stddev of 1..5
+	if math.Abs(s.StdDev()-wantSD) > 1e-9 {
+		t.Errorf("StdDev = %v, want %v", s.StdDev(), wantSD)
+	}
+}
+
+func TestStatsPropertyMeanWithinBounds(t *testing.T) {
+	f := func(vals []float64) bool {
+		var s Stats
+		any := false
+		for _, v := range vals {
+			// Huge magnitudes overflow the running sum; the models only
+			// ever observe physically-sized quantities.
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e18 {
+				continue
+			}
+			s.Observe(v)
+			any = true
+		}
+		if !any {
+			return true
+		}
+		return s.Mean() >= s.Min()-1e-9*math.Abs(s.Min()) &&
+			s.Mean() <= s.Max()+1e-9*math.Abs(s.Max())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCounterRate(t *testing.T) {
+	var c Counter
+	c.Add(100)
+	c.Add(50)
+	if c.Total() != 150 {
+		t.Errorf("Total = %v", c.Total())
+	}
+	if c.Rate(3) != 50 {
+		t.Errorf("Rate = %v, want 50", c.Rate(3))
+	}
+	if c.Rate(0) != 0 {
+		t.Errorf("Rate(0) = %v, want 0", c.Rate(0))
+	}
+}

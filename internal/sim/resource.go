@@ -1,0 +1,120 @@
+package sim
+
+import "fmt"
+
+// Resource models a server with integer capacity (e.g. CPU cores, FPGA
+// engines, SSD command slots). Requests acquire one or more units, hold
+// them for a service time, and release. Waiters are served FIFO.
+type Resource struct {
+	eng      *Engine
+	name     string
+	capacity int
+	inUse    int
+	waiters  []*acquire
+
+	// Utilization accounting.
+	busyIntegral float64 // ∫ inUse dt
+	lastChange   float64
+	grants       uint64
+	waitTotal    float64 // summed queueing delay
+}
+
+type acquire struct {
+	units int
+	grant func()
+	at    float64
+}
+
+// NewResource creates a resource with the given unit capacity.
+func NewResource(eng *Engine, name string, capacity int) *Resource {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("sim: resource %q capacity must be positive", name))
+	}
+	return &Resource{eng: eng, name: name, capacity: capacity, lastChange: eng.Now()}
+}
+
+// Name returns the resource name.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity returns the unit capacity.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Acquire requests units; grant runs (possibly immediately, synchronously)
+// once they are available. Requests exceeding total capacity panic.
+func (r *Resource) Acquire(units int, grant func()) {
+	if units <= 0 || units > r.capacity {
+		panic(fmt.Sprintf("sim: resource %q acquire %d of %d", r.name, units, r.capacity))
+	}
+	req := &acquire{units: units, grant: grant, at: r.eng.Now()}
+	r.waiters = append(r.waiters, req)
+	r.dispatch()
+}
+
+// Release returns units to the pool and serves any eligible waiters.
+func (r *Resource) Release(units int) {
+	if units <= 0 || units > r.inUse {
+		panic(fmt.Sprintf("sim: resource %q release %d with %d in use", r.name, units, r.inUse))
+	}
+	r.account()
+	r.inUse -= units
+	r.dispatch()
+}
+
+// Use acquires units, holds them for service seconds, then releases and
+// invokes done (which may be nil). It is the common acquire/hold/release
+// pattern.
+func (r *Resource) Use(units int, service float64, done func()) {
+	r.Acquire(units, func() {
+		r.eng.After(service, func() {
+			r.Release(units)
+			if done != nil {
+				done()
+			}
+		})
+	})
+}
+
+func (r *Resource) dispatch() {
+	for len(r.waiters) > 0 {
+		head := r.waiters[0]
+		if r.inUse+head.units > r.capacity {
+			return // FIFO: do not let smaller later requests starve the head
+		}
+		r.waiters = r.waiters[1:]
+		r.account()
+		r.inUse += head.units
+		r.grants++
+		r.waitTotal += r.eng.Now() - head.at
+		head.grant()
+	}
+}
+
+func (r *Resource) account() {
+	now := r.eng.Now()
+	r.busyIntegral += float64(r.inUse) * (now - r.lastChange)
+	r.lastChange = now
+}
+
+// Utilization reports mean fraction of capacity in use since creation.
+func (r *Resource) Utilization() float64 {
+	r.account()
+	elapsed := r.lastChange
+	if elapsed <= 0 {
+		return 0
+	}
+	return r.busyIntegral / (elapsed * float64(r.capacity))
+}
+
+// MeanWait reports the average queueing delay per grant in seconds.
+func (r *Resource) MeanWait() float64 {
+	if r.grants == 0 {
+		return 0
+	}
+	return r.waitTotal / float64(r.grants)
+}
+
+// QueueLen reports the number of waiting requests.
+func (r *Resource) QueueLen() int { return len(r.waiters) }

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"math"
+	"sort"
+)
+
+// Stats accumulates scalar observations (latencies, sizes) and reports
+// summary statistics. The zero value is ready to use.
+type Stats struct {
+	n       int
+	sum     float64
+	sumSq   float64
+	min     float64
+	max     float64
+	samples []float64 // retained for percentiles; bounded by Reserve callers
+}
+
+// Observe records one value.
+func (s *Stats) Observe(v float64) {
+	if s.n == 0 || v < s.min {
+		s.min = v
+	}
+	if s.n == 0 || v > s.max {
+		s.max = v
+	}
+	s.n++
+	s.sum += v
+	s.sumSq += v * v
+	s.samples = append(s.samples, v)
+}
+
+// N returns the number of observations.
+func (s *Stats) N() int { return s.n }
+
+// Sum returns the total of all observations.
+func (s *Stats) Sum() float64 { return s.sum }
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (s *Stats) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Min returns the smallest observation, or 0 with no observations.
+func (s *Stats) Min() float64 { return s.min }
+
+// Max returns the largest observation, or 0 with no observations.
+func (s *Stats) Max() float64 { return s.max }
+
+// StdDev returns the population standard deviation.
+func (s *Stats) StdDev() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	m := s.Mean()
+	v := s.sumSq/float64(s.n) - m*m
+	if v < 0 {
+		v = 0 // numerical noise
+	}
+	return math.Sqrt(v)
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) using
+// nearest-rank on a sorted copy; 0 with no observations.
+func (s *Stats) Percentile(p float64) float64 {
+	if s.n == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.samples...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// Counter is a monotonically accumulating quantity (bytes moved, samples
+// completed) with rate reporting against a time base.
+type Counter struct {
+	total float64
+}
+
+// Add increments the counter.
+func (c *Counter) Add(v float64) { c.total += v }
+
+// Total returns the accumulated value.
+func (c *Counter) Total() float64 { return c.total }
+
+// Rate returns total/elapsed, or 0 when elapsed ≤ 0.
+func (c *Counter) Rate(elapsed float64) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return c.total / elapsed
+}

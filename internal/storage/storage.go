@@ -1,0 +1,154 @@
+// Package storage models the NVMe SSDs that feed TrainBox's data
+// preparation, plus a small in-memory dataset shard store used by the
+// functional pipeline.
+//
+// The performance model is intentionally the one the paper uses: SSDs
+// matter only through sequential read bandwidth (Figures 10/11 account
+// an "SSD read" component), so an SSD is a bandwidth-limited server. The
+// shard store exists so end-to-end tests can move real JPEG/PCM payloads
+// through the same code path the models account for.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"trainbox/internal/units"
+)
+
+// SSDSpec describes one NVMe device.
+type SSDSpec struct {
+	Name string
+	// ReadBandwidth is the sequential read bandwidth.
+	ReadBandwidth units.BytesPerSec
+	// Capacity bounds stored bytes; 0 means unbounded (model-only use).
+	Capacity units.Bytes
+}
+
+// DefaultSSDSpec matches a datacenter NVMe drive of the paper's era
+// (~3.2 GB/s sequential read).
+func DefaultSSDSpec() SSDSpec {
+	return SSDSpec{Name: "nvme", ReadBandwidth: units.BytesPerSec(3.2 * 1e9), Capacity: 4 * units.TB}
+}
+
+// ReadTime returns the time to stream v bytes from the device.
+func (s SSDSpec) ReadTime(v units.Bytes) float64 {
+	return units.Seconds(v, s.ReadBandwidth)
+}
+
+// Object is one stored dataset item (a JPEG file or a PCM stream) with
+// its label.
+type Object struct {
+	Key   string
+	Label int
+	Data  []byte
+}
+
+// Store is an in-memory object store standing in for one SSD's dataset
+// shard. It is safe for concurrent use.
+type Store struct {
+	spec SSDSpec
+
+	mu      sync.RWMutex
+	objects map[string]Object
+	keys    []string // sorted iteration order
+	used    units.Bytes
+	dirty   bool
+}
+
+// NewStore creates an empty shard on a device with the given spec.
+func NewStore(spec SSDSpec) *Store {
+	return &Store{spec: spec, objects: map[string]Object{}}
+}
+
+// Spec returns the device description.
+func (s *Store) Spec() SSDSpec { return s.spec }
+
+// Put stores an object, replacing any previous object with the same key.
+// It fails when the device capacity would be exceeded.
+func (s *Store) Put(obj Object) error {
+	if obj.Key == "" {
+		return fmt.Errorf("storage: empty key")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	next := s.used + units.Bytes(len(obj.Data))
+	if old, ok := s.objects[obj.Key]; ok {
+		next -= units.Bytes(len(old.Data))
+	} else {
+		s.dirty = true
+	}
+	if s.spec.Capacity > 0 && next > s.spec.Capacity {
+		return fmt.Errorf("storage: %s full: %v + %d bytes exceeds %v",
+			s.spec.Name, s.used, len(obj.Data), s.spec.Capacity)
+	}
+	s.objects[obj.Key] = obj
+	s.used = next
+	return nil
+}
+
+// Get retrieves an object by key.
+func (s *Store) Get(key string) (Object, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	obj, ok := s.objects[key]
+	if !ok {
+		return Object{}, fmt.Errorf("storage: %s: no object %q", s.spec.Name, key)
+	}
+	return obj, nil
+}
+
+// Keys returns all keys in sorted order.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dirty {
+		s.keys = s.keys[:0]
+		for k := range s.objects {
+			s.keys = append(s.keys, k)
+		}
+		sort.Strings(s.keys)
+		s.dirty = false
+	}
+	return append([]string(nil), s.keys...)
+}
+
+// Len returns the number of stored objects.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.objects)
+}
+
+// UsedBytes returns the stored byte total.
+func (s *Store) UsedBytes() units.Bytes {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.used
+}
+
+// MeanObjectSize returns the average stored object size, or 0 when empty.
+// The system model uses it as the per-sample SSD read volume.
+func (s *Store) MeanObjectSize() units.Bytes {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.objects) == 0 {
+		return 0
+	}
+	return s.used / units.Bytes(len(s.objects))
+}
+
+// Partition distributes keys round-robin across n shards — the train
+// initializer's data-distribution step ("distributes the data to SSDs in
+// each train box", Section V-A). It returns the key lists per shard.
+func Partition(keys []string, n int) ([][]string, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("storage: cannot partition into %d shards", n)
+	}
+	out := make([][]string, n)
+	for i, k := range keys {
+		out[i%n] = append(out[i%n], k)
+	}
+	return out, nil
+}

@@ -1,0 +1,271 @@
+// Package train is the functional end-to-end training driver of the
+// reproduction: it wires every substrate together the way Figure 1
+// composes them — data preparation (internal/dataprep, with next-batch
+// prefetching), model computation on data-parallel replicas
+// (internal/nn, one goroutine per "accelerator"), and model
+// synchronization (internal/collective's real ring all-reduce) — and
+// runs synchronous SGD.
+//
+// It exists to prove the composition is correct, not to be fast: tests
+// assert that replicas remain numerically synchronized after every step
+// and that data-parallel training matches a single-worker oracle.
+package train
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"trainbox/internal/collective"
+	"trainbox/internal/dataprep"
+	"trainbox/internal/nn"
+	"trainbox/internal/storage"
+)
+
+// FeatureFn converts one prepared sample into an (input, label) pair for
+// the model. It must be deterministic.
+type FeatureFn func(dataprep.Prepared) (x []float64, label int, err error)
+
+// Config describes a training run.
+type Config struct {
+	// Replicas is the number of data-parallel model replicas
+	// ("accelerators"), each run by its own goroutine.
+	Replicas int
+	// Widths are the MLP layer widths (input … output).
+	Widths []int
+	// Epochs is the number of passes over the dataset keys.
+	Epochs int
+	// MinibatchPerReplica splits each replica's shard into SGD
+	// minibatches of this size; ≤ 0 means one minibatch per shard.
+	MinibatchPerReplica int
+	// LearningRate is the SGD step size.
+	LearningRate float64
+	// Momentum is the optional SGD momentum coefficient in [0,1).
+	Momentum float64
+	// WeightDecay is the optional L2 coefficient.
+	WeightDecay float64
+	// PrefetchDepth is the next-batch pipeline depth (≥ 1).
+	PrefetchDepth int
+	// Seed initializes the identical model replicas and the pipeline.
+	Seed int64
+}
+
+// Validate reports the first configuration error.
+func (c Config) Validate() error {
+	if c.Replicas < 1 {
+		return fmt.Errorf("train: need ≥ 1 replica, got %d", c.Replicas)
+	}
+	if len(c.Widths) < 2 {
+		return fmt.Errorf("train: model needs input and output widths")
+	}
+	if c.Epochs < 1 {
+		return fmt.Errorf("train: need ≥ 1 epoch")
+	}
+	if c.LearningRate <= 0 {
+		return fmt.Errorf("train: learning rate must be positive")
+	}
+	if c.PrefetchDepth < 1 {
+		return fmt.Errorf("train: prefetch depth must be ≥ 1")
+	}
+	return nil
+}
+
+// StepStat records one synchronized step.
+type StepStat struct {
+	Epoch     int
+	MeanLoss  float64
+	SyncNanos int64
+	Samples   int
+}
+
+// Result is a finished run.
+type Result struct {
+	// Replicas holds the trained replicas (all numerically identical).
+	Replicas []*nn.Network
+	// Steps records per-step statistics in order.
+	Steps []StepStat
+	// Elapsed is the wall-clock training time.
+	Elapsed time.Duration
+	// SamplesProcessed is the total sample count.
+	SamplesProcessed int
+}
+
+// Model returns replica 0, the trained model.
+func (r Result) Model() *nn.Network { return r.Replicas[0] }
+
+// FinalLoss returns the last step's mean loss.
+func (r Result) FinalLoss() float64 {
+	if len(r.Steps) == 0 {
+		return 0
+	}
+	return r.Steps[len(r.Steps)-1].MeanLoss
+}
+
+// Run trains data-parallel replicas over the keyed dataset: each epoch's
+// batch is prepared by the prefetcher (overlapped with the previous
+// epoch's computation), split across replicas, backpropagated in
+// parallel, ring-all-reduced, and applied as one synchronous SGD step
+// per minibatch.
+func Run(cfg Config, exec *dataprep.Executor, store *storage.Store, keys []string, feature FeatureFn) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if feature == nil {
+		return Result{}, fmt.Errorf("train: nil feature function")
+	}
+	if len(keys) < cfg.Replicas {
+		return Result{}, fmt.Errorf("train: %d keys cannot feed %d replicas", len(keys), cfg.Replicas)
+	}
+
+	replicas := make([]*nn.Network, cfg.Replicas)
+	opts := make([]*nn.SGD, cfg.Replicas)
+	for i := range replicas {
+		replicas[i] = nn.NewMLP(cfg.Widths, rand.New(rand.NewSource(cfg.Seed)))
+		opt, err := nn.NewSGD(cfg.LearningRate, cfg.Momentum, cfg.WeightDecay)
+		if err != nil {
+			return Result{}, err
+		}
+		opts[i] = opt
+	}
+
+	pf, err := dataprep.NewPrefetcher(exec, store, keys, cfg.Epochs, cfg.PrefetchDepth)
+	if err != nil {
+		return Result{}, err
+	}
+	defer pf.Close()
+
+	res := Result{Replicas: replicas}
+	start := time.Now()
+	for {
+		batch, err := pf.Next()
+		if err == dataprep.ErrExhausted {
+			break
+		}
+		if err != nil {
+			return Result{}, err
+		}
+		samples, err := extract(batch.Samples, feature)
+		if err != nil {
+			return Result{}, err
+		}
+		stats, err := trainEpoch(cfg, replicas, opts, samples, batch.Epoch)
+		if err != nil {
+			return Result{}, err
+		}
+		for _, s := range stats {
+			res.Steps = append(res.Steps, s)
+			res.SamplesProcessed += s.Samples
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+func extract(batch []dataprep.Prepared, feature FeatureFn) ([]nn.Sample, error) {
+	out := make([]nn.Sample, len(batch))
+	for i, p := range batch {
+		x, label, err := feature(p)
+		if err != nil {
+			return nil, fmt.Errorf("train: feature for %q: %w", p.Key, err)
+		}
+		out[i] = nn.Sample{X: x, Label: label}
+	}
+	return out, nil
+}
+
+// trainEpoch runs synchronous data-parallel SGD over one prepared epoch.
+func trainEpoch(cfg Config, replicas []*nn.Network, opts []*nn.SGD, samples []nn.Sample, epoch int) ([]StepStat, error) {
+	r := cfg.Replicas
+	mb := cfg.MinibatchPerReplica
+	shard := len(samples) / r
+	if shard == 0 {
+		return nil, fmt.Errorf("train: epoch %d has %d samples for %d replicas", epoch, len(samples), r)
+	}
+	if mb <= 0 || mb > shard {
+		mb = shard
+	}
+	var stats []StepStat
+	for off := 0; off+mb <= shard; off += mb {
+		grads := make([][]float64, r)
+		losses := make([]float64, r)
+		var wg sync.WaitGroup
+		for rep := 0; rep < r; rep++ {
+			wg.Add(1)
+			go func(rep int) {
+				defer wg.Done()
+				net := replicas[rep]
+				net.ZeroGrad()
+				var loss float64
+				for i := 0; i < mb; i++ {
+					s := samples[rep*shard+off+i]
+					loss += net.LossAndBackward(net.Forward(s.X), s.Label)
+				}
+				grads[rep] = net.Gradients()
+				losses[rep] = loss
+			}(rep)
+		}
+		wg.Wait()
+
+		syncStart := time.Now()
+		if err := collective.RingAllReduce(grads); err != nil {
+			return nil, err
+		}
+		syncNanos := time.Since(syncStart).Nanoseconds()
+
+		global := float64(r * mb)
+		var total float64
+		for rep := 0; rep < r; rep++ {
+			avg := grads[rep]
+			for i := range avg {
+				avg[i] /= global
+			}
+			if err := replicas[rep].SetGradients(avg); err != nil {
+				return nil, err
+			}
+			opts[rep].Step(replicas[rep], 1)
+			total += losses[rep]
+		}
+		stats = append(stats, StepStat{
+			Epoch:     epoch,
+			MeanLoss:  total / global,
+			SyncNanos: syncNanos,
+			Samples:   r * mb,
+		})
+	}
+	return stats, nil
+}
+
+// MaxReplicaDivergence returns the largest absolute parameter difference
+// between replica 0 and any other replica — the synchronization
+// invariant (0 for a correct run, up to float addition order).
+func MaxReplicaDivergence(replicas []*nn.Network) float64 {
+	var maxD float64
+	if len(replicas) == 0 {
+		return 0
+	}
+	base := replicas[0]
+	for _, other := range replicas[1:] {
+		for li, l := range base.Layers {
+			ol := other.Layers[li]
+			for i := range l.W {
+				if d := abs(l.W[i] - ol.W[i]); d > maxD {
+					maxD = d
+				}
+			}
+			for i := range l.B {
+				if d := abs(l.B[i] - ol.B[i]); d > maxD {
+					maxD = d
+				}
+			}
+		}
+	}
+	return maxD
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

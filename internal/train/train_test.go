@@ -1,0 +1,215 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"trainbox/internal/dataprep"
+	"trainbox/internal/nn"
+	"trainbox/internal/storage"
+)
+
+// stripeFeature pools the prepared tensor's first channel into 8×8
+// features (see the Figure 5 study for the rationale).
+func stripeFeature(p dataprep.Prepared) ([]float64, int, error) {
+	ten := p.Image
+	const block = 4
+	side := ten.W / block
+	feat := make([]float64, side*side)
+	for by := 0; by < side; by++ {
+		for bx := 0; bx < side; bx++ {
+			var sum float64
+			for y := by * block; y < (by+1)*block; y++ {
+				for x := bx * block; x < (bx+1)*block; x++ {
+					sum += float64(ten.At(0, y, x))
+				}
+			}
+			feat[by*side+bx] = sum / (block * block)
+		}
+	}
+	return feat, p.Label, nil
+}
+
+func setup(t *testing.T, items int) (*dataprep.Executor, *storage.Store, []string) {
+	t.Helper()
+	store := storage.NewStore(storage.DefaultSSDSpec())
+	if err := dataprep.BuildImageDataset(store, items, 4, 5); err != nil {
+		t.Fatal(err)
+	}
+	cfg := dataprep.DefaultImageConfig()
+	cfg.CropW, cfg.CropH = 32, 32
+	exec := dataprep.NewExecutor(dataprep.ImagePreparer{Config: cfg}, 2, 5)
+	return exec, store, store.Keys()
+}
+
+func baseConfig() Config {
+	return Config{
+		Replicas: 4, Widths: []int{64, 16, 4}, Epochs: 3,
+		LearningRate: 0.05, PrefetchDepth: 2, Seed: 9,
+	}
+}
+
+func TestRunKeepsReplicasSynchronized(t *testing.T) {
+	exec, store, keys := setup(t, 16)
+	res, err := Run(baseConfig(), exec, store, keys, stripeFeature)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Replicas) != 4 {
+		t.Fatalf("replicas = %d", len(res.Replicas))
+	}
+	// All replicas applied identical averaged gradients; divergence must
+	// be at floating-point noise level.
+	if d := MaxReplicaDivergence(res.Replicas); d > 1e-12 {
+		t.Errorf("replica divergence = %g, want ≈0", d)
+	}
+	if res.SamplesProcessed != 16*3 {
+		t.Errorf("samples processed = %d, want 48", res.SamplesProcessed)
+	}
+	if len(res.Steps) == 0 || res.Elapsed <= 0 {
+		t.Error("missing step stats")
+	}
+}
+
+func TestRunReducesLoss(t *testing.T) {
+	exec, store, keys := setup(t, 32)
+	cfg := baseConfig()
+	cfg.Epochs = 8
+	cfg.LearningRate = 0.1
+	res, err := Run(cfg, exec, store, keys, stripeFeature)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.Steps[0].MeanLoss
+	last := res.FinalLoss()
+	if last >= first {
+		t.Errorf("loss did not decrease: %v → %v", first, last)
+	}
+}
+
+// TestDataParallelMatchesSingleWorkerOracle: R replicas with shard-size
+// minibatches must produce (numerically) the same model as one replica
+// processing the same global minibatch, because gradients are averaged
+// over the global batch either way.
+func TestDataParallelMatchesSingleWorkerOracle(t *testing.T) {
+	exec, store, keys := setup(t, 16)
+
+	multi := baseConfig()
+	multi.Epochs = 2
+	resMulti, err := Run(multi, exec, store, keys, stripeFeature)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	single := multi
+	single.Replicas = 1
+	resSingle, err := Run(single, exec, store, keys, stripeFeature)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a, b := resMulti.Model(), resSingle.Model()
+	for li := range a.Layers {
+		for i := range a.Layers[li].W {
+			d := math.Abs(a.Layers[li].W[i] - b.Layers[li].W[i])
+			if d > 1e-9 {
+				t.Fatalf("layer %d weight %d differs by %g between 4-replica and oracle", li, i, d)
+			}
+		}
+	}
+}
+
+func TestRunMinibatchSplitting(t *testing.T) {
+	exec, store, keys := setup(t, 16)
+	cfg := baseConfig()
+	cfg.Replicas = 2
+	cfg.MinibatchPerReplica = 2 // shard of 8 → 4 steps per epoch
+	res, err := Run(cfg, exec, store, keys, stripeFeature)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 4 * cfg.Epochs; len(res.Steps) != want {
+		t.Errorf("steps = %d, want %d", len(res.Steps), want)
+	}
+	if d := MaxReplicaDivergence(res.Replicas); d > 1e-12 {
+		t.Errorf("divergence = %g", d)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	exec, store, keys := setup(t, 8)
+	bads := []func(*Config){
+		func(c *Config) { c.Replicas = 0 },
+		func(c *Config) { c.Widths = []int{3} },
+		func(c *Config) { c.Epochs = 0 },
+		func(c *Config) { c.LearningRate = 0 },
+		func(c *Config) { c.PrefetchDepth = 0 },
+	}
+	for i, mutate := range bads {
+		cfg := baseConfig()
+		mutate(&cfg)
+		if _, err := Run(cfg, exec, store, keys, stripeFeature); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := Run(baseConfig(), exec, store, keys, nil); err == nil {
+		t.Error("nil feature accepted")
+	}
+	cfg := baseConfig()
+	cfg.Replicas = 100
+	if _, err := Run(cfg, exec, store, keys, stripeFeature); err == nil {
+		t.Error("more replicas than keys accepted")
+	}
+}
+
+func TestMaxReplicaDivergenceDetectsDrift(t *testing.T) {
+	exec, store, keys := setup(t, 8)
+	res, err := Run(baseConfig(), exec, store, keys, stripeFeature)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Replicas[1].Layers[0].W[0] += 0.5
+	if d := MaxReplicaDivergence(res.Replicas); math.Abs(d-0.5) > 1e-9 {
+		t.Errorf("divergence = %v, want 0.5", d)
+	}
+	if MaxReplicaDivergence(nil) != 0 {
+		t.Error("empty divergence should be 0")
+	}
+}
+
+func TestResultAccessors(t *testing.T) {
+	var r Result
+	if r.FinalLoss() != 0 {
+		t.Error("empty FinalLoss should be 0")
+	}
+	r.Replicas = []*nn.Network{nil}
+	if r.Model() != nil {
+		t.Error("Model should return replica 0")
+	}
+}
+
+func TestRunWithMomentumKeepsReplicasSynchronized(t *testing.T) {
+	exec, store, keys := setup(t, 16)
+	cfg := baseConfig()
+	cfg.Momentum = 0.9
+	cfg.WeightDecay = 1e-4
+	cfg.Epochs = 4
+	res, err := Run(cfg, exec, store, keys, stripeFeature)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Momentum state is per replica; identical averaged gradients must
+	// keep the velocities — and therefore the weights — in lockstep.
+	if d := MaxReplicaDivergence(res.Replicas); d > 1e-12 {
+		t.Errorf("momentum replicas diverged by %g", d)
+	}
+}
+
+func TestRunRejectsBadOptimizer(t *testing.T) {
+	exec, store, keys := setup(t, 8)
+	cfg := baseConfig()
+	cfg.Momentum = 1.5
+	if _, err := Run(cfg, exec, store, keys, stripeFeature); err == nil {
+		t.Error("momentum ≥ 1 accepted")
+	}
+}

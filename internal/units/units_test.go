@@ -1,0 +1,82 @@
+package units
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBytesString(t *testing.T) {
+	cases := map[Bytes]string{
+		512:       "512 B",
+		2 * KB:    "2.00 KiB",
+		1536 * KB: "1.50 MiB",
+		3 * GB:    "3.00 GiB",
+		2 * TB:    "2.00 TiB",
+		2200 * TB: "2.15 PiB",
+		Bytes(0):  "0 B",
+	}
+	for in, want := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("%v.String() = %q, want %q", float64(in), got, want)
+		}
+	}
+}
+
+func TestBytesPerSecString(t *testing.T) {
+	cases := map[BytesPerSec]string{
+		500:         "500 B/s",
+		2 * KBps:    "2.00 KB/s",
+		12.5 * GBps: "12.50 GB/s",
+		239 * GBps:  "239.00 GB/s",
+		1.5 * MBps:  "1.50 MB/s",
+	}
+	for in, want := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("%v.String() = %q, want %q", float64(in), got, want)
+		}
+	}
+}
+
+func TestSamplesPerSecString(t *testing.T) {
+	if got := SamplesPerSec(7431).String(); !strings.Contains(got, "7431.0") {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	if got := Seconds(32*GB, 16*GBps); math.Abs(got-float64(32*GB)/16e9) > 1e-12 {
+		t.Errorf("Seconds = %v", got)
+	}
+	if Seconds(0, GBps) != 0 {
+		t.Error("zero volume should take zero time")
+	}
+	if Seconds(-5, GBps) != 0 {
+		t.Error("negative volume should take zero time")
+	}
+	if Seconds(GB, 0) < 1e29 {
+		t.Error("zero bandwidth should yield an effectively infinite time")
+	}
+}
+
+func TestSecondsPropertyMonotone(t *testing.T) {
+	f := func(v1, v2, bw float64) bool {
+		a := Bytes(math.Abs(v1))
+		b := a + Bytes(math.Abs(v2))
+		r := BytesPerSec(math.Abs(bw) + 1)
+		return Seconds(b, r) >= Seconds(a, r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnitRelations(t *testing.T) {
+	if MB != 1024*KB || GB != 1024*MB || TB != 1024*GB || PB != 1024*TB {
+		t.Error("binary prefixes inconsistent")
+	}
+	if GBps != 1000*MBps || MBps != 1000*KBps {
+		t.Error("decimal prefixes inconsistent")
+	}
+}

@@ -1,0 +1,56 @@
+package workload
+
+import "trainbox/internal/units"
+
+// FutureWorkloads returns the forward-looking workloads the paper argues
+// will widen the preparation gap ("the problem will become worse for the
+// next generation of neural network accelerators ... and emerging
+// complex data preparation algorithms", Section I). They are projections
+// — clearly separated from the Table I measurements — used by the
+// future-work experiment.
+func FutureWorkloads() []Workload {
+	return []Workload{
+		videoWorkload(),
+		nextGenResNet(),
+	}
+}
+
+// videoWorkload is a 3D-CNN action-recognition projection: 16-frame
+// clips at 224×224. One clip decodes ≈16 JPEG frames, so per-sample
+// preparation costs ≈16× the image pipeline while the accelerator
+// consumes clips much slower than images — the preparation:compute
+// ratio the paper warns about.
+func videoWorkload() Workload {
+	// Stored: 16 frames × ~45 KB MJPEG. Tensor: 16 × 224×224×3 × 4 B.
+	const stored = 16 * 45 * units.KB
+	const tensor = 16 * units.Bytes(3*224*224*4)
+	cpu := 16 * 7.88e-4 // 16 image-pipeline decodes per clip
+	p := PrepProfile{StoredBytes: stored, TensorBytes: tensor}
+	p.CPUSeconds[OpFormat] = 0.62 * cpu
+	p.CPUSeconds[OpAugment] = 0.28 * cpu
+	p.CPUSeconds[OpLoad] = 0.07 * cpu
+	p.CPUSeconds[OpOther] = 0.03 * cpu
+	p.MemoryBytes[OpSSDRead] = 2 * stored
+	p.MemoryBytes[OpFormat] = 16 * 700 * units.KB
+	p.MemoryBytes[OpAugment] = 16 * 270 * units.KB
+	p.MemoryBytes[OpLoad] = tensor
+	p.MemoryBytes[OpOther] = 40 * units.KB
+	return Workload{
+		Name: "Video-AR", Kind: "3D-CNN", Task: "Action recognition", Type: Video,
+		BatchSize: 256, ModelBytes: units.Bytes(120 * 1e6), AccelRate: 420,
+		Prep: p, BatchHalfSat: 24,
+	}
+}
+
+// nextGenResNet projects ResNet-50 onto a 4× faster accelerator
+// generation (the Figure 2a trajectory): identical preparation demand,
+// quadrupled consumption rate.
+func nextGenResNet() Workload {
+	base, err := ByName("Resnet-50")
+	if err != nil {
+		panic(err) // Table I is a compile-time constant set
+	}
+	base.Name = "Resnet-50 (next-gen accel)"
+	base.AccelRate *= 4
+	return base
+}

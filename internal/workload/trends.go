@@ -1,0 +1,29 @@
+package workload
+
+// TrendPoint is one year of the hardware-trend context data behind
+// Figure 2a: normalized performance (throughput/power) of neural-network
+// ASICs and accelerator interconnects, 2012–2019, on the paper's
+// log-scale axis (2012 ASIC = 1).
+type TrendPoint struct {
+	Year         int
+	ASIC         float64 // normalized throughput/power of NN accelerators
+	Interconnect float64 // normalized accelerator-interconnect bandwidth
+}
+
+// HardwareTrends returns the Figure 2a context series. The paper cites
+// DianNao-era ASICs through TPU-class accelerators ("more than 10,000×
+// higher computation efficiency than the neural network accelerator in
+// 2012") and PCIe-to-NVLink-class interconnect evolution. Values are the
+// order-of-magnitude trajectory the figure plots, not device datasheets.
+func HardwareTrends() []TrendPoint {
+	return []TrendPoint{
+		{Year: 2012, ASIC: 1, Interconnect: 1},
+		{Year: 2013, ASIC: 8, Interconnect: 1},
+		{Year: 2014, ASIC: 60, Interconnect: 2},
+		{Year: 2015, ASIC: 300, Interconnect: 2},
+		{Year: 2016, ASIC: 900, Interconnect: 5},
+		{Year: 2017, ASIC: 3000, Interconnect: 9},
+		{Year: 2018, ASIC: 8000, Interconnect: 19},
+		{Year: 2019, ASIC: 15000, Interconnect: 19},
+	}
+}
