@@ -7,8 +7,10 @@
 package trainbox_test
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"trainbox/internal/arch"
 	"trainbox/internal/collective"
@@ -329,6 +331,45 @@ func BenchmarkKernelDESBaseline(b *testing.B) {
 		if _, err := core.SimulatePrep(sys, w, opts); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkPrefetcherThroughput measures delivered samples/sec through
+// the full staged pipeline (fetch→prepare under a prefetching consumer)
+// at several pipeline depths, so refactors of the pipeline runtime show
+// up in the perf trajectory. Depth 1 is the paper's double buffering.
+func BenchmarkPrefetcherThroughput(b *testing.B) {
+	store := storage.NewStore(storage.DefaultSSDSpec())
+	const items = 8
+	if err := dataprep.BuildImageDataset(store, items, 4, 1); err != nil {
+		b.Fatal(err)
+	}
+	keys := store.Keys()
+	for _, depth := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			exec := dataprep.NewExecutor(dataprep.ImagePreparer{Config: dataprep.DefaultImageConfig()}, 0, 1)
+			b.ResetTimer()
+			samples := 0
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				pf, err := dataprep.NewPrefetcher(exec, store, keys, 3, depth)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for {
+					batch, err := pf.Next()
+					if err != nil {
+						if err != dataprep.ErrExhausted {
+							b.Fatal(err)
+						}
+						break
+					}
+					samples += len(batch.Samples)
+				}
+				pf.Close()
+			}
+			b.ReportMetric(float64(samples)/time.Since(start).Seconds(), "samples/s")
+		})
 	}
 }
 

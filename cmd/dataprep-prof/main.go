@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"trainbox/internal/dataprep"
 	"trainbox/internal/report"
@@ -40,6 +41,8 @@ func run(items, samples int) error {
 
 	t := report.NewTable("Measured Go kernel throughput (this machine)",
 		"pipeline", "workers", "samples/s", "per sample")
+	st := report.NewTable("Pipeline stage counters (cumulative per executor)",
+		"pipeline", "workers", "stage", "in", "out", "busy")
 	workers := []int{1, runtime.GOMAXPROCS(0)}
 	for _, wk := range workers {
 		e := dataprep.NewExecutor(dataprep.ImagePreparer{Config: dataprep.DefaultImageConfig()}, wk, 1)
@@ -48,6 +51,9 @@ func run(items, samples int) error {
 			return err
 		}
 		t.AddRowf("image (JPEG→224³ tensor)", wk, res.SamplesPerSec, res.PerSample.String())
+		for _, s := range e.Stats() {
+			st.AddRowf("image", wk, s.Name, s.ItemsIn, s.ItemsOut, s.Busy.Round(time.Millisecond).String())
+		}
 	}
 	for _, wk := range workers {
 		e := dataprep.NewExecutor(dataprep.AudioPreparer{Config: dataprep.DefaultAudioConfig()}, wk, 1)
@@ -56,8 +62,12 @@ func run(items, samples int) error {
 			return err
 		}
 		t.AddRowf("audio (PCM→log-Mel)", wk, res.SamplesPerSec, res.PerSample.String())
+		for _, s := range e.Stats() {
+			st.AddRowf("audio", wk, s.Name, s.ItemsIn, s.ItemsOut, s.Busy.Round(time.Millisecond).String())
+		}
 	}
 	fmt.Println(t.String())
+	fmt.Println(st.String())
 
 	cal := report.NewTable("Calibrated per-sample model constants (DALI-class kernels)",
 		"workload", "type", "cpu ms/sample", "stored KB", "tensor KB")

@@ -32,7 +32,11 @@ func main() {
 		log.Fatal(err)
 	}
 	mel := batch[0].Audio
-	fmt.Printf("log-Mel features: %d frames × %d channels per utterance\n\n", mel.Frames, mel.Bins)
+	fmt.Printf("log-Mel features: %d frames × %d channels per utterance\n", mel.Frames, mel.Bins)
+	for _, s := range exec.Stats() {
+		fmt.Printf("  stage %v\n", s)
+	}
+	fmt.Println()
 
 	// Show the intermediate amplification the paper attributes memory
 	// pressure to ("amplified data size due to ... SFFT").

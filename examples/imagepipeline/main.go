@@ -34,6 +34,9 @@ func main() {
 	}
 	fmt.Printf("prepared %d samples → %dx%dx%d float32 tensors (%d bytes each)\n",
 		len(batch), batch[0].Image.C, batch[0].Image.H, batch[0].Image.W, batch[0].Image.Bytes())
+	for _, s := range exec.Stats() {
+		fmt.Printf("  stage %v\n", s)
+	}
 
 	// 3. Offload-correctness: the FPGA emulator must match bit-for-bit.
 	emu := fpga.NewImageEmulator(cfg)

@@ -19,6 +19,9 @@ func TestRealKernelRatioMatchesCalibration(t *testing.T) {
 	if testing.Short() {
 		t.Skip("kernel profiling in -short mode")
 	}
+	if raceEnabled {
+		t.Skip("kernel cost ratios are meaningless under race-detector instrumentation")
+	}
 	imgStore := storage.NewStore(storage.DefaultSSDSpec())
 	if err := BuildImageDataset(imgStore, 6, 3, 1); err != nil {
 		t.Fatal(err)

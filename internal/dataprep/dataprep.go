@@ -15,14 +15,15 @@
 package dataprep
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
 	"runtime"
-	"sync"
 
 	"trainbox/internal/dsp"
 	"trainbox/internal/imgproc"
+	"trainbox/internal/pipeline"
 	"trainbox/internal/storage"
 )
 
@@ -178,13 +179,17 @@ func (p AudioPreparer) Prepare(obj storage.Object, seed int64) Prepared {
 	return Prepared{Key: obj.Key, Label: obj.Label, Audio: s, Err: err}
 }
 
-// Executor prepares batches with a worker pool — the software-pipelined,
-// batched baseline of Section III-B ("batching, software pipelining, and
-// data partitioning").
+// Executor prepares batches on the staged-pipeline runtime — the
+// software-pipelined, batched baseline of Section III-B ("batching,
+// software pipelining, and data partitioning"). Each batch runs a
+// fetch→prepare pipeline: a serial storage-read stage feeding a
+// prepare stage with the configured worker parallelism through a
+// bounded queue, with per-stage counters accumulated across batches.
 type Executor struct {
 	prep        Preparer
 	workers     int
 	datasetSeed int64
+	stats       pipeline.StatsSet
 }
 
 // NewExecutor creates an executor; workers ≤ 0 selects GOMAXPROCS.
@@ -195,36 +200,48 @@ func NewExecutor(prep Preparer, workers int, datasetSeed int64) *Executor {
 	return &Executor{prep: prep, workers: workers, datasetSeed: datasetSeed}
 }
 
+// Stats returns the executor's cumulative per-stage pipeline counters
+// (items, busy time, queue occupancy) across every batch it prepared.
+func (e *Executor) Stats() []pipeline.StageStats {
+	return e.stats.Snapshot()
+}
+
 // PrepareBatch prepares the keyed objects from the store for the given
 // epoch, preserving key order in the result. The first storage or
 // pipeline error is returned (with partial results discarded).
 func (e *Executor) PrepareBatch(store *storage.Store, keys []string, epoch int) ([]Prepared, error) {
-	out := make([]Prepared, len(keys))
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < e.workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				obj, err := store.Get(keys[i])
-				if err != nil {
-					out[i] = Prepared{Key: keys[i], Err: err}
-					continue
-				}
-				out[i] = e.prep.Prepare(obj, SampleSeed(e.datasetSeed, keys[i], epoch))
+	return e.PrepareBatchContext(context.Background(), store, keys, epoch)
+}
+
+// PrepareBatchContext is PrepareBatch with cancellation: the first
+// error — or ctx being cancelled — stops the fetch and prepare stages
+// and drains the pipeline before returning.
+func (e *Executor) PrepareBatchContext(ctx context.Context, store *storage.Store, keys []string, epoch int) ([]Prepared, error) {
+	fetch := pipeline.NewStage("fetch", 1, e.workers,
+		func(ctx context.Context, i int) (storage.Object, error) {
+			obj, err := store.GetContext(ctx, keys[i])
+			if err != nil {
+				return storage.Object{}, fmt.Errorf("dataprep: sample %q: %w", keys[i], err)
 			}
-		}()
+			return obj, nil
+		})
+	prep := pipeline.NewStage("prepare", e.workers, e.workers,
+		func(_ context.Context, obj storage.Object) (Prepared, error) {
+			p := e.prep.Prepare(obj, SampleSeed(e.datasetSeed, obj.Key, epoch))
+			if p.Err != nil {
+				return Prepared{}, fmt.Errorf("dataprep: sample %q: %w", p.Key, p.Err)
+			}
+			return p, nil
+		})
+	pl, err := pipeline.New("dataprep", fetch, prep)
+	if err != nil {
+		return nil, err
 	}
-	for i := range keys {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
-	for _, p := range out {
-		if p.Err != nil {
-			return nil, fmt.Errorf("dataprep: sample %q: %w", p.Key, p.Err)
-		}
+	run := pl.Run(ctx, pipeline.IndexSource(len(keys)))
+	out, err := pipeline.Drain[Prepared](run)
+	e.stats.Add(run.Stats())
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,9 +1,12 @@
 package dataprep
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"trainbox/internal/pipeline"
 	"trainbox/internal/storage"
 )
 
@@ -14,23 +17,22 @@ import (
 // consumer trains on batch i, the prefetcher prepares batches i+1..i+d
 // in the background, d being the pipeline depth.
 //
+// It is a thin adapter over the staged-pipeline runtime: an epoch
+// schedule feeds a single prepare stage whose bounded output queue (cap
+// = depth) is the prefetch buffer; each prepared batch is itself the
+// product of the executor's fetch→prepare pipeline. Cancellation is
+// context-based end to end — Close cancels the pipeline and waits for
+// every goroutine to drain.
+//
 // Batches are delivered strictly in order. Close the prefetcher to stop
 // the background work; Next returns an error after the epoch schedule is
 // exhausted or the pipeline fails.
 type Prefetcher struct {
-	exec  *Executor
-	store *storage.Store
+	run    *pipeline.Run
+	cancel context.CancelFunc
 
-	out    chan prefetched
-	cancel chan struct{}
-	wg     sync.WaitGroup
-	closed bool
-}
-
-type prefetched struct {
-	batch []Prepared
-	epoch int
-	err   error
+	closeOnce sync.Once
+	closed    atomic.Bool
 }
 
 // Batch is one delivered batch with its epoch index.
@@ -52,61 +54,55 @@ func NewPrefetcher(exec *Executor, store *storage.Store, keys []string, epochs, 
 	if epochs < 1 || depth < 1 {
 		return nil, fmt.Errorf("dataprep: prefetcher needs epochs ≥ 1 and depth ≥ 1, got %d/%d", epochs, depth)
 	}
-	p := &Prefetcher{
-		exec:   exec,
-		store:  store,
-		out:    make(chan prefetched, depth),
-		cancel: make(chan struct{}),
-	}
 	keysCopy := append([]string(nil), keys...)
-	p.wg.Add(1)
-	go func() {
-		defer p.wg.Done()
-		defer close(p.out)
-		for epoch := 0; epoch < epochs; epoch++ {
-			batch, err := exec.PrepareBatch(store, keysCopy, epoch)
-			select {
-			case p.out <- prefetched{batch: batch, epoch: epoch, err: err}:
-				if err != nil {
-					return
-				}
-			case <-p.cancel:
-				return
+	prepare := pipeline.NewStage("prepare", 1, depth,
+		func(ctx context.Context, epoch int) (Batch, error) {
+			samples, err := exec.PrepareBatchContext(ctx, store, keysCopy, epoch)
+			if err != nil {
+				return Batch{}, err
 			}
-		}
-	}()
-	return p, nil
+			return Batch{Epoch: epoch, Samples: samples}, nil
+		})
+	pl, err := pipeline.New("prefetch", prepare)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Prefetcher{run: pl.Run(ctx, pipeline.IndexSource(epochs)), cancel: cancel}, nil
 }
 
 // Next blocks until the next batch is ready and returns it. After the
-// last scheduled epoch it returns ErrExhausted.
+// last scheduled epoch (or after Close) it returns ErrExhausted; after
+// a pipeline failure it returns that error.
 func (p *Prefetcher) Next() (Batch, error) {
-	pf, ok := <-p.out
+	v, ok := <-p.run.Out()
 	if !ok {
+		if err := p.run.Err(); err != nil && !p.closed.Load() {
+			return Batch{}, err
+		}
 		return Batch{}, ErrExhausted
 	}
-	if pf.err != nil {
-		return Batch{}, pf.err
-	}
-	return Batch{Epoch: pf.epoch, Samples: pf.batch}, nil
+	return v.(Batch), nil
+}
+
+// Stats returns the prefetch pipeline's per-stage counters; the prepare
+// stage's queue occupancy shows how far ahead of the consumer the
+// prefetcher is running.
+func (p *Prefetcher) Stats() []pipeline.StageStats {
+	return p.run.Stats()
 }
 
 // ErrExhausted is returned by Next once every scheduled epoch has been
 // delivered.
 var ErrExhausted = fmt.Errorf("dataprep: prefetcher exhausted")
 
-// Close stops background preparation and waits for the worker to exit.
-// It is safe to call multiple times and after exhaustion.
+// Close stops background preparation, discards buffered batches, and
+// waits for every pipeline goroutine to exit. It is safe to call
+// multiple times, concurrently, and after exhaustion.
 func (p *Prefetcher) Close() {
-	if p.closed {
-		return
-	}
-	p.closed = true
-	close(p.cancel)
-	// Drain so the worker's pending send cannot block.
-	go func() {
-		for range p.out { //nolint:revive // drain
-		}
-	}()
-	p.wg.Wait()
+	p.closeOnce.Do(func() {
+		p.closed.Store(true)
+		p.cancel()
+		p.run.Stop()
+	})
 }

@@ -1,7 +1,10 @@
 package dataprep
 
 import (
+	"runtime"
+	"sync"
 	"testing"
+	"time"
 )
 
 func TestPrefetcherDeliversEpochsInOrder(t *testing.T) {
@@ -98,6 +101,96 @@ func TestPrefetcherValidation(t *testing.T) {
 		if _, err := c.f(); err == nil {
 			t.Errorf("%s accepted", c.name)
 		}
+	}
+}
+
+// TestPrefetcherConcurrentDoubleClose is the regression test for the
+// unsynchronized `closed bool` of the pre-pipeline Prefetcher: many
+// goroutines racing Close (and a concurrent Next) must neither panic
+// nor deadlock. Run with -race.
+func TestPrefetcherConcurrentDoubleClose(t *testing.T) {
+	t.Parallel()
+	s := imageStore(t, 2)
+	exec := NewExecutor(ImagePreparer{Config: DefaultImageConfig()}, 2, 1)
+	pf, err := NewPrefetcher(exec, s, s.Keys(), 50, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pf.Next(); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pf.Close()
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			if _, err := pf.Next(); err != nil {
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	pf.Close() // and once more after everyone is done
+	if _, err := pf.Next(); err != ErrExhausted {
+		t.Errorf("Next after Close: err = %v, want ErrExhausted", err)
+	}
+}
+
+// TestPrefetcherErrorDoesNotLeakGoroutines: a mid-schedule storage error
+// must cancel the whole pipeline and release every goroutine it spawned.
+func TestPrefetcherErrorDoesNotLeakGoroutines(t *testing.T) {
+	s := imageStore(t, 4)
+	exec := NewExecutor(ImagePreparer{Config: DefaultImageConfig()}, 2, 1)
+	base := runtime.NumGoroutine()
+	keys := append(s.Keys(), "missing")
+	pf, err := NewPrefetcher(exec, s, keys, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pf.Next(); err == nil || err == ErrExhausted {
+		t.Fatalf("missing key: err = %v, want pipeline error", err)
+	}
+	pf.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > base {
+		t.Errorf("goroutines leaked after failed run: %d running, started with %d", n, base)
+	}
+}
+
+// TestPrefetcherStats: the prepare stage's counters must reflect the
+// delivered epochs.
+func TestPrefetcherStats(t *testing.T) {
+	s := imageStore(t, 2)
+	exec := NewExecutor(ImagePreparer{Config: DefaultImageConfig()}, 2, 1)
+	pf, err := NewPrefetcher(exec, s, s.Keys(), 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	for {
+		if _, err := pf.Next(); err != nil {
+			break
+		}
+	}
+	stats := pf.Stats()
+	if len(stats) != 1 || stats[0].Name != "prepare" {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats[0].ItemsOut != 3 {
+		t.Errorf("prepare stage delivered %d epochs, want 3", stats[0].ItemsOut)
+	}
+	if es := exec.Stats(); len(es) != 2 || es[0].ItemsIn == 0 {
+		t.Errorf("executor stats not accumulated: %+v", es)
 	}
 }
 

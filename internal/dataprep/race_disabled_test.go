@@ -1,0 +1,5 @@
+//go:build !race
+
+package dataprep
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package dataprep
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose instrumentation distorts kernel timing measurements.
+const raceEnabled = true

@@ -1,0 +1,81 @@
+package fpga
+
+import (
+	"context"
+	"fmt"
+
+	"trainbox/internal/dataprep"
+	"trainbox/internal/pipeline"
+)
+
+// Cluster is the runtime face of the prep pool (Section V-D): where
+// SizePool and SchedulePool decide *how many* pooled accelerators a job
+// gets, a Cluster actually dispatches prep jobs across the granted
+// devices as one pipeline stage whose parallelism equals the device
+// count. Each sample's augmentation seed depends only on (dataset seed,
+// key, epoch), so batches are bit-identical to the host path no matter
+// which device serves which sample — the property that makes pool
+// offload transparent to training.
+type Cluster struct {
+	handlers []*P2PHandler
+	avail    chan *P2PHandler
+	stats    pipeline.StatsSet
+}
+
+// NewCluster builds a cluster over the pooled device handlers; devices
+// are checked out per sample, so concurrent batches share the pool.
+func NewCluster(handlers ...*P2PHandler) (*Cluster, error) {
+	if len(handlers) == 0 {
+		return nil, fmt.Errorf("fpga: cluster needs at least one device handler")
+	}
+	avail := make(chan *P2PHandler, len(handlers))
+	for i, h := range handlers {
+		if h == nil {
+			return nil, fmt.Errorf("fpga: cluster handler %d is nil", i)
+		}
+		avail <- h
+	}
+	return &Cluster{handlers: handlers, avail: avail}, nil
+}
+
+// Devices returns the number of pooled devices.
+func (c *Cluster) Devices() int { return len(c.handlers) }
+
+// Stats returns the cluster's cumulative dispatch-stage counters.
+func (c *Cluster) Stats() []pipeline.StageStats {
+	return c.stats.Snapshot()
+}
+
+// PrepareBatch prepares the keyed objects in order across the pooled
+// devices: a dispatch stage with parallelism = device count checks a
+// device out of the pool per sample, runs its SSD→FPGA path, and
+// returns it. Ordering and bit-identity with the host executor are
+// preserved; the first device error cancels the whole batch.
+func (c *Cluster) PrepareBatch(ctx context.Context, keys []string, datasetSeed int64, epoch int) ([]dataprep.Prepared, error) {
+	dispatch := pipeline.NewStage("pool-dispatch", len(c.handlers), len(c.handlers),
+		func(ctx context.Context, i int) (dataprep.Prepared, error) {
+			var h *P2PHandler
+			select {
+			case h = <-c.avail:
+			case <-ctx.Done():
+				return dataprep.Prepared{}, ctx.Err()
+			}
+			defer func() { c.avail <- h }()
+			p := h.PrepareByKey(keys[i], dataprep.SampleSeed(datasetSeed, keys[i], epoch))
+			if p.Err != nil {
+				return dataprep.Prepared{}, fmt.Errorf("fpga: pool sample %q: %w", keys[i], p.Err)
+			}
+			return p, nil
+		})
+	pl, err := pipeline.New("fpga-pool", dispatch)
+	if err != nil {
+		return nil, err
+	}
+	run := pl.Run(ctx, pipeline.IndexSource(len(keys)))
+	out, err := pipeline.Drain[dataprep.Prepared](run)
+	c.stats.Add(run.Stats())
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,143 @@
+package fpga
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"trainbox/internal/dataprep"
+	"trainbox/internal/nvme"
+	"trainbox/internal/storage"
+)
+
+func poolFixture(t *testing.T, devices int) (*Cluster, *storage.Store, dataprep.ImageConfig) {
+	t.Helper()
+	store := storage.NewStore(storage.DefaultSSDSpec())
+	if err := dataprep.BuildImageDataset(store, 8, 4, 3); err != nil {
+		t.Fatal(err)
+	}
+	ns, err := nvme.LoadStore(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := dataprep.DefaultImageConfig()
+	handlers := make([]*P2PHandler, devices)
+	for i := range handlers {
+		h, err := NewP2PHandler(ns, NewImageEmulator(cfg), 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handlers[i] = h
+	}
+	cluster, err := NewCluster(handlers...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cluster, store, cfg
+}
+
+// TestClusterBitEqualWithHostPath: dispatching a batch across three
+// pooled devices must be bit-identical to the host executor — the
+// transparency property that lets the scheduler hand any job's deficit
+// to any pool device.
+func TestClusterBitEqualWithHostPath(t *testing.T) {
+	cluster, store, cfg := poolFixture(t, 3)
+	const datasetSeed, epoch = 3, 1
+
+	pooled, err := cluster.PrepareBatch(context.Background(), store.Keys(), datasetSeed, epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostExec := dataprep.NewExecutor(dataprep.ImagePreparer{Config: cfg}, 2, datasetSeed)
+	host, err := hostExec.PrepareBatch(store, store.Keys(), epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pooled) != len(host) {
+		t.Fatalf("batch sizes differ: %d vs %d", len(pooled), len(host))
+	}
+	for i := range host {
+		if pooled[i].Key != host[i].Key {
+			t.Fatalf("sample %d key %q, want %q — pool dispatch broke ordering", i, pooled[i].Key, host[i].Key)
+		}
+		for j := range host[i].Image.Data {
+			if pooled[i].Image.Data[j] != host[i].Image.Data[j] {
+				t.Fatalf("sample %d diverges at element %d — pool offload not transparent", i, j)
+			}
+		}
+	}
+	stats := cluster.Stats()
+	if len(stats) != 1 || stats[0].Name != "pool-dispatch" || stats[0].Parallelism != 3 {
+		t.Fatalf("cluster stats = %+v", stats)
+	}
+	if stats[0].ItemsOut != int64(len(host)) {
+		t.Errorf("dispatch delivered %d samples, want %d", stats[0].ItemsOut, len(host))
+	}
+}
+
+func TestClusterErrorsAndValidation(t *testing.T) {
+	if _, err := NewCluster(); err == nil {
+		t.Error("empty cluster accepted")
+	}
+	if _, err := NewCluster(nil); err == nil {
+		t.Error("nil handler accepted")
+	}
+	cluster, _, _ := poolFixture(t, 2)
+	base := runtime.NumGoroutine()
+	if _, err := cluster.PrepareBatch(context.Background(), []string{"img-00000", "missing"}, 1, 0); err == nil {
+		t.Error("batch with missing key accepted")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > base {
+		t.Errorf("goroutines leaked after failed batch: %d, started with %d", n, base)
+	}
+	// All devices must be back in the pool after the failure.
+	if got := len(cluster.avail); got != cluster.Devices() {
+		t.Errorf("%d of %d devices returned to pool", got, cluster.Devices())
+	}
+}
+
+func TestClusterCancelledContext(t *testing.T) {
+	cluster, store, _ := poolFixture(t, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := cluster.PrepareBatch(ctx, store.Keys(), 1, 0); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled batch: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestP2PBatchContextCancellation: the handler's staged pipeline must
+// honour cancellation mid-batch.
+func TestP2PBatchContextCancellation(t *testing.T) {
+	store := storage.NewStore(storage.DefaultSSDSpec())
+	if err := dataprep.BuildImageDataset(store, 4, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	ns, err := nvme.LoadStore(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewP2PHandler(ns, NewImageEmulator(dataprep.DefaultImageConfig()), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := h.PrepareBatchContext(ctx, store.Keys(), 1, 0); err == nil {
+		t.Error("cancelled p2p batch succeeded")
+	}
+	// A fresh batch afterwards still works and records stage stats.
+	out, err := h.PrepareBatch(store.Keys(), 1, 0)
+	if err != nil || len(out) != 4 {
+		t.Fatalf("post-cancel batch: %v (%d samples)", err, len(out))
+	}
+	stats := h.Stats()
+	if len(stats) != 2 || stats[0].Name != "nvme-read" || stats[1].Name != "prep-engine" {
+		t.Fatalf("handler stats = %+v", stats)
+	}
+}

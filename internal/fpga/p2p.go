@@ -1,10 +1,13 @@
 package fpga
 
 import (
+	"context"
 	"fmt"
 
 	"trainbox/internal/dataprep"
 	"trainbox/internal/nvme"
+	"trainbox/internal/pipeline"
+	"trainbox/internal/storage"
 )
 
 // P2PHandler is the functional model of Figure 17's P2P module: the
@@ -12,9 +15,16 @@ import (
 // generator (internal/nvme, after the paper's DCS-engine) and runs the
 // preparation engine on them — the SSD→FPGA half of the device-centric
 // datapath, with no host software involved.
+//
+// Batch preparation runs on the staged-pipeline runtime: an nvme-read
+// stage whose bounded queue mirrors the NVMe queue depth feeds the
+// prep-engine stage, so storage reads overlap engine time exactly the
+// way the hardware pipeline overlaps them.
 type P2PHandler struct {
 	client *nvme.Client
 	engine *Emulator
+	depth  int
+	stats  pipeline.StatsSet
 }
 
 // NewP2PHandler binds an FPGA engine to an SSD namespace with a queue
@@ -27,7 +37,7 @@ func NewP2PHandler(ns *nvme.Namespace, engine *Emulator, queueDepth int) (*P2PHa
 	if err != nil {
 		return nil, err
 	}
-	return &P2PHandler{client: client, engine: engine}, nil
+	return &P2PHandler{client: client, engine: engine, depth: queueDepth}, nil
 }
 
 // PrepareByKey fetches the keyed object over NVMe and prepares it with
@@ -40,16 +50,51 @@ func (h *P2PHandler) PrepareByKey(key string, seed int64) dataprep.Prepared {
 	return h.engine.Prepare(obj, seed)
 }
 
+// Stats returns the handler's cumulative per-stage pipeline counters
+// across every batch it prepared.
+func (h *P2PHandler) Stats() []pipeline.StageStats {
+	return h.stats.Snapshot()
+}
+
 // PrepareBatch prepares the keyed objects in order, deriving per-sample
 // seeds the same way the host executor does, so the device-centric path
 // is drop-in bit-equal with the host path.
 func (h *P2PHandler) PrepareBatch(keys []string, datasetSeed int64, epoch int) ([]dataprep.Prepared, error) {
-	out := make([]dataprep.Prepared, len(keys))
-	for i, key := range keys {
-		out[i] = h.PrepareByKey(key, dataprep.SampleSeed(datasetSeed, key, epoch))
-		if out[i].Err != nil {
-			return nil, fmt.Errorf("fpga: p2p sample %q: %w", key, out[i].Err)
-		}
+	return h.PrepareBatchContext(context.Background(), keys, datasetSeed, epoch)
+}
+
+// PrepareBatchContext is PrepareBatch with cancellation: the first NVMe
+// or engine error — or ctx being cancelled — stops both stages and
+// drains the pipeline before returning.
+func (h *P2PHandler) PrepareBatchContext(ctx context.Context, keys []string, datasetSeed int64, epoch int) ([]dataprep.Prepared, error) {
+	read := pipeline.NewStage("nvme-read", 1, h.depth,
+		func(ctx context.Context, i int) (storage.Object, error) {
+			if err := ctx.Err(); err != nil {
+				return storage.Object{}, err
+			}
+			obj, err := h.client.ReadObject(keys[i])
+			if err != nil {
+				return storage.Object{}, fmt.Errorf("fpga: p2p sample %q: %w", keys[i], err)
+			}
+			return obj, nil
+		})
+	prep := pipeline.NewStage("prep-engine", 1, 1,
+		func(_ context.Context, obj storage.Object) (dataprep.Prepared, error) {
+			p := h.engine.Prepare(obj, dataprep.SampleSeed(datasetSeed, obj.Key, epoch))
+			if p.Err != nil {
+				return dataprep.Prepared{}, fmt.Errorf("fpga: p2p sample %q: %w", p.Key, p.Err)
+			}
+			return p, nil
+		})
+	pl, err := pipeline.New("fpga-p2p", read, prep)
+	if err != nil {
+		return nil, err
+	}
+	run := pl.Run(ctx, pipeline.IndexSource(len(keys)))
+	out, err := pipeline.Drain[dataprep.Prepared](run)
+	h.stats.Add(run.Stats())
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,395 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stage is one transform in a pipeline: items enter, fn runs on up to
+// parallelism workers, results leave through a bounded queue in the
+// order the items entered. Build stages with NewStage, which adds type
+// safety around the untyped runtime representation.
+type Stage struct {
+	name  string
+	par   int
+	depth int
+	fn    func(ctx context.Context, v any) (any, error)
+}
+
+// NewStage builds a typed stage. parallelism < 1 is treated as 1 (a
+// serial stage); queueDepth < 0 as 0 (a rendezvous hand-off). fn must be
+// safe for concurrent use when parallelism > 1. Returning an error from
+// fn fails the whole run: the pipeline context is cancelled and every
+// stage drains.
+func NewStage[In, Out any](name string, parallelism, queueDepth int, fn func(ctx context.Context, in In) (Out, error)) *Stage {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	return &Stage{
+		name:  name,
+		par:   parallelism,
+		depth: queueDepth,
+		fn: func(ctx context.Context, v any) (any, error) {
+			in, ok := v.(In)
+			if !ok {
+				var want In
+				return nil, fmt.Errorf("pipeline: stage %q: item is %T, want %T", name, v, want)
+			}
+			return fn(ctx, in)
+		},
+	}
+}
+
+// Name returns the stage's name.
+func (s *Stage) Name() string { return s.name }
+
+// Pipeline is an immutable description of a staged data path. It can be
+// run any number of times; each Run gets its own channels, goroutines,
+// and counters.
+type Pipeline struct {
+	name   string
+	stages []*Stage
+}
+
+// New validates and assembles a pipeline from stages in order.
+func New(name string, stages ...*Stage) (*Pipeline, error) {
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("pipeline: %q needs at least one stage", name)
+	}
+	seen := make(map[string]bool, len(stages))
+	for i, s := range stages {
+		if s == nil {
+			return nil, fmt.Errorf("pipeline: %q: stage %d is nil", name, i)
+		}
+		if s.name == "" {
+			return nil, fmt.Errorf("pipeline: %q: stage %d has no name", name, i)
+		}
+		if seen[s.name] {
+			return nil, fmt.Errorf("pipeline: %q: duplicate stage name %q", name, s.name)
+		}
+		seen[s.name] = true
+	}
+	return &Pipeline{name: name, stages: stages}, nil
+}
+
+// Name returns the pipeline's name.
+func (p *Pipeline) Name() string { return p.name }
+
+// Source feeds items into a running pipeline by calling emit once per
+// item. emit blocks while the first stage is busy (backpressure) and
+// returns the context error once the run is cancelled, at which point
+// the source should stop. A non-nil return fails the run.
+type Source func(ctx context.Context, emit func(v any) error) error
+
+// IndexSource emits the integers 0..n-1 — the usual driver for batch
+// index or epoch schedules.
+func IndexSource(n int) Source {
+	return func(ctx context.Context, emit func(v any) error) error {
+		for i := 0; i < n; i++ {
+			if err := emit(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// SliceSource emits each element of items in order.
+func SliceSource[T any](items []T) Source {
+	return func(ctx context.Context, emit func(v any) error) error {
+		for _, it := range items {
+			if err := emit(it); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// item is the envelope moved between stages; seq is the source emission
+// index, used to restore order after a parallel stage.
+type item struct {
+	seq int64
+	v   any
+}
+
+// stageRun instruments one stage for one run.
+type stageRun struct {
+	spec     *Stage
+	out      chan item
+	itemsIn  atomic.Int64
+	itemsOut atomic.Int64
+	busy     atomic.Int64 // nanoseconds inside fn
+}
+
+// Run is one execution of a pipeline over one source. Consume Out()
+// until it closes, then check Err(); or call Stop to cancel early.
+type Run struct {
+	name     string
+	ctx      context.Context
+	cancel   context.CancelFunc
+	stages   []*stageRun
+	final    chan any
+	wg       sync.WaitGroup
+	complete atomic.Bool
+
+	errOnce  sync.Once
+	mu       sync.Mutex
+	firstErr error
+}
+
+// Run starts the pipeline over the source. The returned Run owns all
+// goroutines it spawned; they exit once the source is exhausted, an
+// error cancels the run, or ctx is cancelled.
+func (p *Pipeline) Run(ctx context.Context, src Source) *Run {
+	rctx, cancel := context.WithCancel(ctx)
+	r := &Run{name: p.name, ctx: rctx, cancel: cancel, final: make(chan any)}
+
+	srcOut := make(chan item)
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		defer close(srcOut)
+		var seq int64
+		emit := func(v any) error {
+			select {
+			case srcOut <- item{seq: seq, v: v}:
+				seq++
+				return nil
+			case <-rctx.Done():
+				return rctx.Err()
+			}
+		}
+		if err := src(rctx, emit); err != nil && rctx.Err() == nil {
+			r.fail(err)
+		}
+	}()
+
+	in := srcOut
+	for _, s := range p.stages {
+		sr := &stageRun{spec: s, out: make(chan item, s.depth)}
+		r.stages = append(r.stages, sr)
+		r.startStage(rctx, sr, in)
+		in = sr.out
+	}
+
+	// Strip envelopes from the last stage into the public output channel.
+	last := in
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		defer close(r.final)
+		for it := range last {
+			select {
+			case r.final <- it.v:
+			case <-rctx.Done():
+				for range last { //nolint:revive // drain cancelled run
+				}
+				return
+			}
+		}
+		if rctx.Err() == nil {
+			r.complete.Store(true)
+		}
+	}()
+	return r
+}
+
+func (r *Run) startStage(ctx context.Context, sr *stageRun, in <-chan item) {
+	apply := func(it item) (item, bool) {
+		sr.itemsIn.Add(1)
+		start := time.Now()
+		v, err := sr.spec.fn(ctx, it.v)
+		sr.busy.Add(int64(time.Since(start)))
+		if err != nil {
+			r.fail(err)
+			return item{}, false
+		}
+		return item{seq: it.seq, v: v}, true
+	}
+
+	if sr.spec.par == 1 {
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			defer close(sr.out)
+			for it := range in {
+				res, ok := apply(it)
+				if !ok {
+					return
+				}
+				select {
+				case sr.out <- res:
+					sr.itemsOut.Add(1)
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+		return
+	}
+
+	// Parallel stage: workers fan out, a reorderer restores source order.
+	// Out-of-orderness is bounded by the worker count, so the pending map
+	// never holds more than par items.
+	results := make(chan item)
+	var workers sync.WaitGroup
+	for w := 0; w < sr.spec.par; w++ {
+		workers.Add(1)
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			defer workers.Done()
+			for it := range in {
+				res, ok := apply(it)
+				if !ok {
+					return
+				}
+				select {
+				case results <- res:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		workers.Wait()
+		close(results)
+	}()
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		defer close(sr.out)
+		pending := make(map[int64]any, sr.spec.par)
+		var next int64
+		for it := range results {
+			pending[it.seq] = it.v
+			for {
+				v, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				select {
+				case sr.out <- item{seq: next, v: v}:
+					sr.itemsOut.Add(1)
+					next++
+				case <-ctx.Done():
+					for range results { //nolint:revive // drain cancelled run
+					}
+					return
+				}
+			}
+		}
+	}()
+}
+
+func (r *Run) fail(err error) {
+	r.errOnce.Do(func() {
+		r.mu.Lock()
+		r.firstErr = err
+		r.mu.Unlock()
+		r.cancel()
+	})
+}
+
+// Out is the ordered output of the last stage. It closes when the run
+// completes, fails, or is stopped; check Err() afterwards.
+func (r *Run) Out() <-chan any { return r.final }
+
+// Err returns the first stage or source error, the cancellation cause
+// if the run was cancelled before completing, or nil if the run
+// completed (or is still in flight).
+func (r *Run) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.firstErr != nil {
+		return r.firstErr
+	}
+	if r.complete.Load() {
+		return nil
+	}
+	return r.ctx.Err()
+}
+
+// Wait blocks until every pipeline goroutine has exited and returns
+// Err(). Out() must already be fully consumed (or the run cancelled),
+// otherwise Wait deadlocks on the backpressured output.
+func (r *Run) Wait() error {
+	r.wg.Wait()
+	r.cancel() // release the derived context; Err() is already latched
+	return r.Err()
+}
+
+// Stop cancels the run, discards any buffered output, and waits for all
+// goroutines to exit. It is safe to call multiple times and after
+// completion.
+func (r *Run) Stop() {
+	r.cancel()
+	for range r.final { //nolint:revive // discard buffered output
+	}
+	r.wg.Wait()
+}
+
+// Drain consumes the run to completion, returning the ordered outputs
+// asserted to T. It waits for all goroutines to exit before returning.
+func Drain[T any](r *Run) ([]T, error) {
+	out := make([]T, 0, 16)
+	for v := range r.Out() {
+		t, ok := v.(T)
+		if !ok {
+			r.Stop()
+			var want T
+			return nil, fmt.Errorf("pipeline: %s: output is %T, want %T", r.name, v, want)
+		}
+		out = append(out, t)
+	}
+	if err := r.Wait(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ForEach runs fn(i) for every i in [0, n) on its own goroutine and
+// waits for all of them — the pipeline's fan-out/join primitive for
+// fixed-width parallel sections such as per-replica compute. The first
+// error cancels the shared context handed to the remaining calls, and
+// is returned after the join.
+func ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	fctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg    sync.WaitGroup
+		once  sync.Once
+		first error
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := fn(fctx, i); err != nil {
+				once.Do(func() {
+					first = err
+					cancel()
+				})
+			}
+		}(i)
+	}
+	wg.Wait()
+	if first != nil {
+		return first
+	}
+	return ctx.Err()
+}

@@ -10,6 +10,7 @@
 package storage
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -97,6 +98,18 @@ func (s *Store) Get(key string) (Object, error) {
 		return Object{}, fmt.Errorf("storage: %s: no object %q", s.spec.Name, key)
 	}
 	return obj, nil
+}
+
+// GetContext retrieves an object by key, honouring cancellation: a read
+// issued after the pipeline's context is cancelled fails immediately
+// instead of feeding a dead pipeline. The in-memory lookup itself is
+// not interruptible (it completes in microseconds); the context gate is
+// the contract real storage backends would extend to in-flight I/O.
+func (s *Store) GetContext(ctx context.Context, key string) (Object, error) {
+	if err := ctx.Err(); err != nil {
+		return Object{}, fmt.Errorf("storage: %s: read %q: %w", s.spec.Name, key, err)
+	}
+	return s.Get(key)
 }
 
 // Keys returns all keys in sorted order.

@@ -1,6 +1,8 @@
 package storage
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -161,5 +163,24 @@ func TestPartitionPropertyCompleteAndBalanced(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestGetContext(t *testing.T) {
+	s := NewStore(DefaultSSDSpec())
+	if err := s.Put(Object{Key: "a", Data: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	obj, err := s.GetContext(context.Background(), "a")
+	if err != nil || obj.Key != "a" {
+		t.Fatalf("GetContext = %+v, %v", obj, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.GetContext(ctx, "a"); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled read: err = %v, want context.Canceled", err)
+	}
+	if _, err := s.GetContext(context.Background(), "missing"); err == nil {
+		t.Error("missing key accepted")
 	}
 }

@@ -1,10 +1,16 @@
 // Package train is the functional end-to-end training driver of the
 // reproduction: it wires every substrate together the way Figure 1
-// composes them — data preparation (internal/dataprep, with next-batch
-// prefetching), model computation on data-parallel replicas
-// (internal/nn, one goroutine per "accelerator"), and model
-// synchronization (internal/collective's real ring all-reduce) — and
-// runs synchronous SGD.
+// composes them — data preparation (internal/dataprep), model
+// computation on data-parallel replicas (internal/nn, one goroutine per
+// "accelerator"), and model synchronization (internal/collective's real
+// ring all-reduce) — and runs synchronous SGD.
+//
+// The driver is one staged pipeline on internal/pipeline: a
+// prepare stage (next-batch prefetching, queue depth = PrefetchDepth)
+// feeds an extract stage feeding the serial step stage that runs
+// replica compute (pipeline.ForEach fan-out) and the ring all-reduce.
+// The first failure anywhere cancels the whole pipeline through its
+// context and drains every goroutine.
 //
 // It exists to prove the composition is correct, not to be fast: tests
 // assert that replicas remain numerically synchronized after every step
@@ -12,14 +18,15 @@
 package train
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
-	"sync"
 	"time"
 
 	"trainbox/internal/collective"
 	"trainbox/internal/dataprep"
 	"trainbox/internal/nn"
+	"trainbox/internal/pipeline"
 	"trainbox/internal/storage"
 )
 
@@ -102,11 +109,25 @@ func (r Result) FinalLoss() float64 {
 	return r.Steps[len(r.Steps)-1].MeanLoss
 }
 
-// Run trains data-parallel replicas over the keyed dataset: each epoch's
-// batch is prepared by the prefetcher (overlapped with the previous
-// epoch's computation), split across replicas, backpropagated in
-// parallel, ring-all-reduced, and applied as one synchronous SGD step
-// per minibatch.
+// epochBatch and epochSamples are the payloads between driver stages.
+type epochBatch struct {
+	epoch   int
+	samples []dataprep.Prepared
+}
+
+type epochSamples struct {
+	epoch   int
+	samples []nn.Sample
+}
+
+// Run trains data-parallel replicas over the keyed dataset as one
+// staged pipeline: a prepare stage (the next-batch prefetcher, queue
+// depth = PrefetchDepth) overlaps each epoch's data preparation with
+// the previous epoch's computation; an extract stage converts prepared
+// samples to model inputs into pooled buffers; the serial step stage
+// splits each epoch across replicas, backpropagates in parallel
+// (pipeline.ForEach), ring-all-reduces, and applies one synchronous SGD
+// step per minibatch. The first error anywhere cancels the pipeline.
 func Run(cfg Config, exec *dataprep.Executor, store *storage.Store, keys []string, feature FeatureFn) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
@@ -129,30 +150,46 @@ func Run(cfg Config, exec *dataprep.Executor, store *storage.Store, keys []strin
 		opts[i] = opt
 	}
 
-	pf, err := dataprep.NewPrefetcher(exec, store, keys, cfg.Epochs, cfg.PrefetchDepth)
+	keysCopy := append([]string(nil), keys...)
+	// Epoch sample buffers cycle between the extract stage and the end of
+	// the step stage instead of being reallocated every epoch.
+	samplePool := pipeline.NewPool(func() []nn.Sample { return make([]nn.Sample, 0, len(keysCopy)) })
+
+	prepare := pipeline.NewStage("prepare", 1, cfg.PrefetchDepth,
+		func(ctx context.Context, epoch int) (epochBatch, error) {
+			batch, err := exec.PrepareBatchContext(ctx, store, keysCopy, epoch)
+			if err != nil {
+				return epochBatch{}, err
+			}
+			return epochBatch{epoch: epoch, samples: batch}, nil
+		})
+	extractStage := pipeline.NewStage("extract", 1, 0,
+		func(_ context.Context, eb epochBatch) (epochSamples, error) {
+			samples, err := extract(eb.samples, feature, samplePool.Get())
+			if err != nil {
+				return epochSamples{}, err
+			}
+			return epochSamples{epoch: eb.epoch, samples: samples}, nil
+		})
+	step := pipeline.NewStage("step", 1, 0,
+		func(ctx context.Context, es epochSamples) ([]StepStat, error) {
+			stats, err := trainEpoch(ctx, cfg, replicas, opts, es.samples, es.epoch)
+			samplePool.Put(es.samples[:0])
+			return stats, err
+		})
+	pl, err := pipeline.New("train", prepare, extractStage, step)
 	if err != nil {
 		return Result{}, err
 	}
-	defer pf.Close()
 
 	res := Result{Replicas: replicas}
 	start := time.Now()
-	for {
-		batch, err := pf.Next()
-		if err == dataprep.ErrExhausted {
-			break
-		}
-		if err != nil {
-			return Result{}, err
-		}
-		samples, err := extract(batch.Samples, feature)
-		if err != nil {
-			return Result{}, err
-		}
-		stats, err := trainEpoch(cfg, replicas, opts, samples, batch.Epoch)
-		if err != nil {
-			return Result{}, err
-		}
+	run := pl.Run(context.Background(), pipeline.IndexSource(cfg.Epochs))
+	epochStats, err := pipeline.Drain[[]StepStat](run)
+	if err != nil {
+		return Result{}, err
+	}
+	for _, stats := range epochStats {
 		for _, s := range stats {
 			res.Steps = append(res.Steps, s)
 			res.SamplesProcessed += s.Samples
@@ -162,20 +199,22 @@ func Run(cfg Config, exec *dataprep.Executor, store *storage.Store, keys []strin
 	return res, nil
 }
 
-func extract(batch []dataprep.Prepared, feature FeatureFn) ([]nn.Sample, error) {
-	out := make([]nn.Sample, len(batch))
-	for i, p := range batch {
+// extract converts one prepared epoch into model samples, reusing the
+// pooled buffer.
+func extract(batch []dataprep.Prepared, feature FeatureFn, buf []nn.Sample) ([]nn.Sample, error) {
+	buf = buf[:0]
+	for _, p := range batch {
 		x, label, err := feature(p)
 		if err != nil {
 			return nil, fmt.Errorf("train: feature for %q: %w", p.Key, err)
 		}
-		out[i] = nn.Sample{X: x, Label: label}
+		buf = append(buf, nn.Sample{X: x, Label: label})
 	}
-	return out, nil
+	return buf, nil
 }
 
 // trainEpoch runs synchronous data-parallel SGD over one prepared epoch.
-func trainEpoch(cfg Config, replicas []*nn.Network, opts []*nn.SGD, samples []nn.Sample, epoch int) ([]StepStat, error) {
+func trainEpoch(ctx context.Context, cfg Config, replicas []*nn.Network, opts []*nn.SGD, samples []nn.Sample, epoch int) ([]StepStat, error) {
 	r := cfg.Replicas
 	mb := cfg.MinibatchPerReplica
 	shard := len(samples) / r
@@ -189,23 +228,20 @@ func trainEpoch(cfg Config, replicas []*nn.Network, opts []*nn.SGD, samples []nn
 	for off := 0; off+mb <= shard; off += mb {
 		grads := make([][]float64, r)
 		losses := make([]float64, r)
-		var wg sync.WaitGroup
-		for rep := 0; rep < r; rep++ {
-			wg.Add(1)
-			go func(rep int) {
-				defer wg.Done()
-				net := replicas[rep]
-				net.ZeroGrad()
-				var loss float64
-				for i := 0; i < mb; i++ {
-					s := samples[rep*shard+off+i]
-					loss += net.LossAndBackward(net.Forward(s.X), s.Label)
-				}
-				grads[rep] = net.Gradients()
-				losses[rep] = loss
-			}(rep)
+		if err := pipeline.ForEach(ctx, r, func(_ context.Context, rep int) error {
+			net := replicas[rep]
+			net.ZeroGrad()
+			var loss float64
+			for i := 0; i < mb; i++ {
+				s := samples[rep*shard+off+i]
+				loss += net.LossAndBackward(net.Forward(s.X), s.Label)
+			}
+			grads[rep] = net.Gradients()
+			losses[rep] = loss
+			return nil
+		}); err != nil {
+			return nil, err
 		}
-		wg.Wait()
 
 		syncStart := time.Now()
 		if err := collective.RingAllReduce(grads); err != nil {

@@ -2,7 +2,10 @@ package train
 
 import (
 	"math"
+	"runtime"
+	"strings"
 	"testing"
+	"time"
 
 	"trainbox/internal/dataprep"
 	"trainbox/internal/nn"
@@ -159,6 +162,59 @@ func TestRunValidation(t *testing.T) {
 	cfg.Replicas = 100
 	if _, err := Run(cfg, exec, store, keys, stripeFeature); err == nil {
 		t.Error("more replicas than keys accepted")
+	}
+}
+
+// TestRunStorageErrorCancelsPipeline: a storage read failing mid-run
+// (a key that vanishes from the shard) must cancel the whole
+// prepare→extract→step pipeline, surface the storage error from Run,
+// and leak no goroutines.
+func TestRunStorageErrorCancelsPipeline(t *testing.T) {
+	exec, store, keys := setup(t, 16)
+	base := runtime.NumGoroutine()
+	cfg := baseConfig()
+	cfg.Epochs = 50
+	badKeys := append(append([]string(nil), keys...), "missing")
+	_, err := Run(cfg, exec, store, badKeys, stripeFeature)
+	if err == nil {
+		t.Fatal("run with missing key succeeded")
+	}
+	if !strings.Contains(err.Error(), "missing") {
+		t.Errorf("error does not name the failing sample: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > base {
+		t.Errorf("goroutines leaked after failed run: %d running, started with %d", n, base)
+	}
+}
+
+// TestRunFeatureErrorCancelsPipeline: the extract stage failing must
+// likewise abort the run cleanly.
+func TestRunFeatureErrorCancelsPipeline(t *testing.T) {
+	exec, store, keys := setup(t, 8)
+	base := runtime.NumGoroutine()
+	cfg := baseConfig()
+	cfg.Epochs = 40
+	calls := 0
+	badFeature := func(p dataprep.Prepared) ([]float64, int, error) {
+		calls++
+		if calls > 12 {
+			return nil, 0, dataprep.ErrExhausted // any sentinel error
+		}
+		return stripeFeature(p)
+	}
+	if _, err := Run(cfg, exec, store, keys, badFeature); err == nil {
+		t.Fatal("run with failing feature succeeded")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > base {
+		t.Errorf("goroutines leaked: %d running, started with %d", n, base)
 	}
 }
 
