@@ -1,0 +1,147 @@
+// Command benchdiff is the CI perf-regression gate: it compares the
+// tracked throughput metrics of a freshly generated BENCH.json (from
+// `trainbox-bench -json`) against the committed BENCH_baseline.json and
+// exits non-zero if any metric regressed by more than the threshold.
+//
+//	benchdiff -baseline BENCH_baseline.json -current bench.json [-threshold 0.25]
+//
+// Only throughput metrics present in the baseline are gated — new
+// metrics in the current report start being tracked once they land in a
+// regenerated baseline, and improvements never fail the gate. The
+// default 25% threshold absorbs CI-runner noise; tighten it locally
+// when comparing runs on one machine.
+//
+// Exit codes: 0 = no regression, 1 = regression detected, 2 = bad
+// input (missing file, schema mismatch, empty baseline).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"trainbox/internal/report"
+)
+
+// benchFile is the subset of the trainbox-bench JSON schema the gate
+// reads.
+type benchFile struct {
+	Schema     string             `json:"schema"`
+	GoVersion  string             `json:"go_version"`
+	Throughput map[string]float64 `json:"throughput"`
+}
+
+// delta is one metric's comparison.
+type delta struct {
+	Name      string
+	Baseline  float64
+	Current   float64
+	Change    float64 // (current-baseline)/baseline
+	Regressed bool
+	Missing   bool // tracked in baseline, absent from current
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline report")
+	currentPath := flag.String("current", "bench.json", "freshly generated report")
+	threshold := flag.Float64("threshold", 0.25, "maximum tolerated fractional throughput drop (0.25 = 25%)")
+	flag.Parse()
+
+	code, out := run(*baselinePath, *currentPath, *threshold)
+	fmt.Print(out)
+	os.Exit(code)
+}
+
+func run(baselinePath, currentPath string, threshold float64) (int, string) {
+	if threshold < 0 || threshold >= 1 {
+		return 2, fmt.Sprintf("benchdiff: threshold %v outside [0,1)\n", threshold)
+	}
+	baseline, err := load(baselinePath)
+	if err != nil {
+		return 2, fmt.Sprintf("benchdiff: baseline: %v\n", err)
+	}
+	current, err := load(currentPath)
+	if err != nil {
+		return 2, fmt.Sprintf("benchdiff: current: %v\n", err)
+	}
+	if len(baseline.Throughput) == 0 {
+		return 2, fmt.Sprintf("benchdiff: %s tracks no throughput metrics — regenerate it with `trainbox-bench -json`\n", baselinePath)
+	}
+
+	deltas := compare(baseline.Throughput, current.Throughput, threshold)
+	var sb strings.Builder
+	t := report.NewTable(fmt.Sprintf("Throughput vs baseline (gate: -%.0f%%)", threshold*100),
+		"metric", "baseline", "current", "change", "status")
+	regressions := 0
+	for _, d := range deltas {
+		switch {
+		case d.Missing:
+			regressions++
+			t.AddRowf(d.Name, d.Baseline, "—", "—", "MISSING")
+		case d.Regressed:
+			regressions++
+			t.AddRowf(d.Name, d.Baseline, d.Current, fmt.Sprintf("%+.1f%%", 100*d.Change), "REGRESSED")
+		default:
+			t.AddRowf(d.Name, d.Baseline, d.Current, fmt.Sprintf("%+.1f%%", 100*d.Change), "ok")
+		}
+	}
+	sb.WriteString(t.String())
+	if regressions > 0 {
+		fmt.Fprintf(&sb, "benchdiff: %d tracked throughput metric(s) regressed >%.0f%% vs %s\n",
+			regressions, threshold*100, baselinePath)
+		return 1, sb.String()
+	}
+	fmt.Fprintf(&sb, "benchdiff: all %d tracked throughput metrics within %.0f%% of baseline\n",
+		len(deltas), threshold*100)
+	return 0, sb.String()
+}
+
+// load reads and schema-checks one report.
+func load(path string) (benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return benchFile{}, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return benchFile{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if !strings.HasPrefix(f.Schema, "trainbox-bench/v1") {
+		return benchFile{}, fmt.Errorf("%s: schema %q, want trainbox-bench/v1*", path, f.Schema)
+	}
+	return f, nil
+}
+
+// compare gates every baseline-tracked metric: a metric regresses when
+// current < baseline × (1 - threshold). Metrics only in the current
+// report are ignored (they are tracked once a regenerated baseline
+// includes them); higher-is-better is assumed for all throughput.
+func compare(baseline, current map[string]float64, threshold float64) []delta {
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]delta, 0, len(names))
+	for _, name := range names {
+		base := baseline[name]
+		cur, ok := current[name]
+		d := delta{Name: name, Baseline: base, Current: cur}
+		switch {
+		case !ok:
+			d.Missing = true
+		case base <= 0:
+			// A non-positive baseline can't express a fractional drop; only
+			// gate on the current value falling below it.
+			d.Regressed = cur < base
+		default:
+			d.Change = (cur - base) / base
+			d.Regressed = cur < base*(1-threshold)
+		}
+		out = append(out, d)
+	}
+	return out
+}

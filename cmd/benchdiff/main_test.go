@@ -1,0 +1,109 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, dir, name, schema string, throughput map[string]float64) string {
+	t.Helper()
+	data, err := json.Marshal(benchFile{Schema: schema, Throughput: throughput})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := map[string]float64{"a": 100, "b": 100, "c": 100}
+	cur := map[string]float64{"a": 80, "b": 70, "c": 130}
+	byName := map[string]delta{}
+	for _, d := range compare(base, cur, 0.25) {
+		byName[d.Name] = d
+	}
+	if byName["a"].Regressed {
+		t.Error("a dropped 20% < threshold, must pass")
+	}
+	if !byName["b"].Regressed {
+		t.Error("b dropped 30% > threshold, must regress")
+	}
+	if byName["c"].Regressed {
+		t.Error("c improved, must pass")
+	}
+}
+
+func TestCompareMissingMetricFails(t *testing.T) {
+	deltas := compare(map[string]float64{"gone": 50}, map[string]float64{}, 0.25)
+	if len(deltas) != 1 || !deltas[0].Missing {
+		t.Fatalf("deltas = %+v, want one missing", deltas)
+	}
+}
+
+func TestCompareNewMetricIgnored(t *testing.T) {
+	deltas := compare(map[string]float64{"a": 1}, map[string]float64{"a": 1, "new": 9}, 0.25)
+	if len(deltas) != 1 || deltas[0].Name != "a" {
+		t.Fatalf("deltas = %+v, want only baseline-tracked metrics", deltas)
+	}
+}
+
+func TestCompareDeterministicOrder(t *testing.T) {
+	base := map[string]float64{"z": 1, "a": 1, "m": 1}
+	deltas := compare(base, base, 0.25)
+	if deltas[0].Name != "a" || deltas[1].Name != "m" || deltas[2].Name != "z" {
+		t.Fatalf("order = %v, want sorted", deltas)
+	}
+}
+
+// TestRunExitCodes drives the gate end-to-end through real files: pass,
+// regression, missing metric, schema mismatch, empty baseline.
+func TestRunExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", "trainbox-bench/v1",
+		map[string]float64{"prefetcher_samples_per_sec": 1000})
+
+	ok := writeReport(t, dir, "ok.json", "trainbox-bench/v1",
+		map[string]float64{"prefetcher_samples_per_sec": 900})
+	if code, out := run(base, ok, 0.25); code != 0 {
+		t.Errorf("10%% drop: exit %d, output:\n%s", code, out)
+	}
+
+	bad := writeReport(t, dir, "bad.json", "trainbox-bench/v1",
+		map[string]float64{"prefetcher_samples_per_sec": 500})
+	code, out := run(base, bad, 0.25)
+	if code != 1 {
+		t.Errorf("50%% drop: exit %d, want 1", code)
+	}
+	if !strings.Contains(out, "REGRESSED") {
+		t.Errorf("output does not flag the regression:\n%s", out)
+	}
+
+	empty := writeReport(t, dir, "empty.json", "trainbox-bench/v1", map[string]float64{})
+	if code, _ := run(base, empty, 0.25); code != 1 {
+		t.Errorf("missing tracked metric: exit %d, want 1", code)
+	}
+
+	wrong := writeReport(t, dir, "wrong.json", "somethingelse/v9",
+		map[string]float64{"prefetcher_samples_per_sec": 1000})
+	if code, _ := run(base, wrong, 0.25); code != 2 {
+		t.Errorf("schema mismatch: exit %d, want 2", code)
+	}
+
+	if code, _ := run(empty, ok, 0.25); code != 2 {
+		t.Errorf("empty baseline: exit %d, want 2", code)
+	}
+
+	if code, _ := run(base, filepath.Join(dir, "nope.json"), 0.25); code != 2 {
+		t.Errorf("missing file: exit %d, want 2", code)
+	}
+
+	if code, _ := run(base, ok, 1.5); code != 2 {
+		t.Errorf("bad threshold: exit %d, want 2", code)
+	}
+}

@@ -1,133 +1,443 @@
 // Command trainbox-bench regenerates every table and figure of the
 // paper's evaluation in one run and prints a paper-vs-measured summary —
 // the data source for EXPERIMENTS.md.
+//
+// With -json <path> it additionally runs a live throughput harness over
+// the real data path (executor, prefetcher, FPGA pool, training driver,
+// all reporting into one metrics registry) and writes a
+// schema-versioned, machine-readable report: per-experiment measured
+// values, tracked throughput numbers, and the full metrics snapshot.
+// That file is the BENCH.json artifact the CI perf-regression gate
+// (cmd/benchdiff) compares against the committed BENCH_baseline.json.
+//
+// Output is deterministic and fail-fast: every experiment runs in a
+// fixed order into a buffer, and nothing is printed until all of them
+// have succeeded; the first failure aborts the run with a non-zero exit
+// and no partial tables on stdout.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
+	"time"
 
+	"trainbox/internal/dataprep"
 	"trainbox/internal/experiments"
+	"trainbox/internal/fpga"
+	"trainbox/internal/metrics"
+	"trainbox/internal/nvme"
 	"trainbox/internal/report"
+	"trainbox/internal/storage"
+	"trainbox/internal/train"
 )
 
-var markdown = flag.Bool("md", false, "emit the paper-vs-measured summary as a markdown table")
+// benchSchema versions the JSON report format. Bump on incompatible
+// changes; cmd/benchdiff refuses to compare mismatched major schemas.
+const benchSchema = "trainbox-bench/v1"
+
+var (
+	markdown = flag.Bool("md", false, "emit the paper-vs-measured summary as a markdown table")
+	jsonPath = flag.String("json", "", "also run the live throughput harness and write a machine-readable BENCH.json to this path")
+)
 
 func main() {
 	flag.Parse()
-	if err := run(); err != nil {
+	if err := run(*markdown, *jsonPath); err != nil {
 		fmt.Fprintf(os.Stderr, "trainbox-bench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	summary := report.NewTable("Paper vs measured summary",
-		"experiment", "quantity", "paper", "measured")
+// experimentValue is one headline number in the JSON report.
+type experimentValue struct {
+	Experiment string  `json:"experiment"`
+	Quantity   string  `json:"quantity"`
+	Paper      string  `json:"paper"`
+	Measured   float64 `json:"measured"`
+	// Display carries non-numeric measured values (e.g. a workload name)
+	// verbatim; Measured then holds the associated number if any.
+	Display string `json:"display,omitempty"`
+}
 
-	fmt.Println(experiments.TableI().String())
-	t2, err := experiments.TableII()
+// benchReport is the schema-versioned artifact `-json` writes.
+type benchReport struct {
+	Schema      string             `json:"schema"`
+	GoVersion   string             `json:"go_version"`
+	GOOS        string             `json:"goos"`
+	GOARCH      string             `json:"goarch"`
+	CPUs        int                `json:"cpus"`
+	GeneratedAt string             `json:"generated_at"`
+	Experiments []experimentValue  `json:"experiments"`
+	Throughput  map[string]float64 `json:"throughput"`
+	Metrics     metrics.Snapshot   `json:"metrics"`
+}
+
+// harness accumulates all output in memory so a mid-run failure never
+// leaves partial tables on stdout, and the print order is exactly the
+// fixed step order.
+type harness struct {
+	out     strings.Builder
+	summary *report.Table
+	rep     *benchReport
+}
+
+func (h *harness) print(t *report.Table) { h.out.WriteString(t.String() + "\n") }
+
+// record adds one headline number to both the summary table and the
+// JSON report.
+func (h *harness) record(experiment, quantity, paper string, measured float64) {
+	h.summary.AddRowf(experiment, quantity, paper, measured)
+	h.rep.Experiments = append(h.rep.Experiments, experimentValue{
+		Experiment: experiment, Quantity: quantity, Paper: paper, Measured: measured,
+	})
+}
+
+// recordDisplay records a headline whose rendering is non-numeric,
+// keeping the underlying number machine-readable.
+func (h *harness) recordDisplay(experiment, quantity, paper, display string, measured float64) {
+	h.summary.AddRowf(experiment, quantity, paper, display)
+	h.rep.Experiments = append(h.rep.Experiments, experimentValue{
+		Experiment: experiment, Quantity: quantity, Paper: paper, Measured: measured, Display: display,
+	})
+}
+
+type step struct {
+	name string
+	fn   func(*harness) error
+}
+
+func run(md bool, jsonPath string) error {
+	h := &harness{
+		summary: report.NewTable("Paper vs measured summary",
+			"experiment", "quantity", "paper", "measured"),
+		rep: &benchReport{
+			Schema:      benchSchema,
+			GoVersion:   runtime.Version(),
+			GOOS:        runtime.GOOS,
+			GOARCH:      runtime.GOARCH,
+			CPUs:        runtime.NumCPU(),
+			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+			Throughput:  map[string]float64{},
+		},
+	}
+
+	steps := []step{
+		{"Table I", stepTableI},
+		{"Table II", stepTableII},
+		{"Table III", stepTableIII},
+		{"Fig 2a", stepFig2a},
+		{"Fig 2b", stepFig2b},
+		{"Fig 3", stepFig3},
+		{"Fig 5", stepFig5},
+		{"Fig 8", stepFig8},
+		{"Fig 9", stepFig9},
+		{"Fig 10", stepFig10},
+		{"Fig 11", stepFig11},
+		{"Fig 19", stepFig19},
+		{"Fig 20", stepFig20},
+		{"Fig 21", stepFig21},
+		{"Fig 22", stepFig22},
+	}
+	if jsonPath != "" {
+		steps = append(steps, step{"live throughput", stepLiveThroughput})
+	}
+	for _, s := range steps {
+		if err := s.fn(h); err != nil {
+			return fmt.Errorf("%s: %w", s.name, err)
+		}
+	}
+
+	if md {
+		h.out.WriteString(h.summary.Markdown())
+	} else {
+		h.out.WriteString(h.summary.String())
+	}
+	fmt.Print(h.out.String())
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(h.rep, "", "  ")
+		if err != nil {
+			return fmt.Errorf("marshal report: %w", err)
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write report: %w", err)
+		}
+		fmt.Printf("wrote %s (%s, %d experiments, %d tracked throughput metrics)\n",
+			jsonPath, benchSchema, len(h.rep.Experiments), len(h.rep.Throughput))
+	}
+	return nil
+}
+
+func stepTableI(h *harness) error {
+	h.print(experiments.TableI())
+	return nil
+}
+
+func stepTableII(h *harness) error {
+	t, err := experiments.TableII()
 	if err != nil {
 		return err
 	}
-	fmt.Println(t2.String())
-	t3, err := experiments.TableIII()
+	h.print(t)
+	return nil
+}
+
+func stepTableIII(h *harness) error {
+	t, err := experiments.TableIII()
 	if err != nil {
 		return err
 	}
-	fmt.Println(t3.String())
+	h.print(t)
+	return nil
+}
 
-	fmt.Println(experiments.Fig2a().String())
+func stepFig2a(h *harness) error {
+	h.print(experiments.Fig2a())
+	return nil
+}
 
-	f2b := experiments.Fig2b()
-	fmt.Println(f2b.Table.String())
-	summary.AddRowf("Fig 2b", "normalized ring latency at n=256", "≈2", f2b.NormalizedAt256)
+func stepFig2b(h *harness) error {
+	f := experiments.Fig2b()
+	h.print(f.Table)
+	h.record("Fig 2b", "normalized ring latency at n=256", "≈2", f.NormalizedAt256)
+	return nil
+}
 
-	f3, err := experiments.Fig3()
+func stepFig3(h *harness) error {
+	f, err := experiments.Fig3()
 	if err != nil {
 		return err
 	}
-	fmt.Println(f3.Table.String())
-	summary.AddRowf("Fig 3", "prep/others in final config", "54.9×", f3.FinalPrepOverOthers)
+	h.print(f.Table)
+	h.record("Fig 3", "prep/others in final config", "54.9×", f.FinalPrepOverOthers)
+	return nil
+}
 
-	f5, err := experiments.Fig5(experiments.DefaultFig5Config())
+func stepFig5(h *harness) error {
+	f, err := experiments.Fig5(experiments.DefaultFig5Config())
 	if err != nil {
 		return err
 	}
-	fmt.Println(f5.Table.String())
-	summary.AddRowf("Fig 5", "augmentation accuracy gap (points)", "29.1",
-		100*(f5.FinalWith-f5.FinalWithout))
+	h.print(f.Table)
+	h.record("Fig 5", "augmentation accuracy gap (points)", "29.1",
+		100*(f.FinalWith-f.FinalWithout))
+	return nil
+}
 
-	f8, err := experiments.Fig8()
+func stepFig8(h *harness) error {
+	f, err := experiments.Fig8()
 	if err != nil {
 		return err
 	}
-	fmt.Println(f8.Table.String())
-	summary.AddRowf("Fig 8", "baseline saturation (accel-equivalents)", "≈18", f8.MaxSaturation)
+	h.print(f.Table)
+	h.record("Fig 8", "baseline saturation (accel-equivalents)", "≈18", f.MaxSaturation)
+	return nil
+}
 
-	f9, err := experiments.Fig9()
+func stepFig9(h *harness) error {
+	f, err := experiments.Fig9()
 	if err != nil {
 		return err
 	}
-	fmt.Println(f9.Table.String())
-	summary.AddRowf("Fig 9", "mean prep share at 256 accels (%)", "98.1", 100*f9.MeanPrepShare)
+	h.print(f.Table)
+	h.record("Fig 9", "mean prep share at 256 accels (%)", "98.1", 100*f.MeanPrepShare)
+	return nil
+}
 
-	f10, err := experiments.Fig10()
+func stepFig10(h *harness) error {
+	f, err := experiments.Fig10()
 	if err != nil {
 		return err
 	}
-	fmt.Println(f10.CPU.String())
-	fmt.Println(f10.Memory.String())
-	fmt.Println(f10.PCIe.String())
-	summary.AddRowf("Fig 10a", "max CPU requirement (× DGX-2)", "100.7", f10.MaxCPU)
-	summary.AddRowf("Fig 10a", "max cores required", "4833", f10.MaxCores)
-	summary.AddRowf("Fig 10b", "max memory requirement (× DGX-2)", "17.9", f10.MaxMemory)
-	summary.AddRowf("Fig 10c", "max PCIe requirement (× DGX-2)", "18.0", f10.MaxPCIe)
+	h.print(f.CPU)
+	h.print(f.Memory)
+	h.print(f.PCIe)
+	h.record("Fig 10a", "max CPU requirement (× DGX-2)", "100.7", f.MaxCPU)
+	h.record("Fig 10a", "max cores required", "4833", f.MaxCores)
+	h.record("Fig 10b", "max memory requirement (× DGX-2)", "17.9", f.MaxMemory)
+	h.record("Fig 10c", "max PCIe requirement (× DGX-2)", "18.0", f.MaxPCIe)
+	return nil
+}
 
-	f11, err := experiments.Fig11()
+func stepFig11(h *harness) error {
+	t, err := experiments.Fig11()
 	if err != nil {
 		return err
 	}
-	fmt.Println(f11.String())
+	h.print(t)
+	return nil
+}
 
-	f19, err := experiments.Fig19()
+func stepFig19(h *harness) error {
+	f, err := experiments.Fig19()
 	if err != nil {
 		return err
 	}
-	fmt.Println(f19.Table.String())
-	summary.AddRowf("Fig 19", "avg TrainBox speedup", "44.4×", f19.AvgTrainBox)
-	summary.AddRowf("Fig 19", "avg B+Acc speedup", "3.32×", f19.AvgAcc)
-	summary.AddRowf("Fig 19", "clustering gain over B+Acc+P2P", "13.4×", f19.ClusteringGain)
-	summary.AddRowf("Fig 19", "max speedup workload", "TF-AA (84.3×)",
-		fmt.Sprintf("%s (%.1f×)", f19.MaxName, f19.MaxTrainBox))
+	h.print(f.Table)
+	h.record("Fig 19", "avg TrainBox speedup", "44.4×", f.AvgTrainBox)
+	h.record("Fig 19", "avg B+Acc speedup", "3.32×", f.AvgAcc)
+	h.record("Fig 19", "clustering gain over B+Acc+P2P", "13.4×", f.ClusteringGain)
+	h.recordDisplay("Fig 19", "max speedup workload", "TF-AA (84.3×)",
+		fmt.Sprintf("%s (%.1f×)", f.MaxName, f.MaxTrainBox), f.MaxTrainBox)
+	return nil
+}
 
-	f20, err := experiments.Fig20()
+func stepFig20(h *harness) error {
+	f, err := experiments.Fig20()
 	if err != nil {
 		return err
 	}
-	fmt.Println(f20.Table.String())
-	summary.AddRowf("Fig 20", "speedup at batch 8192", "≈55×", f20.SpeedupAtLargest)
+	h.print(f.Table)
+	h.record("Fig 20", "speedup at batch 8192", "≈55×", f.SpeedupAtLargest)
+	return nil
+}
 
+func stepFig21(h *harness) error {
 	for _, wl := range []string{"Inception-v4", "TF-SR"} {
-		f21, err := experiments.Fig21(wl)
+		f, err := experiments.Fig21(wl)
 		if err != nil {
 			return err
 		}
-		fmt.Println(f21.Table.String())
-		summary.AddRowf("Fig 21", wl+" TrainBox accel-equivalents", "≈256", f21.FinalByConfig["TrainBox"])
+		h.print(f.Table)
+		h.record("Fig 21", wl+" TrainBox accel-equivalents", "≈256", f.FinalByConfig["TrainBox"])
 	}
+	return nil
+}
 
-	f22, err := experiments.Fig22()
+func stepFig22(h *harness) error {
+	t, err := experiments.Fig22()
 	if err != nil {
 		return err
 	}
-	fmt.Println(f22.String())
+	h.print(t)
+	return nil
+}
 
-	if *markdown {
-		fmt.Println(summary.Markdown())
-	} else {
-		fmt.Println(summary.String())
+// feature pools the prepared tensor's first channel into coarse inputs
+// (the same pooling the training CLI and tests use).
+func feature(p dataprep.Prepared) ([]float64, int, error) {
+	ten := p.Image
+	const block = 4
+	side := ten.W / block
+	feat := make([]float64, side*side)
+	for by := 0; by < side; by++ {
+		for bx := 0; bx < side; bx++ {
+			var sum float64
+			for y := by * block; y < (by+1)*block; y++ {
+				for x := bx * block; x < (bx+1)*block; x++ {
+					sum += float64(ten.At(0, y, x))
+				}
+			}
+			feat[by*side+bx] = sum / (block * block)
+		}
 	}
+	return feat, p.Label, nil
+}
+
+// stepLiveThroughput drives the real data path — host executor,
+// prefetcher, FPGA pool, and the end-to-end training driver — against
+// one shared metrics registry, and records the tracked throughput
+// numbers the CI regression gate compares across commits.
+func stepLiveThroughput(h *harness) error {
+	const (
+		items       = 8
+		datasetSeed = 1
+		crop        = 32
+	)
+	reg := metrics.NewRegistry()
+	store := storage.NewStore(storage.DefaultSSDSpec()).WithMetrics(reg)
+	if err := dataprep.BuildImageDataset(store, items, 4, datasetSeed); err != nil {
+		return err
+	}
+	keys := store.Keys()
+	cfg := dataprep.DefaultImageConfig()
+	cfg.CropW, cfg.CropH = crop, crop
+	exec := dataprep.NewExecutor(dataprep.ImagePreparer{Config: cfg}, 0, datasetSeed).WithMetrics(reg)
+
+	t := report.NewTable("Live throughput (this machine — tracked by the CI perf gate)",
+		"metric", "value")
+
+	// Host executor: fetch→prepare pipeline throughput.
+	prof, err := exec.Profile(store, keys, 4*items)
+	if err != nil {
+		return err
+	}
+	h.rep.Throughput["executor_image_samples_per_sec"] = prof.SamplesPerSec
+	t.AddRowf("executor_image_samples_per_sec", prof.SamplesPerSec)
+
+	// Prefetcher: delivered samples/s through the overlap pipeline.
+	pf, err := dataprep.NewPrefetcher(exec, store, keys, 4, 2)
+	if err != nil {
+		return err
+	}
+	defer pf.Close()
+	start := time.Now()
+	delivered := 0
+	for {
+		batch, err := pf.Next()
+		if err != nil {
+			if err != dataprep.ErrExhausted {
+				return err
+			}
+			break
+		}
+		delivered += len(batch.Samples)
+	}
+	pfRate := float64(delivered) / time.Since(start).Seconds()
+	h.rep.Throughput["prefetcher_samples_per_sec"] = pfRate
+	t.AddRowf("prefetcher_samples_per_sec", pfRate)
+
+	// FPGA pool: dispatch across two pooled device handlers.
+	ns, err := nvme.LoadStore(store)
+	if err != nil {
+		return err
+	}
+	h1, err := fpga.NewP2PHandler(ns, fpga.NewImageEmulator(cfg), 8)
+	if err != nil {
+		return err
+	}
+	h2, err := fpga.NewP2PHandler(ns, fpga.NewImageEmulator(cfg), 8)
+	if err != nil {
+		return err
+	}
+	cluster, err := fpga.NewCluster(h1.WithMetrics(reg), h2.WithMetrics(reg))
+	if err != nil {
+		return err
+	}
+	cluster.WithMetrics(reg)
+	start = time.Now()
+	pooled := 0
+	for epoch := 0; epoch < 3; epoch++ {
+		out, err := cluster.PrepareBatch(context.Background(), keys, datasetSeed, epoch)
+		if err != nil {
+			return err
+		}
+		pooled += len(out)
+	}
+	poolRate := float64(pooled) / time.Since(start).Seconds()
+	h.rep.Throughput["fpga_pool_samples_per_sec"] = poolRate
+	t.AddRowf("fpga_pool_samples_per_sec", poolRate)
+
+	// End-to-end training driver: steps/s and samples/s with the shared
+	// registry observing the whole prepare→extract→step pipeline.
+	res, err := train.Run(train.Config{
+		Replicas: 2, Widths: []int{64, 16, 4}, Epochs: 3,
+		LearningRate: 0.05, PrefetchDepth: 2, Seed: datasetSeed,
+		Metrics: reg,
+	}, exec, store, keys, feature)
+	if err != nil {
+		return err
+	}
+	trainRate := float64(res.SamplesProcessed) / res.Elapsed.Seconds()
+	h.rep.Throughput["train_samples_per_sec"] = trainRate
+	t.AddRowf("train_samples_per_sec", trainRate)
+
+	h.rep.Metrics = reg.Snapshot()
+	h.print(t)
 	return nil
 }

@@ -20,9 +20,11 @@ import (
 	"hash/fnv"
 	"math/rand"
 	"runtime"
+	"time"
 
 	"trainbox/internal/dsp"
 	"trainbox/internal/imgproc"
+	"trainbox/internal/metrics"
 	"trainbox/internal/pipeline"
 	"trainbox/internal/storage"
 )
@@ -190,6 +192,12 @@ type Executor struct {
 	workers     int
 	datasetSeed int64
 	stats       pipeline.StatsSet
+
+	reg        *metrics.Registry
+	mSamples   *metrics.Counter   // dataprep.samples_prepared
+	mPerSample *metrics.Histogram // dataprep.ns_per_sample
+	mRate      *metrics.Meter     // dataprep.samples (rate)
+	mBatches   *metrics.Counter   // dataprep.batches_prepared
 }
 
 // NewExecutor creates an executor; workers ≤ 0 selects GOMAXPROCS.
@@ -198,6 +206,20 @@ func NewExecutor(prep Preparer, workers int, datasetSeed int64) *Executor {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	return &Executor{prep: prep, workers: workers, datasetSeed: datasetSeed}
+}
+
+// WithMetrics attaches a registry: every subsequent batch reports
+// samples prepared, per-sample latency quantiles, and delivered-sample
+// rate under "dataprep.*", and the fetch→prepare pipeline reports
+// per-stage telemetry under "pipeline.dataprep.*". Attach before use;
+// returns e for chaining.
+func (e *Executor) WithMetrics(reg *metrics.Registry) *Executor {
+	e.reg = reg
+	e.mSamples = reg.Counter("dataprep.samples_prepared")
+	e.mPerSample = reg.Histogram("dataprep.ns_per_sample")
+	e.mRate = reg.Meter("dataprep.samples")
+	e.mBatches = reg.Counter("dataprep.batches_prepared")
+	return e
 }
 
 // Stats returns the executor's cumulative per-stage pipeline counters
@@ -237,11 +259,18 @@ func (e *Executor) PrepareBatchContext(ctx context.Context, store *storage.Store
 	if err != nil {
 		return nil, err
 	}
-	run := pl.Run(ctx, pipeline.IndexSource(len(keys)))
+	start := time.Now()
+	run := pl.WithMetrics(e.reg).Run(ctx, pipeline.IndexSource(len(keys)))
 	out, err := pipeline.Drain[Prepared](run)
 	e.stats.Add(run.Stats())
 	if err != nil {
 		return nil, err
+	}
+	if n := len(out); n > 0 {
+		e.mSamples.Add(int64(n))
+		e.mRate.Mark(int64(n))
+		e.mBatches.Inc()
+		e.mPerSample.Observe(float64(time.Since(start).Nanoseconds()) / float64(n))
 	}
 	return out, nil
 }

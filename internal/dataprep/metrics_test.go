@@ -1,0 +1,97 @@
+package dataprep
+
+import (
+	"testing"
+
+	"trainbox/internal/metrics"
+	"trainbox/internal/storage"
+)
+
+// TestExecutorAndPrefetcherMetrics: a metered executor must report
+// sample counts, per-sample latency, and pipeline stage series, and a
+// prefetcher built on it must inherit the registry and report delivery
+// counters and queue depth.
+func TestExecutorAndPrefetcherMetrics(t *testing.T) {
+	store := storage.NewStore(storage.DefaultSSDSpec())
+	if err := BuildImageDataset(store, 6, 3, 7); err != nil {
+		t.Fatal(err)
+	}
+	keys := store.Keys()
+	cfg := DefaultImageConfig()
+	cfg.CropW, cfg.CropH = 32, 32
+
+	reg := metrics.NewRegistry()
+	store.WithMetrics(reg)
+	exec := NewExecutor(ImagePreparer{Config: cfg}, 2, 7).WithMetrics(reg)
+
+	const epochs = 3
+	pf, err := NewPrefetcher(exec, store, keys, epochs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	batches := 0
+	for {
+		if _, err := pf.Next(); err != nil {
+			if err != ErrExhausted {
+				t.Fatal(err)
+			}
+			break
+		}
+		batches++
+	}
+	if batches != epochs {
+		t.Fatalf("delivered %d batches, want %d", batches, epochs)
+	}
+
+	snap := reg.Snapshot()
+	wantSamples := int64(epochs * len(keys))
+	if got := snap.Counters["dataprep.samples_prepared"]; got != wantSamples {
+		t.Errorf("dataprep.samples_prepared = %d, want %d", got, wantSamples)
+	}
+	if got := snap.Counters["dataprep.batches_prepared"]; got != epochs {
+		t.Errorf("dataprep.batches_prepared = %d, want %d", got, epochs)
+	}
+	if got := snap.Counters["dataprep.prefetch.batches_delivered"]; got != epochs {
+		t.Errorf("prefetch.batches_delivered = %d, want %d", got, epochs)
+	}
+	perSample := snap.Histograms["dataprep.ns_per_sample"]
+	if perSample.Count != epochs || perSample.Mean <= 0 {
+		t.Errorf("ns_per_sample = %+v, want %d positive batch observations", perSample, epochs)
+	}
+	if got := snap.Counters["pipeline.dataprep.prepare.items"]; got != wantSamples {
+		t.Errorf("pipeline prepare items = %d, want %d", got, wantSamples)
+	}
+	if got := snap.Counters["pipeline.prefetch.prepare.items"]; got != epochs {
+		t.Errorf("pipeline prefetch items = %d, want %d", got, epochs)
+	}
+	if snap.Counters["storage.nvme.bytes_read"] != int64(store.UsedBytes())*epochs {
+		t.Errorf("storage bytes_read = %d, want %d", snap.Counters["storage.nvme.bytes_read"], int64(store.UsedBytes())*epochs)
+	}
+	if snap.Meters["dataprep.samples"].Count != wantSamples {
+		t.Errorf("sample meter count = %d, want %d", snap.Meters["dataprep.samples"].Count, wantSamples)
+	}
+}
+
+// TestUnmeteredExecutorPaysNothing: without WithMetrics everything still
+// works and no series exist anywhere to leak into.
+func TestUnmeteredExecutorPaysNothing(t *testing.T) {
+	store := storage.NewStore(storage.DefaultSSDSpec())
+	if err := BuildImageDataset(store, 4, 2, 7); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultImageConfig()
+	cfg.CropW, cfg.CropH = 32, 32
+	exec := NewExecutor(ImagePreparer{Config: cfg}, 2, 7)
+	if _, err := exec.PrepareBatch(store, store.Keys(), 0); err != nil {
+		t.Fatal(err)
+	}
+	pf, err := NewPrefetcher(exec, store, store.Keys(), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	if _, err := pf.Next(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"trainbox/internal/metrics"
 	"trainbox/internal/pipeline"
 	"trainbox/internal/storage"
 )
@@ -33,6 +34,9 @@ type Prefetcher struct {
 
 	closeOnce sync.Once
 	closed    atomic.Bool
+
+	mBatches *metrics.Counter // dataprep.prefetch.batches_delivered
+	mDepth   *metrics.Gauge   // dataprep.prefetch.queue_depth
 }
 
 // Batch is one delivered batch with its epoch index.
@@ -68,7 +72,15 @@ func NewPrefetcher(exec *Executor, store *storage.Store, keys []string, epochs, 
 		return nil, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Prefetcher{run: pl.Run(ctx, pipeline.IndexSource(epochs)), cancel: cancel}, nil
+	// The prefetcher inherits the executor's registry: its prepare stage
+	// reports under "pipeline.prefetch.*", and batch delivery under
+	// "dataprep.prefetch.*". With an unmetered executor both are no-ops.
+	return &Prefetcher{
+		run:      pl.WithMetrics(exec.reg).Run(ctx, pipeline.IndexSource(epochs)),
+		cancel:   cancel,
+		mBatches: exec.reg.Counter("dataprep.prefetch.batches_delivered"),
+		mDepth:   exec.reg.Gauge("dataprep.prefetch.queue_depth"),
+	}, nil
 }
 
 // Next blocks until the next batch is ready and returns it. After the
@@ -82,6 +94,8 @@ func (p *Prefetcher) Next() (Batch, error) {
 		}
 		return Batch{}, ErrExhausted
 	}
+	p.mBatches.Inc()
+	p.mDepth.SetInt(int64(p.run.Stats()[0].QueueLen))
 	return v.(Batch), nil
 }
 

@@ -3,8 +3,11 @@ package fpga
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"trainbox/internal/dataprep"
+	"trainbox/internal/metrics"
 	"trainbox/internal/pipeline"
 )
 
@@ -18,8 +21,14 @@ import (
 // offload transparent to training.
 type Cluster struct {
 	handlers []*P2PHandler
+	index    map[*P2PHandler]int
 	avail    chan *P2PHandler
 	stats    pipeline.StatsSet
+
+	reg   *metrics.Registry
+	mJobs *metrics.Counter // fpga.pool.jobs_dispatched
+	busy  []atomic.Int64   // cumulative per-device busy ns
+	wall  atomic.Int64     // cumulative batch wall ns
 }
 
 // NewCluster builds a cluster over the pooled device handlers; devices
@@ -29,13 +38,30 @@ func NewCluster(handlers ...*P2PHandler) (*Cluster, error) {
 		return nil, fmt.Errorf("fpga: cluster needs at least one device handler")
 	}
 	avail := make(chan *P2PHandler, len(handlers))
+	index := make(map[*P2PHandler]int, len(handlers))
 	for i, h := range handlers {
 		if h == nil {
 			return nil, fmt.Errorf("fpga: cluster handler %d is nil", i)
 		}
+		if _, dup := index[h]; dup {
+			return nil, fmt.Errorf("fpga: cluster handler %d registered twice", i)
+		}
+		index[h] = i
 		avail <- h
 	}
-	return &Cluster{handlers: handlers, avail: avail}, nil
+	return &Cluster{handlers: handlers, index: index, avail: avail, busy: make([]atomic.Int64, len(handlers))}, nil
+}
+
+// WithMetrics attaches a registry: dispatched jobs count under
+// "fpga.pool.jobs_dispatched", per-device utilization (cumulative busy
+// time over cumulative batch wall time — the pool-balance observable of
+// Section V-D) under "fpga.pool.device.<i>.utilization", and the
+// dispatch pipeline under "pipeline.fpga-pool.*". Attach before use;
+// returns c for chaining.
+func (c *Cluster) WithMetrics(reg *metrics.Registry) *Cluster {
+	c.reg = reg
+	c.mJobs = reg.Counter("fpga.pool.jobs_dispatched")
+	return c
 }
 
 // Devices returns the number of pooled devices.
@@ -61,7 +87,10 @@ func (c *Cluster) PrepareBatch(ctx context.Context, keys []string, datasetSeed i
 				return dataprep.Prepared{}, ctx.Err()
 			}
 			defer func() { c.avail <- h }()
+			start := time.Now()
 			p := h.PrepareByKey(keys[i], dataprep.SampleSeed(datasetSeed, keys[i], epoch))
+			c.busy[c.index[h]].Add(time.Since(start).Nanoseconds())
+			c.mJobs.Inc()
 			if p.Err != nil {
 				return dataprep.Prepared{}, fmt.Errorf("fpga: pool sample %q: %w", keys[i], p.Err)
 			}
@@ -71,11 +100,31 @@ func (c *Cluster) PrepareBatch(ctx context.Context, keys []string, datasetSeed i
 	if err != nil {
 		return nil, err
 	}
-	run := pl.Run(ctx, pipeline.IndexSource(len(keys)))
+	start := time.Now()
+	run := pl.WithMetrics(c.reg).Run(ctx, pipeline.IndexSource(len(keys)))
 	out, err := pipeline.Drain[dataprep.Prepared](run)
 	c.stats.Add(run.Stats())
+	c.wall.Add(time.Since(start).Nanoseconds())
+	c.reportUtilization()
 	if err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// reportUtilization publishes each device's share of cumulative batch
+// wall time spent busy — the direct observable of whether the pool's
+// devices are evenly loaded.
+func (c *Cluster) reportUtilization() {
+	if c.reg == nil {
+		return
+	}
+	wall := c.wall.Load()
+	if wall <= 0 {
+		return
+	}
+	for i := range c.busy {
+		util := float64(c.busy[i].Load()) / float64(wall)
+		c.reg.Gauge(fmt.Sprintf("fpga.pool.device.%d.utilization", i)).Set(util)
+	}
 }

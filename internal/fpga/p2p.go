@@ -3,8 +3,10 @@ package fpga
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"trainbox/internal/dataprep"
+	"trainbox/internal/metrics"
 	"trainbox/internal/nvme"
 	"trainbox/internal/pipeline"
 	"trainbox/internal/storage"
@@ -25,6 +27,10 @@ type P2PHandler struct {
 	engine *Emulator
 	depth  int
 	stats  pipeline.StatsSet
+
+	reg      *metrics.Registry
+	mSamples *metrics.Counter   // fpga.p2p.samples_prepared
+	mLatency *metrics.Histogram // fpga.p2p.sample_ns
 }
 
 // NewP2PHandler binds an FPGA engine to an SSD namespace with a queue
@@ -40,14 +46,28 @@ func NewP2PHandler(ns *nvme.Namespace, engine *Emulator, queueDepth int) (*P2PHa
 	return &P2PHandler{client: client, engine: engine, depth: queueDepth}, nil
 }
 
+// WithMetrics attaches a registry: per-sample device latency and sample
+// counts report under "fpga.p2p.*", and batch pipelines under
+// "pipeline.fpga-p2p.*". Attach before use; returns h for chaining.
+func (h *P2PHandler) WithMetrics(reg *metrics.Registry) *P2PHandler {
+	h.reg = reg
+	h.mSamples = reg.Counter("fpga.p2p.samples_prepared")
+	h.mLatency = reg.Histogram("fpga.p2p.sample_ns")
+	return h
+}
+
 // PrepareByKey fetches the keyed object over NVMe and prepares it with
 // the FPGA engine — the full SSD→FPGA→(accelerator) per-sample path.
 func (h *P2PHandler) PrepareByKey(key string, seed int64) dataprep.Prepared {
+	start := time.Now()
 	obj, err := h.client.ReadObject(key)
 	if err != nil {
 		return dataprep.Prepared{Key: key, Err: err}
 	}
-	return h.engine.Prepare(obj, seed)
+	p := h.engine.Prepare(obj, seed)
+	h.mSamples.Inc()
+	h.mLatency.ObserveDuration(time.Since(start))
+	return p
 }
 
 // Stats returns the handler's cumulative per-stage pipeline counters
@@ -90,7 +110,7 @@ func (h *P2PHandler) PrepareBatchContext(ctx context.Context, keys []string, dat
 	if err != nil {
 		return nil, err
 	}
-	run := pl.Run(ctx, pipeline.IndexSource(len(keys)))
+	run := pl.WithMetrics(h.reg).Run(ctx, pipeline.IndexSource(len(keys)))
 	out, err := pipeline.Drain[dataprep.Prepared](run)
 	h.stats.Add(run.Stats())
 	if err != nil {

@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// TestQuantileCorrectness checks the interpolated quantiles against
+// hand-computed values on a known sample.
+func TestQuantileCorrectness(t *testing.T) {
+	h := NewHistogram(100)
+	// 1..100: p50 = 50.5, p95 = 95.05, p99 = 99.01 (linear interpolation
+	// over ranks 0..99).
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Snapshot()
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"p50", s.P50, 50.5},
+		{"p95", s.P95, 95.05},
+		{"p99", s.P99, 99.01},
+		{"min", s.Min, 1},
+		{"max", s.Max, 100},
+		{"mean", s.Mean, 50.5},
+	}
+	for _, c := range checks {
+		if math.Abs(c.got-c.want) > 1e-9 {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+	if s.Count != 100 || s.Sum != 5050 {
+		t.Errorf("count/sum = %d/%v, want 100/5050", s.Count, s.Sum)
+	}
+}
+
+// TestQuantileWindowing: once the ring wraps, quantiles reflect only the
+// most recent window observations, while count/min/max stay lifetime.
+func TestQuantileWindowing(t *testing.T) {
+	h := NewHistogram(10)
+	// 100 old low values, then 10 recent high values fill the window.
+	for i := 0; i < 100; i++ {
+		h.Observe(1)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1000)
+	}
+	s := h.Snapshot()
+	if s.P50 != 1000 || s.P99 != 1000 {
+		t.Errorf("windowed quantiles = p50 %v p99 %v, want 1000 (old values must age out)", s.P50, s.P99)
+	}
+	if s.Count != 110 {
+		t.Errorf("lifetime count = %d, want 110", s.Count)
+	}
+	if s.Min != 1 || s.Max != 1000 {
+		t.Errorf("lifetime min/max = %v/%v, want 1/1000", s.Min, s.Max)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	if got := quantile(nil, 0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+	if got := quantile([]float64{42}, 0.99); got != 42 {
+		t.Errorf("single-sample quantile = %v, want 42", got)
+	}
+	two := []float64{10, 20}
+	if got := quantile(two, 0); got != 10 {
+		t.Errorf("q0 = %v, want 10", got)
+	}
+	if got := quantile(two, 1); got != 20 {
+		t.Errorf("q1 = %v, want 20", got)
+	}
+	if got := quantile(two, 0.5); got != 15 {
+		t.Errorf("q0.5 = %v, want 15", got)
+	}
+
+	var empty Histogram
+	s := empty.Snapshot()
+	if s.Count != 0 || s.Mean != 0 || s.P50 != 0 {
+		t.Errorf("empty histogram snapshot = %+v, want zeros", s)
+	}
+}
+
+// TestNegativeAndUnsortedObservations: min/max tracking must handle
+// values below zero and out-of-order streams.
+func TestNegativeAndUnsortedObservations(t *testing.T) {
+	h := NewHistogram(8)
+	for _, v := range []float64{5, -3, 12, 0, -7, 9} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Min != -7 || s.Max != 12 {
+		t.Errorf("min/max = %v/%v, want -7/12", s.Min, s.Max)
+	}
+	if s.P50 < -3 || s.P50 > 9 {
+		t.Errorf("p50 = %v, outside plausible range", s.P50)
+	}
+}

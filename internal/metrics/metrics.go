@@ -1,0 +1,224 @@
+// Package metrics is the repo's unified telemetry layer: a small,
+// dependency-free registry of named counters, gauges, windowed
+// histograms, and rate meters, with consistent snapshotting and
+// JSON/expvar export.
+//
+// TrainBox's argument is quantitative — data preparation must keep up
+// with accelerator demand, and the balance has to be re-measured as the
+// system evolves (Section V). Every hot path of the reproduction
+// therefore reports into a Registry: pipeline stages, the dataprep
+// executor and prefetcher, the FPGA pool and P2P handlers, the training
+// driver, and the storage layer. A snapshot of the registry is the
+// machine-readable evidence `trainbox-bench -json` emits and the CI
+// perf gate consumes.
+//
+// Design rules:
+//
+//   - No background goroutines. Rate meters derive rates lazily from a
+//     monotonic start time, so attaching metrics never leaks a ticker.
+//   - Nil-safety. Every metric method is a no-op on a nil receiver, and
+//     a nil *Registry hands out nil metrics — components wire metric
+//     handles unconditionally and pay nothing when unmetered.
+//   - Snapshot isolation. Snapshot() deep-copies: mutating the registry
+//     afterwards never changes an already-taken snapshot.
+package metrics
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (n may be any sign, but counters are meant to grow).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous level — a queue depth, a utilization, an
+// overlap ratio. Stored as float64 bits for atomic access.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// SetInt stores an integer level.
+func (g *Gauge) SetInt(v int64) { g.Set(float64(v)) }
+
+// Add atomically adds delta to the level.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		v := math.Float64frombits(old) + delta
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current level (0 on a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Meter is an event-rate meter: a count plus the wall-clock span it
+// accumulated over. The rate is derived lazily at read time — no
+// background ticker goroutine exists to leak.
+type Meter struct {
+	count atomic.Int64
+	start time.Time
+}
+
+// Mark records n events.
+func (m *Meter) Mark(n int64) {
+	if m == nil {
+		return
+	}
+	m.count.Add(n)
+}
+
+// Count returns the total events marked.
+func (m *Meter) Count() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.count.Load()
+}
+
+// Rate returns events per second since the meter was created.
+func (m *Meter) Rate() float64 {
+	if m == nil {
+		return 0
+	}
+	elapsed := time.Since(m.start).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(m.count.Load()) / elapsed
+}
+
+// MeterSnapshot is a meter's exported state.
+type MeterSnapshot struct {
+	Count      int64   `json:"count"`
+	RatePerSec float64 `json:"rate_per_sec"`
+}
+
+// Registry is a namespace of metrics. Get-or-create accessors make
+// wiring idempotent: two components asking for the same name share the
+// metric. Counters, gauges, meters, and histograms live in separate
+// kind-spaces (and separate snapshot sections), so a name identifies a
+// (kind, name) pair.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	meters     map[string]*Meter
+	histograms map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		meters:     map[string]*Meter{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. A nil
+// registry returns a nil (no-op) gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Meter returns the named meter, creating it on first use. A nil
+// registry returns a nil (no-op) meter.
+func (r *Registry) Meter(name string) *Meter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.meters[name]
+	if !ok {
+		m = &Meter{start: time.Now()}
+		r.meters[name] = m
+	}
+	return m
+}
+
+// Histogram returns the named histogram with the default window,
+// creating it on first use. A nil registry returns a nil (no-op)
+// histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewHistogram(DefaultWindow)
+		r.histograms[name] = h
+	}
+	return h
+}

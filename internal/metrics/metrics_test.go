@@ -1,0 +1,216 @@
+package metrics
+
+import (
+	"encoding/json"
+	"expvar"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentIncrements hammers one counter, gauge, meter, and
+// histogram from many goroutines; run under -race in CI it proves the
+// hot-path operations are data-race free, and the final counts prove no
+// increments are lost.
+func TestConcurrentIncrements(t *testing.T) {
+	reg := NewRegistry()
+	const workers, perWorker = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Get-or-create from every goroutine: handles must converge on
+			// the same metric.
+			c := reg.Counter("c")
+			g := reg.Gauge("g")
+			m := reg.Meter("m")
+			h := reg.Histogram("h")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				m.Mark(1)
+				h.Observe(float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	const want = workers * perWorker
+	if got := reg.Counter("c").Value(); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	if got := reg.Gauge("g").Value(); got != want {
+		t.Errorf("gauge = %v, want %d", got, want)
+	}
+	if got := reg.Meter("m").Count(); got != want {
+		t.Errorf("meter count = %d, want %d", got, want)
+	}
+	if got := reg.Histogram("h").Count(); got != want {
+		t.Errorf("histogram count = %d, want %d", got, want)
+	}
+}
+
+// TestSnapshotIsolation: a taken snapshot must not change when the
+// registry's metrics keep moving.
+func TestSnapshotIsolation(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("items").Add(10)
+	reg.Gauge("depth").Set(3)
+	reg.Histogram("lat").Observe(100)
+
+	snap := reg.Snapshot()
+
+	reg.Counter("items").Add(90)
+	reg.Gauge("depth").Set(7)
+	reg.Histogram("lat").Observe(900)
+	reg.Counter("new").Inc()
+
+	if got := snap.Counters["items"]; got != 10 {
+		t.Errorf("snapshot counter mutated: %d, want 10", got)
+	}
+	if got := snap.Gauges["depth"]; got != 3 {
+		t.Errorf("snapshot gauge mutated: %v, want 3", got)
+	}
+	if got := snap.Histograms["lat"]; got.Count != 1 || got.Max != 100 {
+		t.Errorf("snapshot histogram mutated: %+v", got)
+	}
+	if _, ok := snap.Counters["new"]; ok {
+		t.Error("snapshot grew a metric registered after it was taken")
+	}
+}
+
+// TestNilSafety: nil registries and nil metrics must be usable no-ops,
+// the contract that lets components wire metrics unconditionally.
+func TestNilSafety(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("x")
+	g := reg.Gauge("x")
+	m := reg.Meter("x")
+	h := reg.Histogram("x")
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(1)
+	g.SetInt(2)
+	m.Mark(3)
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	if c.Value() != 0 || g.Value() != 0 || m.Count() != 0 || m.Rate() != 0 || h.Count() != 0 {
+		t.Error("nil metrics must read as zero")
+	}
+	snap := reg.Snapshot()
+	if len(snap.Names()) != 0 {
+		t.Errorf("nil registry snapshot has names: %v", snap.Names())
+	}
+	if (HistogramSnapshot{}) != h.Snapshot() {
+		t.Error("nil histogram snapshot must be zero")
+	}
+}
+
+// TestMeterRate: the rate must be count over elapsed wall time, derived
+// lazily — and in particular nonzero without any ticker having run.
+func TestMeterRate(t *testing.T) {
+	reg := NewRegistry()
+	m := reg.Meter("events")
+	m.Mark(100)
+	time.Sleep(10 * time.Millisecond)
+	rate := m.Rate()
+	if rate <= 0 {
+		t.Fatalf("rate = %v, want > 0", rate)
+	}
+	if rate > 100/0.010 {
+		t.Errorf("rate = %v, impossibly high for 100 events over ≥10ms", rate)
+	}
+}
+
+// TestNoBackgroundGoroutines: creating registries, meters, and
+// snapshots must not leave any goroutine behind — the metrics layer is
+// wired into long-lived servers and must never leak a ticker.
+func TestNoBackgroundGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		reg := NewRegistry()
+		reg.Counter("c").Inc()
+		reg.Meter("m").Mark(1)
+		reg.Meter("m2").Mark(2)
+		reg.Histogram("h").Observe(1)
+		reg.Gauge("g").Set(1)
+		_ = reg.Snapshot()
+		_ = reg.Meter("m").Rate()
+	}
+	runtime.GC()
+	// Allow the runtime a moment to retire any incidental goroutines.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines grew from %d to %d — a metric spawned a background ticker", before, runtime.NumGoroutine())
+}
+
+// TestSnapshotJSON: the snapshot must round-trip through JSON with the
+// documented section names — the schema BENCH.json embeds.
+func TestSnapshotJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a.items").Add(3)
+	reg.Gauge("a.depth").Set(1.5)
+	reg.Meter("a.rate").Mark(2)
+	reg.Histogram("a.lat").Observe(42)
+
+	data, err := reg.Snapshot().MarshalJSONIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["a.items"] != 3 {
+		t.Errorf("counter lost in round-trip: %+v", back)
+	}
+	if back.Gauges["a.depth"] != 1.5 {
+		t.Errorf("gauge lost in round-trip: %+v", back)
+	}
+	if back.Meters["a.rate"].Count != 2 {
+		t.Errorf("meter lost in round-trip: %+v", back)
+	}
+	if back.Histograms["a.lat"].Count != 1 {
+		t.Errorf("histogram lost in round-trip: %+v", back)
+	}
+}
+
+// TestGetOrCreateSharing: the same name must return the same metric, so
+// independently wired components aggregate into one series.
+func TestGetOrCreateSharing(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("shared").Inc()
+	reg.Counter("shared").Inc()
+	if got := reg.Counter("shared").Value(); got != 2 {
+		t.Errorf("shared counter = %d, want 2", got)
+	}
+	if reg.Histogram("h") != reg.Histogram("h") {
+		t.Error("same-name histograms are distinct instances")
+	}
+}
+
+// TestExpvarPublish: Publish must export a live snapshot through the
+// process expvar namespace.
+func TestExpvarPublish(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hits").Add(7)
+	reg.Publish("metrics_test_registry")
+	v := expvar.Get("metrics_test_registry")
+	if v == nil {
+		t.Fatal("registry not published")
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal([]byte(v.String()), &decoded); err != nil {
+		t.Fatalf("unmarshal expvar value: %v", err)
+	}
+	if decoded.Counters["hits"] != 7 {
+		t.Errorf("expvar snapshot = %+v, want hits=7", decoded)
+	}
+}

@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"encoding/json"
+	"expvar"
+	"sort"
+)
+
+// Snapshot is a point-in-time copy of every metric in a registry,
+// grouped by kind. It is fully detached from the registry: later metric
+// updates never alter a taken snapshot. The zero value is an empty
+// snapshot. It marshals to stable JSON (map keys sort lexically under
+// encoding/json), which is what `trainbox-bench -json` embeds.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Meters     map[string]MeterSnapshot     `json:"meters,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies out every registered metric. A nil registry yields an
+// empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	// Copy the metric pointers under the registry lock, then read each
+	// metric outside it — metric reads take their own synchronization.
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	meters := make(map[string]*Meter, len(r.meters))
+	for k, v := range r.meters {
+		meters[k] = v
+	}
+	histograms := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		histograms[k] = v
+	}
+	r.mu.Unlock()
+
+	s := Snapshot{}
+	if len(counters) > 0 {
+		s.Counters = make(map[string]int64, len(counters))
+		for k, c := range counters {
+			s.Counters[k] = c.Value()
+		}
+	}
+	if len(gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(gauges))
+		for k, g := range gauges {
+			s.Gauges[k] = g.Value()
+		}
+	}
+	if len(meters) > 0 {
+		s.Meters = make(map[string]MeterSnapshot, len(meters))
+		for k, m := range meters {
+			s.Meters[k] = MeterSnapshot{Count: m.Count(), RatePerSec: m.Rate()}
+		}
+	}
+	if len(histograms) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(histograms))
+		for k, h := range histograms {
+			s.Histograms[k] = h.Snapshot()
+		}
+	}
+	return s
+}
+
+// Names returns every metric name in the snapshot, sorted, across all
+// kinds — convenient for asserting coverage in tests.
+func (s Snapshot) Names() []string {
+	var out []string
+	for k := range s.Counters {
+		out = append(out, k)
+	}
+	for k := range s.Gauges {
+		out = append(out, k)
+	}
+	for k := range s.Meters {
+		out = append(out, k)
+	}
+	for k := range s.Histograms {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MarshalJSONIndent renders the snapshot as indented JSON.
+func (s Snapshot) MarshalJSONIndent() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Publish registers the registry under the given name in the process's
+// expvar namespace (served at /debug/vars by net/http's default mux),
+// exporting a live snapshot on every scrape. Like expvar.Publish it
+// must be called at most once per name per process.
+func (r *Registry) Publish(name string) {
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

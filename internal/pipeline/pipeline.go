@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"trainbox/internal/metrics"
 )
 
 // Stage is one transform in a pipeline: items enter, fn runs on up to
@@ -49,12 +51,25 @@ func NewStage[In, Out any](name string, parallelism, queueDepth int, fn func(ctx
 // Name returns the stage's name.
 func (s *Stage) Name() string { return s.name }
 
-// Pipeline is an immutable description of a staged data path. It can be
-// run any number of times; each Run gets its own channels, goroutines,
-// and counters.
+// Pipeline is a description of a staged data path. It can be run any
+// number of times; each Run gets its own channels, goroutines, and
+// counters. Attach a metrics registry with WithMetrics before running
+// to stream per-stage telemetry into it.
 type Pipeline struct {
 	name   string
 	stages []*Stage
+	reg    *metrics.Registry
+}
+
+// WithMetrics attaches a registry: every subsequent Run reports
+// per-stage items, busy-time quantiles, and queue depth under
+// "pipeline.<pipeline>.<stage>.*". Metrics from repeated runs
+// accumulate into the same series. A nil registry detaches (the
+// default): unmetered runs pay no telemetry cost. Returns p for
+// chaining.
+func (p *Pipeline) WithMetrics(reg *metrics.Registry) *Pipeline {
+	p.reg = reg
+	return p
 }
 
 // New validates and assembles a pipeline from stages in order.
@@ -119,13 +134,19 @@ type item struct {
 	v   any
 }
 
-// stageRun instruments one stage for one run.
+// stageRun instruments one stage for one run. The m* handles are
+// registry metrics resolved once at Run time (nil when the pipeline has
+// no registry attached — every call on them is then a no-op).
 type stageRun struct {
 	spec     *Stage
 	out      chan item
 	itemsIn  atomic.Int64
 	itemsOut atomic.Int64
 	busy     atomic.Int64 // nanoseconds inside fn
+
+	mItems *metrics.Counter   // items completed by fn
+	mBusy  *metrics.Histogram // per-item ns inside fn
+	mQueue *metrics.Gauge     // output queue occupancy at last enqueue
 }
 
 // Run is one execution of a pipeline over one source. Consume Out()
@@ -174,6 +195,12 @@ func (p *Pipeline) Run(ctx context.Context, src Source) *Run {
 	in := srcOut
 	for _, s := range p.stages {
 		sr := &stageRun{spec: s, out: make(chan item, s.depth)}
+		if p.reg != nil {
+			prefix := "pipeline." + p.name + "." + s.name + "."
+			sr.mItems = p.reg.Counter(prefix + "items")
+			sr.mBusy = p.reg.Histogram(prefix + "busy_ns")
+			sr.mQueue = p.reg.Gauge(prefix + "queue_depth")
+		}
 		r.stages = append(r.stages, sr)
 		r.startStage(rctx, sr, in)
 		in = sr.out
@@ -206,7 +233,10 @@ func (r *Run) startStage(ctx context.Context, sr *stageRun, in <-chan item) {
 		sr.itemsIn.Add(1)
 		start := time.Now()
 		v, err := sr.spec.fn(ctx, it.v)
-		sr.busy.Add(int64(time.Since(start)))
+		elapsed := time.Since(start)
+		sr.busy.Add(int64(elapsed))
+		sr.mItems.Inc()
+		sr.mBusy.ObserveDuration(elapsed)
 		if err != nil {
 			r.fail(err)
 			return item{}, false
@@ -227,6 +257,7 @@ func (r *Run) startStage(ctx context.Context, sr *stageRun, in <-chan item) {
 				select {
 				case sr.out <- res:
 					sr.itemsOut.Add(1)
+					sr.mQueue.SetInt(int64(len(sr.out)))
 				case <-ctx.Done():
 					return
 				}
@@ -282,6 +313,7 @@ func (r *Run) startStage(ctx context.Context, sr *stageRun, in <-chan item) {
 				select {
 				case sr.out <- item{seq: next, v: v}:
 					sr.itemsOut.Add(1)
+					sr.mQueue.SetInt(int64(len(sr.out)))
 					next++
 				case <-ctx.Done():
 					for range results { //nolint:revive // drain cancelled run

@@ -14,7 +14,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
+	"trainbox/internal/metrics"
 	"trainbox/internal/units"
 )
 
@@ -56,6 +58,10 @@ type Store struct {
 	keys    []string // sorted iteration order
 	used    units.Bytes
 	dirty   bool
+
+	mBytesRead *metrics.Counter   // storage.<name>.bytes_read
+	mReads     *metrics.Counter   // storage.<name>.reads
+	mReadNs    *metrics.Histogram // storage.<name>.read_ns
 }
 
 // NewStore creates an empty shard on a device with the given spec.
@@ -65,6 +71,18 @@ func NewStore(spec SSDSpec) *Store {
 
 // Spec returns the device description.
 func (s *Store) Spec() SSDSpec { return s.spec }
+
+// WithMetrics attaches a registry: every successful read reports bytes
+// read, read count, and read-latency quantiles under
+// "storage.<device>.*". Attach before the store is shared across
+// goroutines; returns s for chaining.
+func (s *Store) WithMetrics(reg *metrics.Registry) *Store {
+	prefix := "storage." + s.spec.Name + "."
+	s.mBytesRead = reg.Counter(prefix + "bytes_read")
+	s.mReads = reg.Counter(prefix + "reads")
+	s.mReadNs = reg.Histogram(prefix + "read_ns")
+	return s
+}
 
 // Put stores an object, replacing any previous object with the same key.
 // It fails when the device capacity would be exceeded.
@@ -91,12 +109,16 @@ func (s *Store) Put(obj Object) error {
 
 // Get retrieves an object by key.
 func (s *Store) Get(key string) (Object, error) {
+	start := time.Now()
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	obj, ok := s.objects[key]
+	s.mu.RUnlock()
 	if !ok {
 		return Object{}, fmt.Errorf("storage: %s: no object %q", s.spec.Name, key)
 	}
+	s.mReads.Inc()
+	s.mBytesRead.Add(int64(len(obj.Data)))
+	s.mReadNs.ObserveDuration(time.Since(start))
 	return obj, nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"trainbox/internal/metrics"
 	"trainbox/internal/units"
 )
 
@@ -182,5 +183,41 @@ func TestGetContext(t *testing.T) {
 	}
 	if _, err := s.GetContext(context.Background(), "missing"); err == nil {
 		t.Error("missing key accepted")
+	}
+}
+
+// TestStoreMetrics: a metered store must count reads and bytes and
+// record read-latency quantiles; failed lookups must not count.
+func TestStoreMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := NewStore(DefaultSSDSpec()).WithMetrics(reg)
+	if err := s.Put(Object{Key: "a", Data: make([]byte, 100)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(Object{Key: "b", Data: make([]byte, 50)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("missing"); err == nil {
+		t.Fatal("missing key read succeeded")
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["storage.nvme.reads"]; got != 3 {
+		t.Errorf("reads = %d, want 3 (failed lookup must not count)", got)
+	}
+	if got := snap.Counters["storage.nvme.bytes_read"]; got != 250 {
+		t.Errorf("bytes_read = %d, want 250", got)
+	}
+	lat := snap.Histograms["storage.nvme.read_ns"]
+	if lat.Count != 3 || lat.Max <= 0 {
+		t.Errorf("read_ns histogram = %+v, want 3 positive observations", lat)
 	}
 }

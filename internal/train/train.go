@@ -25,6 +25,7 @@ import (
 
 	"trainbox/internal/collective"
 	"trainbox/internal/dataprep"
+	"trainbox/internal/metrics"
 	"trainbox/internal/nn"
 	"trainbox/internal/pipeline"
 	"trainbox/internal/storage"
@@ -56,6 +57,14 @@ type Config struct {
 	PrefetchDepth int
 	// Seed initializes the identical model replicas and the pipeline.
 	Seed int64
+	// Metrics receives the driver's telemetry (step latency, sync
+	// latency, samples, prep-vs-step overlap, and the prepare→extract→
+	// step pipeline's stage metrics). Nil selects a private registry;
+	// either way Result.Metrics carries the final snapshot. Share one
+	// registry between the Config, the executor (Executor.WithMetrics),
+	// and the store (Store.WithMetrics) to see the whole data path in a
+	// single snapshot.
+	Metrics *metrics.Registry
 }
 
 // Validate reports the first configuration error.
@@ -96,6 +105,9 @@ type Result struct {
 	Elapsed time.Duration
 	// SamplesProcessed is the total sample count.
 	SamplesProcessed int
+	// Metrics is the final snapshot of the run's telemetry registry
+	// (Config.Metrics, or the private registry the driver created).
+	Metrics metrics.Snapshot
 }
 
 // Model returns replica 0, the trained model.
@@ -171,9 +183,20 @@ func Run(cfg Config, exec *dataprep.Executor, store *storage.Store, keys []strin
 			}
 			return epochSamples{epoch: eb.epoch, samples: samples}, nil
 		})
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	tm := &trainMetrics{
+		stepNs:  reg.Histogram("train.step_ns"),
+		syncNs:  reg.Histogram("train.sync_ns"),
+		samples: reg.Counter("train.samples"),
+		rate:    reg.Meter("train.samples_rate"),
+	}
+
 	step := pipeline.NewStage("step", 1, 0,
 		func(ctx context.Context, es epochSamples) ([]StepStat, error) {
-			stats, err := trainEpoch(ctx, cfg, replicas, opts, es.samples, es.epoch)
+			stats, err := trainEpoch(ctx, cfg, replicas, opts, es.samples, es.epoch, tm)
 			samplePool.Put(es.samples[:0])
 			return stats, err
 		})
@@ -184,7 +207,7 @@ func Run(cfg Config, exec *dataprep.Executor, store *storage.Store, keys []strin
 
 	res := Result{Replicas: replicas}
 	start := time.Now()
-	run := pl.Run(context.Background(), pipeline.IndexSource(cfg.Epochs))
+	run := pl.WithMetrics(reg).Run(context.Background(), pipeline.IndexSource(cfg.Epochs))
 	epochStats, err := pipeline.Drain[[]StepStat](run)
 	if err != nil {
 		return Result{}, err
@@ -196,7 +219,35 @@ func Run(cfg Config, exec *dataprep.Executor, store *storage.Store, keys []strin
 		}
 	}
 	res.Elapsed = time.Since(start)
+
+	// Prep-vs-step overlap: how much of the (serial) step stage's busy
+	// time the prepare stage ran concurrently under. A ratio near 1 means
+	// preparation is fully hidden behind computation — the paper's
+	// Section II-B overlap property; > 1 means preparation is the
+	// bottleneck and the accelerators starve.
+	var prepBusy, stepBusy time.Duration
+	for _, st := range run.Stats() {
+		switch st.Name {
+		case "prepare":
+			prepBusy = st.Busy
+		case "step":
+			stepBusy = st.Busy
+		}
+	}
+	if stepBusy > 0 {
+		reg.Gauge("train.prep_step_overlap").Set(float64(prepBusy) / float64(stepBusy))
+	}
+	res.Metrics = reg.Snapshot()
 	return res, nil
+}
+
+// trainMetrics carries the driver's per-step metric handles into
+// trainEpoch.
+type trainMetrics struct {
+	stepNs  *metrics.Histogram
+	syncNs  *metrics.Histogram
+	samples *metrics.Counter
+	rate    *metrics.Meter
 }
 
 // extract converts one prepared epoch into model samples, reusing the
@@ -214,7 +265,7 @@ func extract(batch []dataprep.Prepared, feature FeatureFn, buf []nn.Sample) ([]n
 }
 
 // trainEpoch runs synchronous data-parallel SGD over one prepared epoch.
-func trainEpoch(ctx context.Context, cfg Config, replicas []*nn.Network, opts []*nn.SGD, samples []nn.Sample, epoch int) ([]StepStat, error) {
+func trainEpoch(ctx context.Context, cfg Config, replicas []*nn.Network, opts []*nn.SGD, samples []nn.Sample, epoch int, tm *trainMetrics) ([]StepStat, error) {
 	r := cfg.Replicas
 	mb := cfg.MinibatchPerReplica
 	shard := len(samples) / r
@@ -226,6 +277,7 @@ func trainEpoch(ctx context.Context, cfg Config, replicas []*nn.Network, opts []
 	}
 	var stats []StepStat
 	for off := 0; off+mb <= shard; off += mb {
+		stepStart := time.Now()
 		grads := make([][]float64, r)
 		losses := make([]float64, r)
 		if err := pipeline.ForEach(ctx, r, func(_ context.Context, rep int) error {
@@ -268,6 +320,10 @@ func trainEpoch(ctx context.Context, cfg Config, replicas []*nn.Network, opts []
 			SyncNanos: syncNanos,
 			Samples:   r * mb,
 		})
+		tm.stepNs.ObserveDuration(time.Since(stepStart))
+		tm.syncNs.Observe(float64(syncNanos))
+		tm.samples.Add(int64(r * mb))
+		tm.rate.Mark(int64(r * mb))
 	}
 	return stats, nil
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"trainbox/internal/dataprep"
+	"trainbox/internal/metrics"
 	"trainbox/internal/nn"
 	"trainbox/internal/storage"
 )
@@ -267,5 +268,81 @@ func TestRunRejectsBadOptimizer(t *testing.T) {
 	cfg.Momentum = 1.5
 	if _, err := Run(cfg, exec, store, keys, stripeFeature); err == nil {
 		t.Error("momentum ≥ 1 accepted")
+	}
+}
+
+// TestRunMetricsSnapshot: the driver must expose a full telemetry
+// snapshot — its own step/sync/overlap series, the prepare→extract→step
+// pipeline's stage series, and (when the executor and store share the
+// registry) the dataprep and storage series — the acceptance surface of
+// the unified metrics layer.
+func TestRunMetricsSnapshot(t *testing.T) {
+	exec, store, keys := setup(t, 16)
+	reg := metrics.NewRegistry()
+	exec.WithMetrics(reg)
+	store.WithMetrics(reg)
+	cfg := baseConfig()
+	cfg.Metrics = reg
+
+	res, err := Run(cfg, exec, store, keys, stripeFeature)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := res.Metrics
+	steps := snap.Histograms["train.step_ns"]
+	if int(steps.Count) != len(res.Steps) {
+		t.Errorf("train.step_ns count = %d, want %d", steps.Count, len(res.Steps))
+	}
+	if steps.Count > 0 && (steps.P50 <= 0 || steps.P99 < steps.P50) {
+		t.Errorf("step latency quantiles implausible: %+v", steps)
+	}
+	if got := snap.Counters["train.samples"]; got != int64(res.SamplesProcessed) {
+		t.Errorf("train.samples = %d, want %d", got, res.SamplesProcessed)
+	}
+	if snap.Histograms["train.sync_ns"].Count != steps.Count {
+		t.Errorf("train.sync_ns count = %d, want %d", snap.Histograms["train.sync_ns"].Count, steps.Count)
+	}
+	if _, ok := snap.Gauges["train.prep_step_overlap"]; !ok {
+		t.Error("train.prep_step_overlap gauge missing")
+	}
+
+	// Pipeline stage series from the driver's own staged pipeline.
+	for _, name := range []string{
+		"pipeline.train.prepare.items",
+		"pipeline.train.extract.items",
+		"pipeline.train.step.items",
+	} {
+		if got := snap.Counters[name]; got != int64(cfg.Epochs) {
+			t.Errorf("%s = %d, want %d", name, got, cfg.Epochs)
+		}
+	}
+
+	// Shared-registry series from the executor and the store.
+	if got := snap.Counters["dataprep.samples_prepared"]; got != int64(cfg.Epochs*len(keys)) {
+		t.Errorf("dataprep.samples_prepared = %d, want %d", got, cfg.Epochs*len(keys))
+	}
+	if snap.Counters["storage.nvme.bytes_read"] <= 0 {
+		t.Error("storage bytes_read not recorded")
+	}
+	if snap.Meters["train.samples_rate"].RatePerSec <= 0 {
+		t.Error("train sample rate not recorded")
+	}
+}
+
+// TestRunWithoutMetricsStillSnapshots: with no registry configured the
+// driver uses a private one, so Result.Metrics is always observable.
+func TestRunWithoutMetricsStillSnapshots(t *testing.T) {
+	exec, store, keys := setup(t, 8)
+	res, err := Run(baseConfig(), exec, store, keys, stripeFeature)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Histograms["train.step_ns"].Count == 0 {
+		t.Error("private registry snapshot empty")
+	}
+	// The unmetered executor must not have leaked series into it.
+	if _, ok := res.Metrics.Counters["dataprep.samples_prepared"]; ok {
+		t.Error("executor metrics appeared without WithMetrics")
 	}
 }
