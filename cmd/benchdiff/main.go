@@ -42,6 +42,7 @@ type delta struct {
 	Change    float64 // (current-baseline)/baseline
 	Regressed bool
 	Missing   bool // tracked in baseline, absent from current
+	New       bool // in current, not yet tracked by the baseline
 }
 
 func main() {
@@ -75,12 +76,15 @@ func run(baselinePath, currentPath string, threshold float64) (int, string) {
 	var sb strings.Builder
 	t := report.NewTable(fmt.Sprintf("Throughput vs baseline (gate: -%.0f%%)", threshold*100),
 		"metric", "baseline", "current", "change", "status")
-	regressions := 0
+	regressions, untracked := 0, 0
 	for _, d := range deltas {
 		switch {
 		case d.Missing:
 			regressions++
 			t.AddRowf(d.Name, d.Baseline, "—", "—", "MISSING")
+		case d.New:
+			untracked++
+			t.AddRowf(d.Name, "—", d.Current, "—", "new (untracked)")
 		case d.Regressed:
 			regressions++
 			t.AddRowf(d.Name, d.Baseline, d.Current, fmt.Sprintf("%+.1f%%", 100*d.Change), "REGRESSED")
@@ -89,13 +93,17 @@ func run(baselinePath, currentPath string, threshold float64) (int, string) {
 		}
 	}
 	sb.WriteString(t.String())
+	if untracked > 0 {
+		fmt.Fprintf(&sb, "benchdiff: %d new metric(s) not in %s — informational only; regenerate the baseline to start gating them\n",
+			untracked, baselinePath)
+	}
 	if regressions > 0 {
 		fmt.Fprintf(&sb, "benchdiff: %d tracked throughput metric(s) regressed >%.0f%% vs %s\n",
 			regressions, threshold*100, baselinePath)
 		return 1, sb.String()
 	}
 	fmt.Fprintf(&sb, "benchdiff: all %d tracked throughput metrics within %.0f%% of baseline\n",
-		len(deltas), threshold*100)
+		len(deltas)-untracked, threshold*100)
 	return 0, sb.String()
 }
 
@@ -117,8 +125,9 @@ func load(path string) (benchFile, error) {
 
 // compare gates every baseline-tracked metric: a metric regresses when
 // current < baseline × (1 - threshold). Metrics only in the current
-// report are ignored (they are tracked once a regenerated baseline
-// includes them); higher-is-better is assumed for all throughput.
+// report are informational (New) — they never fail the gate and start
+// being tracked once a regenerated baseline includes them;
+// higher-is-better is assumed for all throughput.
 func compare(baseline, current map[string]float64, threshold float64) []delta {
 	names := make([]string, 0, len(baseline))
 	for name := range baseline {
@@ -142,6 +151,16 @@ func compare(baseline, current map[string]float64, threshold float64) []delta {
 			d.Regressed = cur < base*(1-threshold)
 		}
 		out = append(out, d)
+	}
+	fresh := make([]string, 0, 4)
+	for name := range current {
+		if _, tracked := baseline[name]; !tracked {
+			fresh = append(fresh, name)
+		}
+	}
+	sort.Strings(fresh)
+	for _, name := range fresh {
+		out = append(out, delta{Name: name, Current: current[name], New: true})
 	}
 	return out
 }

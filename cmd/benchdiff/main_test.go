@@ -46,10 +46,28 @@ func TestCompareMissingMetricFails(t *testing.T) {
 	}
 }
 
-func TestCompareNewMetricIgnored(t *testing.T) {
-	deltas := compare(map[string]float64{"a": 1}, map[string]float64{"a": 1, "new": 9}, 0.25)
-	if len(deltas) != 1 || deltas[0].Name != "a" {
-		t.Fatalf("deltas = %+v, want only baseline-tracked metrics", deltas)
+// TestCompareNewMetricInformational: metrics only in the current report
+// are surfaced as New — listed after the tracked metrics, never flagged
+// as regressed or missing.
+func TestCompareNewMetricInformational(t *testing.T) {
+	deltas := compare(map[string]float64{"a": 1}, map[string]float64{"a": 1, "zz": 9, "bb": 4}, 0.25)
+	if len(deltas) != 3 {
+		t.Fatalf("deltas = %+v, want tracked + 2 new", deltas)
+	}
+	if deltas[0].Name != "a" || deltas[0].New {
+		t.Errorf("tracked metric mangled: %+v", deltas[0])
+	}
+	// New metrics follow the tracked ones, themselves sorted.
+	if deltas[1].Name != "bb" || deltas[2].Name != "zz" {
+		t.Errorf("new metrics out of order: %+v", deltas[1:])
+	}
+	for _, d := range deltas[1:] {
+		if !d.New || d.Regressed || d.Missing {
+			t.Errorf("new metric misclassified: %+v", d)
+		}
+		if d.Current == 0 {
+			t.Errorf("new metric lost its value: %+v", d)
+		}
 	}
 }
 
@@ -105,5 +123,26 @@ func TestRunExitCodes(t *testing.T) {
 
 	if code, _ := run(base, ok, 1.5); code != 2 {
 		t.Errorf("bad threshold: exit %d, want 2", code)
+	}
+
+	// New metrics in the current report are informational: the gate still
+	// passes, and the output names them so regenerating the baseline is an
+	// obvious next step.
+	grown := writeReport(t, dir, "grown.json", "trainbox-bench/v1",
+		map[string]float64{"prefetcher_samples_per_sec": 950, "pool_degraded_samples_per_sec": 500})
+	code, out = run(base, grown, 0.25)
+	if code != 0 {
+		t.Errorf("new metric failed the gate: exit %d, output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "pool_degraded_samples_per_sec") || !strings.Contains(out, "new (untracked)") {
+		t.Errorf("new metric not surfaced as informational:\n%s", out)
+	}
+
+	// A run that both regresses and grows still fails — new metrics never
+	// mask a regression.
+	grownBad := writeReport(t, dir, "grownbad.json", "trainbox-bench/v1",
+		map[string]float64{"prefetcher_samples_per_sec": 500, "pool_degraded_samples_per_sec": 500})
+	if code, _ := run(base, grownBad, 0.25); code != 1 {
+		t.Errorf("regression masked by new metric: exit %d, want 1", code)
 	}
 }

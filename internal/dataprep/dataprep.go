@@ -235,6 +235,26 @@ func (e *Executor) PrepareBatch(store *storage.Store, keys []string, epoch int) 
 	return e.PrepareBatchContext(context.Background(), store, keys, epoch)
 }
 
+// PrepareOne prepares a single keyed sample on the host path with an
+// explicit dataset seed. It is the degraded-mode entry point: when a
+// prep pool has ejected every device, fpga.Cluster falls back here
+// sample by sample, and because the augmentation seed depends only on
+// (dataset seed, key, epoch) the result is bit-identical to what any
+// pooled device would have produced.
+func (e *Executor) PrepareOne(ctx context.Context, store *storage.Store, key string, datasetSeed int64, epoch int) (Prepared, error) {
+	obj, err := store.GetContext(ctx, key)
+	if err != nil {
+		return Prepared{}, fmt.Errorf("dataprep: sample %q: %w", key, err)
+	}
+	p := e.prep.Prepare(obj, SampleSeed(datasetSeed, key, epoch))
+	if p.Err != nil {
+		return Prepared{}, fmt.Errorf("dataprep: sample %q: %w", p.Key, p.Err)
+	}
+	e.mSamples.Inc()
+	e.mRate.Mark(1)
+	return p, nil
+}
+
 // PrepareBatchContext is PrepareBatch with cancellation: the first
 // error — or ctx being cancelled — stops the fetch and prepare stages
 // and drains the pipeline before returning.

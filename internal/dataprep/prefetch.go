@@ -84,12 +84,17 @@ func NewPrefetcher(exec *Executor, store *storage.Store, keys []string, epochs, 
 }
 
 // Next blocks until the next batch is ready and returns it. After the
-// last scheduled epoch (or after Close) it returns ErrExhausted; after
-// a pipeline failure it returns that error.
+// last scheduled epoch it returns ErrExhausted; after Close it returns
+// ErrClosed; after a pipeline failure it returns that error. The two
+// sentinels are distinct so consumers can tell a finished schedule
+// ("train is done") from a shut-down prefetcher ("someone stopped us").
 func (p *Prefetcher) Next() (Batch, error) {
 	v, ok := <-p.run.Out()
 	if !ok {
-		if err := p.run.Err(); err != nil && !p.closed.Load() {
+		if p.closed.Load() {
+			return Batch{}, ErrClosed
+		}
+		if err := p.run.Err(); err != nil {
 			return Batch{}, err
 		}
 		return Batch{}, ErrExhausted
@@ -109,6 +114,10 @@ func (p *Prefetcher) Stats() []pipeline.StageStats {
 // ErrExhausted is returned by Next once every scheduled epoch has been
 // delivered.
 var ErrExhausted = fmt.Errorf("dataprep: prefetcher exhausted")
+
+// ErrClosed is returned by Next after Close, regardless of how many
+// epochs were still scheduled.
+var ErrClosed = fmt.Errorf("dataprep: prefetcher closed")
 
 // Close stops background preparation, discards buffered batches, and
 // waits for every pipeline goroutine to exit. It is safe to call

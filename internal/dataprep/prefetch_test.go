@@ -138,8 +138,49 @@ func TestPrefetcherConcurrentDoubleClose(t *testing.T) {
 	}()
 	wg.Wait()
 	pf.Close() // and once more after everyone is done
-	if _, err := pf.Next(); err != ErrExhausted {
-		t.Errorf("Next after Close: err = %v, want ErrExhausted", err)
+	if _, err := pf.Next(); err != ErrClosed {
+		t.Errorf("Next after Close: err = %v, want ErrClosed", err)
+	}
+}
+
+// TestPrefetcherNextAfterCloseReturnsErrClosed: Close mid-schedule must
+// make Next return the ErrClosed sentinel — distinct from ErrExhausted
+// (schedule finished) and from pipeline errors — so consumers can tell
+// an intentional shutdown from a completed or failed run.
+func TestPrefetcherNextAfterCloseReturnsErrClosed(t *testing.T) {
+	s := imageStore(t, 2)
+	exec := NewExecutor(ImagePreparer{Config: DefaultImageConfig()}, 2, 1)
+	pf, err := NewPrefetcher(exec, s, s.Keys(), 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pf.Next(); err != nil {
+		t.Fatal(err)
+	}
+	pf.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := pf.Next(); err != ErrClosed {
+			t.Fatalf("Next %d after Close: err = %v, want ErrClosed", i, err)
+		}
+	}
+	if ErrClosed == ErrExhausted {
+		t.Fatal("sentinels must be distinct")
+	}
+	// A prefetcher that exhausts naturally still reports ErrExhausted —
+	// and only flips to ErrClosed once Close is called.
+	pf2, err := NewPrefetcher(exec, s, s.Keys(), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pf2.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pf2.Next(); err != ErrExhausted {
+		t.Errorf("exhausted prefetcher: err = %v, want ErrExhausted", err)
+	}
+	pf2.Close()
+	if _, err := pf2.Next(); err != ErrClosed {
+		t.Errorf("closed-after-exhaustion: err = %v, want ErrClosed", err)
 	}
 }
 

@@ -1,0 +1,160 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func fastPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 5,
+		BaseBackoff: 100 * time.Microsecond,
+		MaxBackoff:  time.Millisecond,
+		Jitter:      0.5,
+		Seed:        11,
+	}
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	calls := 0
+	st, err := fastPolicy().Do(context.Background(), "op", "k", func(_ context.Context, attempt int) error {
+		if attempt != calls {
+			t.Errorf("attempt = %d, want %d", attempt, calls)
+		}
+		calls++
+		if calls < 3 {
+			return Transient(errors.New("flaky"))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Attempts != 3 || calls != 3 {
+		t.Errorf("attempts = %d (%d calls), want 3", st.Attempts, calls)
+	}
+	if st.Backoff <= 0 {
+		t.Error("no backoff recorded across retries")
+	}
+}
+
+func TestRetryPermanentErrorAbortsImmediately(t *testing.T) {
+	boom := errors.New("permanent")
+	calls := 0
+	st, err := fastPolicy().Do(context.Background(), "op", "k", func(context.Context, int) error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 1 || st.Attempts != 1 {
+		t.Errorf("permanent error retried: %d calls", calls)
+	}
+}
+
+func TestRetryExhaustionReturnsLastError(t *testing.T) {
+	last := Transient(errors.New("still flaky"))
+	calls := 0
+	st, err := fastPolicy().Do(context.Background(), "op", "k", func(context.Context, int) error {
+		calls++
+		return last
+	})
+	if !errors.Is(err, last) {
+		t.Fatalf("err = %v, want last attempt's error", err)
+	}
+	if calls != 5 || st.Attempts != 5 {
+		t.Errorf("calls = %d, want MaxAttempts=5", calls)
+	}
+}
+
+func TestRetryDisabledPolicyRunsOnce(t *testing.T) {
+	var p RetryPolicy // zero value: disabled
+	if p.Enabled() {
+		t.Error("zero policy reports enabled")
+	}
+	calls := 0
+	_, err := p.Do(context.Background(), "op", "k", func(context.Context, int) error {
+		calls++
+		return Transient(errors.New("flaky"))
+	})
+	if err == nil || calls != 1 {
+		t.Errorf("zero policy: %d calls, err=%v", calls, err)
+	}
+}
+
+func TestRetryCancelledContextStopsPromptly(t *testing.T) {
+	p := fastPolicy()
+	p.BaseBackoff = time.Hour // cancellation must interrupt the backoff
+	p.MaxBackoff = time.Hour
+	ctx, cancel := context.WithCancel(context.Background())
+	opErr := Transient(errors.New("flaky"))
+	start := time.Now()
+	_, err := p.Do(ctx, "op", "k", func(context.Context, int) error {
+		cancel()
+		return opErr
+	})
+	// The operation's own error is surfaced, not the bare context error.
+	if !errors.Is(err, opErr) {
+		t.Errorf("err = %v, want the operation error", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("cancelled retry loop kept backing off")
+	}
+	// Already-cancelled context: fn must not run at all.
+	calls := 0
+	_, err = p.Do(ctx, "op", "k", func(context.Context, int) error { calls++; return nil })
+	if calls != 0 || !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled Do ran fn %d times, err=%v", calls, err)
+	}
+}
+
+func TestRetryAttemptTimeoutRescuesStalls(t *testing.T) {
+	p := fastPolicy()
+	p.AttemptTimeout = 5 * time.Millisecond
+	var stalled atomic.Bool
+	st, err := p.Do(context.Background(), "op", "k", func(ctx context.Context, attempt int) error {
+		if attempt == 0 {
+			stalled.Store(true)
+			<-ctx.Done() // simulated hang, rescued by the attempt deadline
+			return ctx.Err()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stalled.Load() || st.Attempts != 2 {
+		t.Errorf("stall not rescued: attempts=%d", st.Attempts)
+	}
+}
+
+func TestRetryBackoffDeterministicAndBounded(t *testing.T) {
+	p := fastPolicy()
+	run := func() time.Duration {
+		st, _ := p.Do(context.Background(), "op", "k", func(context.Context, int) error {
+			return Transient(errors.New("flaky"))
+		})
+		return st.Backoff
+	}
+	first, second := run(), run()
+	if first != second {
+		t.Errorf("jittered backoff not deterministic: %v vs %v", first, second)
+	}
+	// 4 backoffs of at most MaxBackoff·(1+Jitter/2).
+	max := time.Duration(float64(p.MaxBackoff) * (1 + p.Jitter/2) * 4)
+	if first <= 0 || first > max {
+		t.Errorf("total backoff %v outside (0, %v]", first, max)
+	}
+	// Per-attempt waits grow until the cap.
+	b0, b1 := p.backoff(0, "op", "k"), p.backoff(1, "op", "k")
+	if b0 <= 0 || b1 <= 0 {
+		t.Fatalf("backoffs %v %v", b0, b1)
+	}
+	if p.backoff(40, "op", "k") > time.Duration(float64(p.MaxBackoff)*(1+p.Jitter/2)) {
+		t.Error("deep attempt escaped the backoff cap")
+	}
+}

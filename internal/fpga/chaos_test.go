@@ -1,0 +1,229 @@
+package fpga
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"trainbox/internal/dataprep"
+	"trainbox/internal/faults"
+	"trainbox/internal/metrics"
+	"trainbox/internal/nvme"
+	"trainbox/internal/storage"
+)
+
+// chaosFixture builds a cluster of len(injs) devices, handler i wired
+// to injector injs[i] (nil = healthy), over a small image dataset.
+func chaosFixture(t *testing.T, injs ...faults.Injector) (*Cluster, *storage.Store, dataprep.ImageConfig) {
+	t.Helper()
+	store := storage.NewStore(storage.DefaultSSDSpec())
+	if err := dataprep.BuildImageDataset(store, 8, 4, 3); err != nil {
+		t.Fatal(err)
+	}
+	ns, err := nvme.LoadStore(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := dataprep.DefaultImageConfig()
+	handlers := make([]*P2PHandler, len(injs))
+	for i := range handlers {
+		h, err := NewP2PHandler(ns, NewImageEmulator(cfg), 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handlers[i] = h.WithFaults(injs[i])
+	}
+	cluster, err := NewCluster(handlers...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cluster, store, cfg
+}
+
+// hostOracle prepares the same batch on the fault-free host path.
+func hostOracle(t *testing.T, store *storage.Store, cfg dataprep.ImageConfig, datasetSeed int64, epoch int) []dataprep.Prepared {
+	t.Helper()
+	exec := dataprep.NewExecutor(dataprep.ImagePreparer{Config: cfg}, 2, datasetSeed)
+	host, err := exec.PrepareBatch(store, store.Keys(), epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return host
+}
+
+func assertBitIdentical(t *testing.T, got, want []dataprep.Prepared) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("batch sizes differ: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Key != want[i].Key {
+			t.Fatalf("sample %d key %q, want %q — ordering broken", i, got[i].Key, want[i].Key)
+		}
+		for j := range want[i].Image.Data {
+			if got[i].Image.Data[j] != want[i].Image.Data[j] {
+				t.Fatalf("sample %d diverges at element %d — degraded path not bit-identical", i, j)
+			}
+		}
+	}
+}
+
+// TestClusterEjectsDeadDeviceAndStaysBitIdentical: one device dead on
+// arrival must be ejected after EjectAfter strikes while its samples are
+// re-dispatched to the survivor, and the delivered batch must still be
+// bit-identical to the host oracle.
+func TestClusterEjectsDeadDeviceAndStaysBitIdentical(t *testing.T) {
+	const datasetSeed, epoch = 3, 1
+	cluster, store, cfg := chaosFixture(t, faults.NewDeviceDeath(0), nil)
+	reg := metrics.NewRegistry()
+	cluster.WithHealth(HealthConfig{EjectAfter: 2}).WithMetrics(reg)
+
+	out, err := cluster.PrepareBatch(context.Background(), store.Keys(), datasetSeed, epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, out, hostOracle(t, store, cfg, datasetSeed, epoch))
+	if got := reg.Counter("fpga.pool.devices_ejected").Value(); got != 1 {
+		t.Errorf("devices_ejected = %d, want 1", got)
+	}
+	if reg.Counter("fpga.pool.sample_retries").Value() == 0 {
+		t.Error("no sample retries recorded for re-dispatched samples")
+	}
+	if got := cluster.ActiveDevices(); got != 1 {
+		t.Errorf("active devices = %d, want 1", got)
+	}
+	if got := reg.Gauge("fpga.pool.devices_active").Value(); got != 1 {
+		t.Errorf("devices_active gauge = %v, want 1", got)
+	}
+}
+
+// TestClusterFallbackWhenAllDevicesDead: with every device dead and a
+// host fallback attached, the whole batch must degrade to the host path
+// — bit-identical, all samples counted as degraded, pool size zero.
+func TestClusterFallbackWhenAllDevicesDead(t *testing.T) {
+	const datasetSeed, epoch = 5, 2
+	cluster, store, cfg := chaosFixture(t, faults.NewDeviceDeath(0), faults.NewDeviceDeath(0))
+	reg := metrics.NewRegistry()
+	fb := dataprep.NewExecutor(dataprep.ImagePreparer{Config: cfg}, 2, 0)
+	cluster.WithHealth(HealthConfig{EjectAfter: 1}).WithFallback(fb, store).WithMetrics(reg)
+
+	out, err := cluster.PrepareBatch(context.Background(), store.Keys(), datasetSeed, epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, out, hostOracle(t, store, cfg, datasetSeed, epoch))
+	if got := reg.Counter("fpga.pool.devices_ejected").Value(); got != 2 {
+		t.Errorf("devices_ejected = %d, want 2", got)
+	}
+	if got := reg.Counter("fpga.pool.degraded_samples").Value(); got != int64(len(store.Keys())) {
+		t.Errorf("degraded_samples = %d, want %d", got, len(store.Keys()))
+	}
+	if got := cluster.ActiveDevices(); got != 0 {
+		t.Errorf("active devices = %d, want 0", got)
+	}
+}
+
+// TestClusterProbationReadmission walks the full device lifecycle on a
+// single-device pool with host fallback: eject → probation re-admission
+// → re-ejection on the probation strike → revival → clean re-admission.
+func TestClusterProbationReadmission(t *testing.T) {
+	const datasetSeed = 11
+	death := faults.NewDeviceDeath(0)
+	cluster, store, cfg := chaosFixture(t, death)
+	reg := metrics.NewRegistry()
+	fb := dataprep.NewExecutor(dataprep.ImagePreparer{Config: cfg}, 2, 0)
+	cluster.WithHealth(HealthConfig{EjectAfter: 1, ProbationBatches: 1}).
+		WithFallback(fb, store).WithMetrics(reg)
+
+	// Batch 1: the device's first sample fails → immediate ejection; the
+	// rest of the batch degrades to the host path.
+	out, err := cluster.PrepareBatch(context.Background(), store.Keys(), datasetSeed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, out, hostOracle(t, store, cfg, datasetSeed, 0))
+	if got := reg.Counter("fpga.pool.devices_ejected").Value(); got != 1 {
+		t.Fatalf("after batch 1: devices_ejected = %d, want 1", got)
+	}
+
+	// Batch 2: probation re-admits the still-dead device; its one strike
+	// re-ejects it and the batch degrades again.
+	out, err = cluster.PrepareBatch(context.Background(), store.Keys(), datasetSeed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, out, hostOracle(t, store, cfg, datasetSeed, 1))
+	if got := reg.Counter("fpga.pool.devices_readmitted").Value(); got != 1 {
+		t.Errorf("after batch 2: devices_readmitted = %d, want 1", got)
+	}
+	if got := reg.Counter("fpga.pool.devices_ejected").Value(); got != 2 {
+		t.Errorf("after batch 2: devices_ejected = %d, want 2", got)
+	}
+	if got := cluster.ActiveDevices(); got != 0 {
+		t.Errorf("after batch 2: active devices = %d, want 0", got)
+	}
+
+	// The device comes back; the next probation re-admission serves the
+	// whole batch cleanly and the device stays in the pool.
+	death.Revive(1 << 30)
+	out, err = cluster.PrepareBatch(context.Background(), store.Keys(), datasetSeed, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, out, hostOracle(t, store, cfg, datasetSeed, 2))
+	if got := reg.Counter("fpga.pool.devices_readmitted").Value(); got != 2 {
+		t.Errorf("after batch 3: devices_readmitted = %d, want 2", got)
+	}
+	if got := reg.Counter("fpga.pool.devices_ejected").Value(); got != 2 {
+		t.Errorf("after batch 3: devices_ejected = %d, want 2 (revived device must stay)", got)
+	}
+	if got := cluster.ActiveDevices(); got != 1 {
+		t.Errorf("after batch 3: active devices = %d, want 1", got)
+	}
+}
+
+// TestClusterPoolEmptyWithoutFallbackFails: with no host fallback, an
+// all-dead pool must fail the batch with the device error.
+func TestClusterPoolEmptyWithoutFallbackFails(t *testing.T) {
+	cluster, store, _ := chaosFixture(t, faults.NewDeviceDeath(0))
+	cluster.WithHealth(HealthConfig{EjectAfter: 1})
+	if _, err := cluster.PrepareBatch(context.Background(), store.Keys(), 1, 0); !errors.Is(err, faults.ErrDeviceDead) {
+		t.Errorf("err = %v, want ErrDeviceDead", err)
+	}
+}
+
+// TestClusterFlakyDeviceRecovers: a pool where every device drops a
+// deterministic fraction of reads must still deliver bit-identical
+// batches via re-dispatch (and, at worst, the host fallback).
+func TestClusterFlakyDeviceRecovers(t *testing.T) {
+	const datasetSeed, epoch = 7, 0
+	// Both devices share the flake schedule, so whichever device serves a
+	// doomed (key, attempt) pair fails it — making retries deterministic.
+	flake := faults.NewErrorRate(42, 0.4, nil)
+	cluster, store, cfg := chaosFixture(t, flake, flake)
+	reg := metrics.NewRegistry()
+	fb := dataprep.NewExecutor(dataprep.ImagePreparer{Config: cfg}, 2, 0)
+	cluster.WithHealth(DefaultHealthConfig()).WithFallback(fb, store).WithMetrics(reg)
+
+	out, err := cluster.PrepareBatch(context.Background(), store.Keys(), datasetSeed, epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, out, hostOracle(t, store, cfg, datasetSeed, epoch))
+	if reg.Counter("fpga.pool.sample_retries").Value() == 0 {
+		t.Error("flaky pool recorded no sample retries")
+	}
+}
+
+// TestClusterHealthDisabledKeepsFailFast: without WithHealth the legacy
+// contract holds — the first device error fails the whole batch.
+func TestClusterHealthDisabledKeepsFailFast(t *testing.T) {
+	cluster, store, _ := chaosFixture(t, faults.NewDeviceDeath(0), nil)
+	if _, err := cluster.PrepareBatch(context.Background(), store.Keys(), 1, 0); !errors.Is(err, faults.ErrDeviceDead) {
+		t.Errorf("err = %v, want ErrDeviceDead", err)
+	}
+	// Both devices are back in the pool after the failed batch.
+	if got := len(cluster.avail); got != cluster.Devices() {
+		t.Errorf("%d of %d devices returned to pool", got, cluster.Devices())
+	}
+}

@@ -3,12 +3,15 @@ package fpga
 import (
 	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"trainbox/internal/dataprep"
+	"trainbox/internal/faults"
 	"trainbox/internal/metrics"
 	"trainbox/internal/pipeline"
+	"trainbox/internal/storage"
 )
 
 // Cluster is the runtime face of the prep pool (Section V-D): where
@@ -19,20 +22,73 @@ import (
 // key, epoch), so batches are bit-identical to the host path no matter
 // which device serves which sample — the property that makes pool
 // offload transparent to training.
+//
+// That same property is what makes the pool self-healing: with health
+// tracking enabled (WithHealth) a device that keeps failing is ejected
+// — the pool shrinks instead of the batch dying — and its samples are
+// re-dispatched to surviving devices or, when every device is gone, to
+// the host executor (WithFallback). Ejected devices are periodically
+// re-admitted on probation: one clean job restores them, one more
+// failure re-ejects them. The degradation ladder is therefore
+// retry-on-another-device → shrink the pool → host fallback, and every
+// rung preserves bit-identical output.
 type Cluster struct {
 	handlers []*P2PHandler
 	index    map[*P2PHandler]int
 	avail    chan *P2PHandler
 	stats    pipeline.StatsSet
 
-	reg   *metrics.Registry
-	mJobs *metrics.Counter // fpga.pool.jobs_dispatched
-	busy  []atomic.Int64   // cumulative per-device busy ns
-	wall  atomic.Int64     // cumulative batch wall ns
+	health  HealthConfig
+	fbExec  *dataprep.Executor
+	fbStore *storage.Store
+
+	mu      sync.Mutex
+	states  []deviceState
+	alive   int
+	batches int64
+	allDead chan struct{} // closed while every device is ejected
+
+	reg         *metrics.Registry
+	mJobs       *metrics.Counter // fpga.pool.jobs_dispatched
+	mEjected    *metrics.Counter // fpga.pool.devices_ejected
+	mReadmitted *metrics.Counter // fpga.pool.devices_readmitted
+	mRetries    *metrics.Counter // fpga.pool.sample_retries
+	mDegraded   *metrics.Counter // fpga.pool.degraded_samples
+	gActive     *metrics.Gauge   // fpga.pool.devices_active
+	busy        []atomic.Int64   // cumulative per-device busy ns
+	wall        atomic.Int64     // cumulative batch wall ns
+}
+
+// HealthConfig tunes the pool's per-device health tracking.
+type HealthConfig struct {
+	// EjectAfter is the consecutive-failure count that ejects a device
+	// from the pool; values ≤ 0 select the default (3).
+	EjectAfter int
+	// ProbationBatches is how many batches an ejected device sits out
+	// before a probation re-admission: it re-enters the pool one failure
+	// away from re-ejection, so a single clean job restores it and a
+	// single failure removes it again. 0 means ejection is permanent.
+	ProbationBatches int
+}
+
+// DefaultHealthConfig returns the standard self-healing posture: eject
+// after 3 consecutive failures, probe again 4 batches later.
+func DefaultHealthConfig() HealthConfig {
+	return HealthConfig{EjectAfter: 3, ProbationBatches: 4}
+}
+
+// deviceState is one device's health ledger, guarded by Cluster.mu.
+type deviceState struct {
+	consecFails int
+	ejected     bool
+	ejectedAt   int64 // batch counter value at ejection
+	probation   bool  // readmitted on trial: one failure re-ejects
 }
 
 // NewCluster builds a cluster over the pooled device handlers; devices
 // are checked out per sample, so concurrent batches share the pool.
+// Health tracking is off by default (any device error fails the batch,
+// the pre-resilience contract); enable it with WithHealth.
 func NewCluster(handlers ...*P2PHandler) (*Cluster, error) {
 	if len(handlers) == 0 {
 		return nil, fmt.Errorf("fpga: cluster needs at least one device handler")
@@ -49,52 +105,96 @@ func NewCluster(handlers ...*P2PHandler) (*Cluster, error) {
 		index[h] = i
 		avail <- h
 	}
-	return &Cluster{handlers: handlers, index: index, avail: avail, busy: make([]atomic.Int64, len(handlers))}, nil
+	return &Cluster{
+		handlers: handlers,
+		index:    index,
+		avail:    avail,
+		states:   make([]deviceState, len(handlers)),
+		alive:    len(handlers),
+		allDead:  make(chan struct{}),
+		busy:     make([]atomic.Int64, len(handlers)),
+	}, nil
+}
+
+// WithHealth enables per-device health tracking with the given config
+// (zero fields select defaults): consecutive failures eject a device,
+// ejected devices are re-admitted on probation, and failed samples are
+// re-dispatched to other devices instead of failing the batch. Attach
+// before use; returns c for chaining.
+func (c *Cluster) WithHealth(cfg HealthConfig) *Cluster {
+	if cfg.EjectAfter <= 0 {
+		cfg.EjectAfter = DefaultHealthConfig().EjectAfter
+	}
+	if cfg.ProbationBatches < 0 {
+		cfg.ProbationBatches = 0
+	}
+	c.health = cfg
+	return c
+}
+
+// WithFallback attaches the host data-preparation path: when every
+// pooled device is ejected (or a sample has exhausted its pool
+// attempts), the sample is prepared by exec over store instead — the
+// bottom rung of the degradation ladder. Because per-sample seeds
+// depend only on (dataset seed, key, epoch), degraded batches remain
+// bit-identical. Attach before use; returns c for chaining.
+func (c *Cluster) WithFallback(exec *dataprep.Executor, store *storage.Store) *Cluster {
+	c.fbExec = exec
+	c.fbStore = store
+	return c
 }
 
 // WithMetrics attaches a registry: dispatched jobs count under
 // "fpga.pool.jobs_dispatched", per-device utilization (cumulative busy
 // time over cumulative batch wall time — the pool-balance observable of
-// Section V-D) under "fpga.pool.device.<i>.utilization", and the
-// dispatch pipeline under "pipeline.fpga-pool.*". Attach before use;
-// returns c for chaining.
+// Section V-D) under "fpga.pool.device.<i>.utilization", resilience
+// counters under "fpga.pool.{devices_ejected,devices_readmitted,
+// sample_retries,degraded_samples}" with the live pool size at
+// "fpga.pool.devices_active", and the dispatch pipeline under
+// "pipeline.fpga-pool.*". Attach before use; returns c for chaining.
 func (c *Cluster) WithMetrics(reg *metrics.Registry) *Cluster {
 	c.reg = reg
 	c.mJobs = reg.Counter("fpga.pool.jobs_dispatched")
+	c.mEjected = reg.Counter("fpga.pool.devices_ejected")
+	c.mReadmitted = reg.Counter("fpga.pool.devices_readmitted")
+	c.mRetries = reg.Counter("fpga.pool.sample_retries")
+	c.mDegraded = reg.Counter("fpga.pool.degraded_samples")
+	c.gActive = reg.Gauge("fpga.pool.devices_active")
+	c.gActive.SetInt(int64(c.ActiveDevices()))
 	return c
 }
 
-// Devices returns the number of pooled devices.
+// Devices returns the number of pooled devices, ejected or not.
 func (c *Cluster) Devices() int { return len(c.handlers) }
+
+// ActiveDevices returns the number of devices currently in the pool
+// (not ejected).
+func (c *Cluster) ActiveDevices() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.alive
+}
 
 // Stats returns the cluster's cumulative dispatch-stage counters.
 func (c *Cluster) Stats() []pipeline.StageStats {
 	return c.stats.Snapshot()
 }
 
+func (c *Cluster) healthEnabled() bool { return c.health.EjectAfter > 0 }
+
 // PrepareBatch prepares the keyed objects in order across the pooled
 // devices: a dispatch stage with parallelism = device count checks a
 // device out of the pool per sample, runs its SSD→FPGA path, and
 // returns it. Ordering and bit-identity with the host executor are
-// preserved; the first device error cancels the whole batch.
+// preserved. Without health tracking the first device error cancels the
+// whole batch; with it (WithHealth), device-attributable failures
+// re-dispatch the sample and only data errors — or an empty pool with
+// no fallback — fail the batch.
 func (c *Cluster) PrepareBatch(ctx context.Context, keys []string, datasetSeed int64, epoch int) ([]dataprep.Prepared, error) {
+	c.beginBatch()
 	dispatch := pipeline.NewStage("pool-dispatch", len(c.handlers), len(c.handlers),
 		func(ctx context.Context, i int) (dataprep.Prepared, error) {
-			var h *P2PHandler
-			select {
-			case h = <-c.avail:
-			case <-ctx.Done():
-				return dataprep.Prepared{}, ctx.Err()
-			}
-			defer func() { c.avail <- h }()
-			start := time.Now()
-			p := h.PrepareByKey(keys[i], dataprep.SampleSeed(datasetSeed, keys[i], epoch))
-			c.busy[c.index[h]].Add(time.Since(start).Nanoseconds())
-			c.mJobs.Inc()
-			if p.Err != nil {
-				return dataprep.Prepared{}, fmt.Errorf("fpga: pool sample %q: %w", keys[i], p.Err)
-			}
-			return p, nil
+			return c.prepareSample(ctx, keys[i], datasetSeed, epoch)
 		})
 	pl, err := pipeline.New("fpga-pool", dispatch)
 	if err != nil {
@@ -110,6 +210,153 @@ func (c *Cluster) PrepareBatch(ctx context.Context, keys []string, datasetSeed i
 		return nil, err
 	}
 	return out, nil
+}
+
+// prepareSample serves one sample through the degradation ladder:
+// pooled devices first (re-dispatching on device faults while health
+// tracking allows), then the host fallback once the pool is empty or
+// the sample's pool attempts are spent.
+func (c *Cluster) prepareSample(ctx context.Context, key string, datasetSeed int64, epoch int) (dataprep.Prepared, error) {
+	seed := dataprep.SampleSeed(datasetSeed, key, epoch)
+	maxTries := 1
+	if c.healthEnabled() {
+		maxTries = len(c.handlers)
+	}
+	var lastErr error
+	for attempt := 0; attempt < maxTries; attempt++ {
+		h, ok, err := c.acquire(ctx)
+		if err != nil {
+			return dataprep.Prepared{}, err
+		}
+		if !ok {
+			break // pool empty: fall through to the host path
+		}
+		start := time.Now()
+		p := h.prepareSample(ctx, key, seed, attempt)
+		c.busy[c.index[h]].Add(time.Since(start).Nanoseconds())
+		c.mJobs.Inc()
+		if p.Err == nil {
+			c.release(h, true)
+			return p, nil
+		}
+		deviceFault := faults.IsDeviceFault(p.Err)
+		c.release(h, !deviceFault)
+		if !c.healthEnabled() || !deviceFault {
+			// Data errors fail identically everywhere; without health
+			// tracking every error keeps the legacy fail-fast contract.
+			return dataprep.Prepared{}, fmt.Errorf("fpga: pool sample %q: %w", key, p.Err)
+		}
+		lastErr = p.Err
+		c.mRetries.Inc()
+	}
+	if c.fbExec != nil && c.fbStore != nil {
+		p, err := c.fbExec.PrepareOne(ctx, c.fbStore, key, datasetSeed, epoch)
+		if err != nil {
+			return dataprep.Prepared{}, fmt.Errorf("fpga: degraded sample %q: %w", key, err)
+		}
+		c.mDegraded.Inc()
+		return p, nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("no pooled device available")
+	}
+	return dataprep.Prepared{}, fmt.Errorf("fpga: pool sample %q: %w", key, lastErr)
+}
+
+// acquire checks a device out of the pool. ok=false with a nil error
+// means the pool has no live device (degraded mode); a non-nil error is
+// context cancellation.
+func (c *Cluster) acquire(ctx context.Context) (h *P2PHandler, ok bool, err error) {
+	select {
+	case h = <-c.avail:
+		return h, true, nil
+	default:
+	}
+	c.mu.Lock()
+	dead := c.allDead
+	empty := c.alive == 0
+	c.mu.Unlock()
+	if empty {
+		return nil, false, nil
+	}
+	select {
+	case h = <-c.avail:
+		return h, true, nil
+	case <-dead:
+		return nil, false, nil
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
+}
+
+// release returns a device to the pool, updating its health ledger:
+// success (or a failure not attributable to the device) clears its
+// strikes; a device fault adds one, and enough consecutive strikes —
+// or any strike while on probation — eject it instead of returning it.
+func (c *Cluster) release(h *P2PHandler, clean bool) {
+	if !c.healthEnabled() {
+		c.avail <- h
+		return
+	}
+	c.mu.Lock()
+	st := &c.states[c.index[h]]
+	if clean {
+		st.consecFails = 0
+		st.probation = false
+		c.mu.Unlock()
+		c.avail <- h
+		return
+	}
+	st.consecFails++
+	if st.probation || st.consecFails >= c.health.EjectAfter {
+		st.ejected = true
+		st.probation = false
+		st.consecFails = 0
+		st.ejectedAt = c.batches
+		c.alive--
+		c.mEjected.Inc()
+		c.gActive.SetInt(int64(c.alive))
+		if c.alive == 0 {
+			close(c.allDead) // wake blocked acquirers into degraded mode
+		}
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	c.avail <- h
+}
+
+// beginBatch advances the batch counter and re-admits ejected devices
+// whose probation period has elapsed. Re-admission happens between
+// batches, so within one batch the live-device set only shrinks.
+func (c *Cluster) beginBatch() {
+	if !c.healthEnabled() {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.batches++
+	if c.health.ProbationBatches <= 0 {
+		return
+	}
+	for i := range c.states {
+		st := &c.states[i]
+		if !st.ejected || c.batches-st.ejectedAt < int64(c.health.ProbationBatches) {
+			continue
+		}
+		st.ejected = false
+		st.probation = true
+		st.consecFails = 0
+		if c.alive == 0 {
+			c.allDead = make(chan struct{}) // pool is live again
+		}
+		c.alive++
+		c.mReadmitted.Inc()
+		c.gActive.SetInt(int64(c.alive))
+		// avail has capacity for every handler and ejected devices are
+		// never in it, so this send cannot block.
+		c.avail <- c.handlers[i]
+	}
 }
 
 // reportUtilization publishes each device's share of cumulative batch

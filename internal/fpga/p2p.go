@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"trainbox/internal/dataprep"
+	"trainbox/internal/faults"
 	"trainbox/internal/metrics"
 	"trainbox/internal/nvme"
 	"trainbox/internal/pipeline"
@@ -26,6 +27,7 @@ type P2PHandler struct {
 	client *nvme.Client
 	engine *Emulator
 	depth  int
+	inj    faults.Injector
 	stats  pipeline.StatsSet
 
 	reg      *metrics.Registry
@@ -56,11 +58,38 @@ func (h *P2PHandler) WithMetrics(reg *metrics.Registry) *P2PHandler {
 	return h
 }
 
+// WithFaults attaches a fault injector consulted before every NVMe read
+// this handler issues, under op name "fpga.p2p.read" — the knob chaos
+// tests turn to make one pooled device flaky or dead (see
+// faults.NewDeviceDeath). A nil injector (the default) keeps the
+// fault-free fast path. Attach before use; returns h for chaining.
+func (h *P2PHandler) WithFaults(inj faults.Injector) *P2PHandler {
+	h.inj = inj
+	return h
+}
+
+// readObject is the handler's faultable NVMe read: the injector (if
+// any) rules on (key, attempt) first, then the real read runs. attempt
+// lets retrying dispatchers draw fresh fault decisions.
+func (h *P2PHandler) readObject(ctx context.Context, key string, attempt int) (storage.Object, error) {
+	if err := faults.Apply(ctx, h.inj, faults.Op{Name: "fpga.p2p.read", Key: key, Attempt: attempt}); err != nil {
+		return storage.Object{}, fmt.Errorf("fpga: p2p read %q: %w", key, err)
+	}
+	return h.client.ReadObject(key)
+}
+
 // PrepareByKey fetches the keyed object over NVMe and prepares it with
 // the FPGA engine — the full SSD→FPGA→(accelerator) per-sample path.
 func (h *P2PHandler) PrepareByKey(key string, seed int64) dataprep.Prepared {
+	return h.prepareSample(context.Background(), key, seed, 0)
+}
+
+// prepareSample is PrepareByKey with an explicit context and attempt
+// index, the form pool dispatchers use so re-dispatched samples draw
+// fresh fault decisions and honour batch cancellation.
+func (h *P2PHandler) prepareSample(ctx context.Context, key string, seed int64, attempt int) dataprep.Prepared {
 	start := time.Now()
-	obj, err := h.client.ReadObject(key)
+	obj, err := h.readObject(ctx, key, attempt)
 	if err != nil {
 		return dataprep.Prepared{Key: key, Err: err}
 	}
@@ -92,7 +121,7 @@ func (h *P2PHandler) PrepareBatchContext(ctx context.Context, keys []string, dat
 			if err := ctx.Err(); err != nil {
 				return storage.Object{}, err
 			}
-			obj, err := h.client.ReadObject(keys[i])
+			obj, err := h.readObject(ctx, keys[i], 0)
 			if err != nil {
 				return storage.Object{}, fmt.Errorf("fpga: p2p sample %q: %w", keys[i], err)
 			}

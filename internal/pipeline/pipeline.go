@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"trainbox/internal/faults"
 	"trainbox/internal/metrics"
 )
 
@@ -15,25 +16,64 @@ import (
 // order the items entered. Build stages with NewStage, which adds type
 // safety around the untyped runtime representation.
 type Stage struct {
-	name  string
-	par   int
-	depth int
-	fn    func(ctx context.Context, v any) (any, error)
+	name      string
+	par       int
+	depth     int
+	fn        func(ctx context.Context, v any) (any, error)
+	timeout   time.Duration
+	retries   int
+	retryable func(error) bool
+}
+
+// StageOption configures optional per-stage resilience behavior.
+type StageOption func(*Stage)
+
+// WithTimeout bounds every fn invocation with its own deadline: the
+// context handed to fn is cancelled after d, so a stalled item fails
+// with a deadline error instead of wedging the stage. Combine with
+// WithRetries to turn the stall into a retried attempt.
+func WithTimeout(d time.Duration) StageOption {
+	return func(s *Stage) { s.timeout = d }
+}
+
+// WithRetries re-runs fn up to n extra times on the same item when it
+// fails with a retryable error (see WithRetryableErrors; the default
+// classification is faults.IsTransient, which covers injected transient
+// faults and per-item deadline expiries). Non-retryable errors — and
+// retryable errors past the budget — still fail the whole run: the
+// permanent-fault contract is unchanged.
+func WithRetries(n int) StageOption {
+	return func(s *Stage) {
+		if n > 0 {
+			s.retries = n
+		}
+	}
+}
+
+// WithRetryableErrors overrides the stage's retryable-error
+// classification used by WithRetries.
+func WithRetryableErrors(classify func(error) bool) StageOption {
+	return func(s *Stage) {
+		if classify != nil {
+			s.retryable = classify
+		}
+	}
 }
 
 // NewStage builds a typed stage. parallelism < 1 is treated as 1 (a
 // serial stage); queueDepth < 0 as 0 (a rendezvous hand-off). fn must be
 // safe for concurrent use when parallelism > 1. Returning an error from
-// fn fails the whole run: the pipeline context is cancelled and every
-// stage drains.
-func NewStage[In, Out any](name string, parallelism, queueDepth int, fn func(ctx context.Context, in In) (Out, error)) *Stage {
+// fn fails the whole run — the pipeline context is cancelled and every
+// stage drains — unless stage options make the error retryable
+// (WithRetries) or bound the item's latency first (WithTimeout).
+func NewStage[In, Out any](name string, parallelism, queueDepth int, fn func(ctx context.Context, in In) (Out, error), opts ...StageOption) *Stage {
 	if parallelism < 1 {
 		parallelism = 1
 	}
 	if queueDepth < 0 {
 		queueDepth = 0
 	}
-	return &Stage{
+	s := &Stage{
 		name:  name,
 		par:   parallelism,
 		depth: queueDepth,
@@ -46,6 +86,13 @@ func NewStage[In, Out any](name string, parallelism, queueDepth int, fn func(ctx
 			return fn(ctx, in)
 		},
 	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.retryable == nil {
+		s.retryable = faults.IsTransient
+	}
+	return s
 }
 
 // Name returns the stage's name.
@@ -143,10 +190,12 @@ type stageRun struct {
 	itemsIn  atomic.Int64
 	itemsOut atomic.Int64
 	busy     atomic.Int64 // nanoseconds inside fn
+	retries  atomic.Int64 // retryable failures re-attempted in place
 
-	mItems *metrics.Counter   // items completed by fn
-	mBusy  *metrics.Histogram // per-item ns inside fn
-	mQueue *metrics.Gauge     // output queue occupancy at last enqueue
+	mItems   *metrics.Counter   // items completed by fn
+	mBusy    *metrics.Histogram // per-item ns inside fn
+	mQueue   *metrics.Gauge     // output queue occupancy at last enqueue
+	mRetries *metrics.Counter   // in-place item retries
 }
 
 // Run is one execution of a pipeline over one source. Consume Out()
@@ -200,6 +249,7 @@ func (p *Pipeline) Run(ctx context.Context, src Source) *Run {
 			sr.mItems = p.reg.Counter(prefix + "items")
 			sr.mBusy = p.reg.Histogram(prefix + "busy_ns")
 			sr.mQueue = p.reg.Gauge(prefix + "queue_depth")
+			sr.mRetries = p.reg.Counter(prefix + "retries")
 		}
 		r.stages = append(r.stages, sr)
 		r.startStage(rctx, sr, in)
@@ -231,17 +281,35 @@ func (p *Pipeline) Run(ctx context.Context, src Source) *Run {
 func (r *Run) startStage(ctx context.Context, sr *stageRun, in <-chan item) {
 	apply := func(it item) (item, bool) {
 		sr.itemsIn.Add(1)
-		start := time.Now()
-		v, err := sr.spec.fn(ctx, it.v)
-		elapsed := time.Since(start)
-		sr.busy.Add(int64(elapsed))
-		sr.mItems.Inc()
-		sr.mBusy.ObserveDuration(elapsed)
-		if err != nil {
+		for attempt := 0; ; attempt++ {
+			ictx := ctx
+			var cancelItem context.CancelFunc
+			if sr.spec.timeout > 0 {
+				ictx, cancelItem = context.WithTimeout(ctx, sr.spec.timeout)
+			}
+			start := time.Now()
+			v, err := sr.spec.fn(ictx, it.v)
+			elapsed := time.Since(start)
+			if cancelItem != nil {
+				cancelItem()
+			}
+			sr.busy.Add(int64(elapsed))
+			sr.mItems.Inc()
+			sr.mBusy.ObserveDuration(elapsed)
+			if err == nil {
+				return item{seq: it.seq, v: v}, true
+			}
+			// Transient faults re-enter the work loop while the budget
+			// lasts; permanent ones (or a cancelled run) still fail the
+			// whole pipeline.
+			if attempt < sr.spec.retries && ctx.Err() == nil && sr.spec.retryable(err) {
+				sr.retries.Add(1)
+				sr.mRetries.Inc()
+				continue
+			}
 			r.fail(err)
 			return item{}, false
 		}
-		return item{seq: it.seq, v: v}, true
 	}
 
 	if sr.spec.par == 1 {

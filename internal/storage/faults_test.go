@@ -1,0 +1,180 @@
+package storage
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"trainbox/internal/faults"
+	"trainbox/internal/metrics"
+)
+
+// attemptGate injects a chosen fault on every attempt below pass —
+// the deterministic "fails twice then recovers" device for retry tests.
+type attemptGate struct {
+	pass  int
+	fault faults.Fault
+}
+
+func (g attemptGate) Inject(op faults.Op) faults.Fault {
+	if op.Attempt < g.pass {
+		return g.fault
+	}
+	return faults.Fault{}
+}
+
+func faultyStoreFixture(t *testing.T) *Store {
+	t.Helper()
+	s := NewStore(DefaultSSDSpec())
+	if err := s.Put(Object{Key: "obj", Label: 7, Data: []byte("payload")}); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func quickRetry(attempts int) faults.RetryPolicy {
+	return faults.RetryPolicy{
+		MaxAttempts: attempts,
+		BaseBackoff: 50 * time.Microsecond,
+		MaxBackoff:  time.Millisecond,
+		Jitter:      0.5,
+	}
+}
+
+// TestStoreRetryRecoversTransientFaults: reads that fail with injected
+// transient errors must succeed after backoff, with every retry and
+// the total backoff visible in the store's metrics.
+func TestStoreRetryRecoversTransientFaults(t *testing.T) {
+	s := faultyStoreFixture(t)
+	reg := metrics.NewRegistry()
+	s.WithMetrics(reg).
+		WithFaults(attemptGate{pass: 2, fault: faults.Fault{Err: faults.Transient(faults.ErrInjected)}}).
+		WithRetry(quickRetry(4))
+	obj, err := s.GetContext(context.Background(), "obj")
+	if err != nil {
+		t.Fatalf("retried read failed: %v", err)
+	}
+	if obj.Label != 7 || string(obj.Data) != "payload" {
+		t.Errorf("got %+v", obj)
+	}
+	if got := reg.Counter("storage.nvme.retries").Value(); got != 2 {
+		t.Errorf("retries = %d, want 2", got)
+	}
+	if reg.Counter("storage.nvme.retry_backoff_ns").Value() <= 0 {
+		t.Error("retry backoff not recorded")
+	}
+}
+
+// TestStoreRetryExhaustionSurfacesInjectedError: a fault outlasting the
+// attempt budget must surface the injected error, not a retry artifact.
+func TestStoreRetryExhaustionSurfacesInjectedError(t *testing.T) {
+	s := faultyStoreFixture(t)
+	reg := metrics.NewRegistry()
+	s.WithMetrics(reg).
+		WithFaults(faults.NewErrorRate(1, 1.0, nil)). // every attempt fails
+		WithRetry(quickRetry(3))
+	if _, err := s.GetContext(context.Background(), "obj"); !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if got := reg.Counter("storage.nvme.retries").Value(); got != 2 {
+		t.Errorf("retries = %d, want 2 (3 attempts)", got)
+	}
+}
+
+// TestStoreNonTransientFaultNotRetried: permanent injected errors must
+// fail immediately without consuming the retry budget.
+func TestStoreNonTransientFaultNotRetried(t *testing.T) {
+	s := faultyStoreFixture(t)
+	reg := metrics.NewRegistry()
+	errCorrupt := errors.New("unrecoverable corruption")
+	s.WithMetrics(reg).
+		WithFaults(faults.NewErrorRate(1, 1.0, errCorrupt)).
+		WithRetry(quickRetry(4))
+	if _, err := s.GetContext(context.Background(), "obj"); !errors.Is(err, errCorrupt) {
+		t.Fatalf("err = %v, want %v", err, errCorrupt)
+	}
+	if got := reg.Counter("storage.nvme.retries").Value(); got != 0 {
+		t.Errorf("retries = %d, want 0", got)
+	}
+}
+
+// TestStoreMissingKeyNotRetried: a data error (no such object) is not a
+// device fault — the retry layer must not mask it or spend attempts.
+func TestStoreMissingKeyNotRetried(t *testing.T) {
+	s := faultyStoreFixture(t)
+	reg := metrics.NewRegistry()
+	s.WithMetrics(reg).WithRetry(quickRetry(4))
+	if _, err := s.GetContext(context.Background(), "missing"); err == nil {
+		t.Fatal("missing key accepted")
+	}
+	if got := reg.Counter("storage.nvme.retries").Value(); got != 0 {
+		t.Errorf("retries = %d, want 0", got)
+	}
+}
+
+// TestStoreAttemptTimeoutRescuesStall: a stalled first attempt must be
+// cut off by the per-attempt deadline and retried to success — the only
+// recovery path for a read that hangs instead of failing.
+func TestStoreAttemptTimeoutRescuesStall(t *testing.T) {
+	s := faultyStoreFixture(t)
+	p := quickRetry(3)
+	p.AttemptTimeout = 10 * time.Millisecond
+	s.WithFaults(attemptGate{pass: 1, fault: faults.Fault{Stall: true}}).WithRetry(p)
+	start := time.Now()
+	obj, err := s.GetContext(context.Background(), "obj")
+	if err != nil {
+		t.Fatalf("stalled read not rescued: %v", err)
+	}
+	if string(obj.Data) != "payload" {
+		t.Errorf("got %+v", obj)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("rescue took %v — attempt deadline not applied", elapsed)
+	}
+}
+
+// TestStoreStallWithoutTimeoutHonoursCaller: with no per-attempt
+// deadline, only the caller's context bounds a stalled read.
+func TestStoreStallWithoutTimeoutHonoursCaller(t *testing.T) {
+	s := faultyStoreFixture(t)
+	s.WithFaults(faults.NewStall(1, 1.0)).WithRetry(quickRetry(2))
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := s.GetContext(ctx, "obj"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestStoreInjectedLatencyStillSucceeds: latency spikes delay reads but
+// do not fail them — no retries, correct data.
+func TestStoreInjectedLatencyStillSucceeds(t *testing.T) {
+	s := faultyStoreFixture(t)
+	reg := metrics.NewRegistry()
+	s.WithMetrics(reg).WithFaults(faults.Metered(faults.NewLatency(1, 1.0, time.Millisecond), reg))
+	obj, err := s.GetContext(context.Background(), "obj")
+	if err != nil || string(obj.Data) != "payload" {
+		t.Fatalf("delayed read: %v %+v", err, obj)
+	}
+	if reg.Counter("faults.injected_delays").Value() != 1 {
+		t.Error("injected delay not metered")
+	}
+	if reg.Counter("storage.nvme.retries").Value() != 0 {
+		t.Error("latency spike consumed retries")
+	}
+}
+
+// TestStoreFaultFreeFastPathPreserved: with neither injector nor policy
+// the contextful read is exactly Get plus the cancellation gate.
+func TestStoreFaultFreeFastPathPreserved(t *testing.T) {
+	s := faultyStoreFixture(t)
+	obj, err := s.GetContext(context.Background(), "obj")
+	if err != nil || string(obj.Data) != "payload" {
+		t.Fatalf("fast path: %v %+v", err, obj)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.GetContext(ctx, "obj"); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled fast-path read: %v", err)
+	}
+}

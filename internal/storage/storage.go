@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"trainbox/internal/faults"
 	"trainbox/internal/metrics"
 	"trainbox/internal/units"
 )
@@ -59,9 +60,14 @@ type Store struct {
 	used    units.Bytes
 	dirty   bool
 
+	inj   faults.Injector
+	retry faults.RetryPolicy
+
 	mBytesRead *metrics.Counter   // storage.<name>.bytes_read
 	mReads     *metrics.Counter   // storage.<name>.reads
 	mReadNs    *metrics.Histogram // storage.<name>.read_ns
+	mRetries   *metrics.Counter   // storage.<name>.retries
+	mBackoffNs *metrics.Counter   // storage.<name>.retry_backoff_ns
 }
 
 // NewStore creates an empty shard on a device with the given spec.
@@ -81,6 +87,28 @@ func (s *Store) WithMetrics(reg *metrics.Registry) *Store {
 	s.mBytesRead = reg.Counter(prefix + "bytes_read")
 	s.mReads = reg.Counter(prefix + "reads")
 	s.mReadNs = reg.Histogram(prefix + "read_ns")
+	s.mRetries = reg.Counter(prefix + "retries")
+	s.mBackoffNs = reg.Counter(prefix + "retry_backoff_ns")
+	return s
+}
+
+// WithFaults attaches a fault injector consulted on every GetContext
+// read attempt under op name "storage.read" — the chaos-testing hook.
+// A nil injector (the default) keeps the fault-free fast path. Attach
+// before the store is shared across goroutines; returns s for chaining.
+func (s *Store) WithFaults(inj faults.Injector) *Store {
+	s.inj = inj
+	return s
+}
+
+// WithRetry makes GetContext survive transient read faults: each read
+// runs under the policy's bounded retry loop with exponential backoff,
+// jitter, and per-attempt deadlines. Permanent errors (a missing key,
+// a cancelled context) are never retried. Retry counts and backoff time
+// report under "storage.<device>.retries" / ".retry_backoff_ns" when a
+// registry is attached. Attach before sharing; returns s for chaining.
+func (s *Store) WithRetry(p faults.RetryPolicy) *Store {
+	s.retry = p
 	return s
 }
 
@@ -127,11 +155,35 @@ func (s *Store) Get(key string) (Object, error) {
 // instead of feeding a dead pipeline. The in-memory lookup itself is
 // not interruptible (it completes in microseconds); the context gate is
 // the contract real storage backends would extend to in-flight I/O.
+//
+// With a fault injector attached (WithFaults) each attempt first runs
+// the injector's decision; with a retry policy attached (WithRetry)
+// transient faults are retried with backoff instead of surfacing. With
+// neither configured this is exactly Get plus the context gate.
 func (s *Store) GetContext(ctx context.Context, key string) (Object, error) {
 	if err := ctx.Err(); err != nil {
 		return Object{}, fmt.Errorf("storage: %s: read %q: %w", s.spec.Name, key, err)
 	}
-	return s.Get(key)
+	if s.inj == nil && !s.retry.Enabled() {
+		return s.Get(key)
+	}
+	var obj Object
+	stats, err := s.retry.Do(ctx, "storage.read", key, func(actx context.Context, attempt int) error {
+		if ferr := faults.Apply(actx, s.inj, faults.Op{Name: "storage.read", Key: key, Attempt: attempt}); ferr != nil {
+			return fmt.Errorf("storage: %s: read %q: %w", s.spec.Name, key, ferr)
+		}
+		var gerr error
+		obj, gerr = s.Get(key)
+		return gerr
+	})
+	if stats.Attempts > 1 {
+		s.mRetries.Add(int64(stats.Attempts - 1))
+		s.mBackoffNs.Add(int64(stats.Backoff))
+	}
+	if err != nil {
+		return Object{}, err
+	}
+	return obj, nil
 }
 
 // Keys returns all keys in sorted order.

@@ -132,6 +132,14 @@ type epochSamples struct {
 	samples []nn.Sample
 }
 
+// EpochPreparer produces one epoch's prepared samples for the keyed
+// dataset. It is the seam between the training driver and whichever
+// data-preparation path serves the run — the host executor (Run wraps
+// one automatically), an fpga.Cluster's self-healing pool, or a chaos
+// harness injecting faults — all interchangeable because per-sample
+// augmentation depends only on (dataset seed, key, epoch).
+type EpochPreparer func(ctx context.Context, epoch int) ([]dataprep.Prepared, error)
+
 // Run trains data-parallel replicas over the keyed dataset as one
 // staged pipeline: a prepare stage (the next-batch prefetcher, queue
 // depth = PrefetchDepth) overlaps each epoch's data preparation with
@@ -141,14 +149,32 @@ type epochSamples struct {
 // (pipeline.ForEach), ring-all-reduces, and applies one synchronous SGD
 // step per minibatch. The first error anywhere cancels the pipeline.
 func Run(cfg Config, exec *dataprep.Executor, store *storage.Store, keys []string, feature FeatureFn) (Result, error) {
+	if exec == nil || store == nil {
+		return Result{}, fmt.Errorf("train: nil executor or store")
+	}
+	keysCopy := append([]string(nil), keys...)
+	return RunWithPreparer(cfg, func(ctx context.Context, epoch int) ([]dataprep.Prepared, error) {
+		return exec.PrepareBatchContext(ctx, store, keysCopy, epoch)
+	}, len(keysCopy), feature)
+}
+
+// RunWithPreparer is Run with the data-preparation path abstracted
+// behind an EpochPreparer: the driver pipeline, replica compute, and
+// synchronization are identical — only the source of prepared samples
+// changes. numKeys is the per-epoch sample count (used for buffer
+// sizing and replica-feeding validation).
+func RunWithPreparer(cfg Config, prepare EpochPreparer, numKeys int, feature FeatureFn) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
+	}
+	if prepare == nil {
+		return Result{}, fmt.Errorf("train: nil epoch preparer")
 	}
 	if feature == nil {
 		return Result{}, fmt.Errorf("train: nil feature function")
 	}
-	if len(keys) < cfg.Replicas {
-		return Result{}, fmt.Errorf("train: %d keys cannot feed %d replicas", len(keys), cfg.Replicas)
+	if numKeys < cfg.Replicas {
+		return Result{}, fmt.Errorf("train: %d keys cannot feed %d replicas", numKeys, cfg.Replicas)
 	}
 
 	replicas := make([]*nn.Network, cfg.Replicas)
@@ -162,14 +188,13 @@ func Run(cfg Config, exec *dataprep.Executor, store *storage.Store, keys []strin
 		opts[i] = opt
 	}
 
-	keysCopy := append([]string(nil), keys...)
 	// Epoch sample buffers cycle between the extract stage and the end of
 	// the step stage instead of being reallocated every epoch.
-	samplePool := pipeline.NewPool(func() []nn.Sample { return make([]nn.Sample, 0, len(keysCopy)) })
+	samplePool := pipeline.NewPool(func() []nn.Sample { return make([]nn.Sample, 0, numKeys) })
 
-	prepare := pipeline.NewStage("prepare", 1, cfg.PrefetchDepth,
+	prepStage := pipeline.NewStage("prepare", 1, cfg.PrefetchDepth,
 		func(ctx context.Context, epoch int) (epochBatch, error) {
-			batch, err := exec.PrepareBatchContext(ctx, store, keysCopy, epoch)
+			batch, err := prepare(ctx, epoch)
 			if err != nil {
 				return epochBatch{}, err
 			}
@@ -200,7 +225,7 @@ func Run(cfg Config, exec *dataprep.Executor, store *storage.Store, keys []strin
 			samplePool.Put(es.samples[:0])
 			return stats, err
 		})
-	pl, err := pipeline.New("train", prepare, extractStage, step)
+	pl, err := pipeline.New("train", prepStage, extractStage, step)
 	if err != nil {
 		return Result{}, err
 	}
