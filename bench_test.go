@@ -352,7 +352,7 @@ func BenchmarkPrefetcherThroughput(b *testing.B) {
 			samples := 0
 			start := time.Now()
 			for i := 0; i < b.N; i++ {
-				pf, err := dataprep.NewPrefetcher(exec, store, keys, 3, depth)
+				pf, err := dataprep.NewPrefetcher(exec, store, keys, 3, dataprep.WithDepth(depth))
 				if err != nil {
 					b.Fatal(err)
 				}

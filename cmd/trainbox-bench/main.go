@@ -371,7 +371,7 @@ func stepLiveThroughput(h *harness) error {
 	t.AddRowf("executor_image_samples_per_sec", prof.SamplesPerSec)
 
 	// Prefetcher: delivered samples/s through the overlap pipeline.
-	pf, err := dataprep.NewPrefetcher(exec, store, keys, 4, 2)
+	pf, err := dataprep.NewPrefetcher(exec, store, keys, 4, dataprep.WithDepth(2))
 	if err != nil {
 		return err
 	}
@@ -397,19 +397,18 @@ func stepLiveThroughput(h *harness) error {
 	if err != nil {
 		return err
 	}
-	h1, err := fpga.NewP2PHandler(ns, fpga.NewImageEmulator(cfg), 8)
+	h1, err := fpga.NewP2PHandler(ns, fpga.NewImageEmulator(cfg), 8, fpga.WithMetrics(reg))
 	if err != nil {
 		return err
 	}
-	h2, err := fpga.NewP2PHandler(ns, fpga.NewImageEmulator(cfg), 8)
+	h2, err := fpga.NewP2PHandler(ns, fpga.NewImageEmulator(cfg), 8, fpga.WithMetrics(reg))
 	if err != nil {
 		return err
 	}
-	cluster, err := fpga.NewCluster(h1.WithMetrics(reg), h2.WithMetrics(reg))
+	cluster, err := fpga.NewCluster([]*fpga.P2PHandler{h1, h2}, fpga.WithMetrics(reg))
 	if err != nil {
 		return err
 	}
-	cluster.WithMetrics(reg)
 	start = time.Now()
 	pooled := 0
 	for epoch := 0; epoch < 3; epoch++ {
@@ -425,11 +424,11 @@ func stepLiveThroughput(h *harness) error {
 
 	// End-to-end training driver: steps/s and samples/s with the shared
 	// registry observing the whole prepare→extract→step pipeline.
-	res, err := train.Run(train.Config{
+	res, err := train.Run(context.Background(), train.Config{
 		Replicas: 2, Widths: []int{64, 16, 4}, Epochs: 3,
 		LearningRate: 0.05, PrefetchDepth: 2, Seed: datasetSeed,
 		Metrics: reg,
-	}, exec, store, keys, feature)
+	}, train.WithDataset(exec, store, keys), train.WithFeature(feature))
 	if err != nil {
 		return err
 	}

@@ -132,6 +132,10 @@ func main() {
 			t, err := experiments.PlannerStudy()
 			return []*report.Table{t}, err
 		},
+		"preppool": func() ([]*report.Table, error) {
+			t, err := experiments.DynamicPoolStudy()
+			return []*report.Table{t}, err
+		},
 	}
 
 	names := make([]string, 0, len(runners))

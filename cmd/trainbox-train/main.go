@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -68,7 +69,9 @@ func run(replicas, epochs, items, depth int, lr, momentum float64, seed int64) e
 	}
 	fmt.Printf("training %d replicas × %d epochs over %d items (prefetch %d)\n",
 		replicas, epochs, items, depth)
-	res, err := train.Run(tc, exec, store, store.Keys(), feature)
+	res, err := train.Run(context.Background(), tc,
+		train.WithDataset(exec, store, store.Keys()),
+		train.WithFeature(feature))
 	if err != nil {
 		return err
 	}

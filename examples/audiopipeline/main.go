@@ -7,6 +7,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -17,8 +18,13 @@ import (
 )
 
 func main() {
+	demo := flag.Bool("demo", false, "short CI budget: fewer utterances")
+	flag.Parse()
+	items := 6
+	if *demo {
+		items = 2
+	}
 	store := storage.NewStore(storage.DefaultSSDSpec())
-	const items = 6
 	if err := dataprep.BuildAudioDataset(store, items, 4, 3); err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,8 @@
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 
@@ -37,8 +39,15 @@ func stripeFeature(p dataprep.Prepared) ([]float64, int, error) {
 }
 
 func main() {
+	demo := flag.Bool("demo", false, "short CI budget: fewer items and epochs")
+	flag.Parse()
+	items, epochs := 32, 10
+	if *demo {
+		items, epochs = 16, 3
+	}
+
 	store := storage.NewStore(storage.DefaultSSDSpec())
-	if err := dataprep.BuildImageDataset(store, 32, 4, 11); err != nil {
+	if err := dataprep.BuildImageDataset(store, items, 4, 11); err != nil {
 		log.Fatal(err)
 	}
 	cfg := dataprep.DefaultImageConfig()
@@ -48,12 +57,14 @@ func main() {
 	tc := train.Config{
 		Replicas: 4,
 		Widths:   []int{64, 24, 4},
-		Epochs:   10, LearningRate: 0.08, PrefetchDepth: 2, Seed: 11,
+		Epochs:   epochs, LearningRate: 0.08, PrefetchDepth: 2, Seed: 11,
 	}
 	fmt.Printf("training: %d replicas, %d epochs over %d samples, prefetch depth %d\n",
 		tc.Replicas, tc.Epochs, store.Len(), tc.PrefetchDepth)
 
-	res, err := train.Run(tc, exec, store, store.Keys(), stripeFeature)
+	res, err := train.Run(context.Background(), tc,
+		train.WithDataset(exec, store, store.Keys()),
+		train.WithFeature(stripeFeature))
 	if err != nil {
 		log.Fatal(err)
 	}

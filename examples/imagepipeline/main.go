@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -16,9 +17,15 @@ import (
 )
 
 func main() {
+	demo := flag.Bool("demo", false, "short CI budget: smaller dataset and study")
+	flag.Parse()
+
 	// 1. Build a labelled synthetic JPEG dataset (the Imagenet stand-in).
 	store := storage.NewStore(storage.DefaultSSDSpec())
-	const items = 24
+	items := 24
+	if *demo {
+		items = 8
+	}
 	if err := dataprep.BuildImageDataset(store, items, 10, 7); err != nil {
 		log.Fatal(err)
 	}
@@ -60,7 +67,11 @@ func main() {
 		mismatches, store.Len())
 
 	// 4. The Figure 5 study: augmentation vs held-out accuracy.
-	res, err := experiments.Fig5(experiments.DefaultFig5Config())
+	fig5Cfg := experiments.DefaultFig5Config()
+	if *demo {
+		fig5Cfg.TrainPerClass, fig5Cfg.TestPerClass, fig5Cfg.Epochs = 8, 8, 6
+	}
+	res, err := experiments.Fig5(fig5Cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -16,6 +17,8 @@ import (
 )
 
 func main() {
+	demo := flag.Bool("demo", false, "short CI budget: skip the ablation sweep")
+	flag.Parse()
 	// Three concurrent jobs on one TrainBox rack, four boxes each.
 	jobs := []fpga.JobRequest{
 		{Name: "Resnet-50", Type: workload.Image,
@@ -45,6 +48,9 @@ func main() {
 		fmt.Println()
 	}
 
+	if *demo {
+		return
+	}
 	tb, err := experiments.AblationPoolSharing()
 	if err != nil {
 		log.Fatal(err)

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -15,6 +16,12 @@ import (
 )
 
 func main() {
+	demo := flag.Bool("demo", false, "short CI budget: solve at 64 accelerators")
+	flag.Parse()
+	accels := workload.TargetAccelerators
+	if *demo {
+		accels = 64
+	}
 	w, err := workload.ByName("Resnet-50")
 	if err != nil {
 		log.Fatal(err)
@@ -27,7 +34,7 @@ func main() {
 		res  core.Result
 	}
 	for _, kind := range arch.Kinds() {
-		sys, err := arch.Build(arch.Config{Kind: kind, NumAccels: workload.TargetAccelerators})
+		sys, err := arch.Build(arch.Config{Kind: kind, NumAccels: accels})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -41,7 +48,7 @@ func main() {
 		}{kind, res})
 	}
 
-	t := report.NewTable("ResNet-50 at 256 accelerators",
+	t := report.NewTable(fmt.Sprintf("ResNet-50 at %d accelerators", accels),
 		"architecture", "throughput (samples/s)", "speedup", "bottleneck")
 	base := float64(rows[0].res.Throughput)
 	labels := make([]string, 0, len(rows))

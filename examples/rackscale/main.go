@@ -7,6 +7,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -17,6 +18,12 @@ import (
 )
 
 func main() {
+	demo := flag.Bool("demo", false, "short CI budget: fewer keys, smaller sweep")
+	flag.Parse()
+	numKeys, sweep := 4096, []int{8, 16, 32, 64, 128, 256}
+	if *demo {
+		numKeys, sweep = 512, []int{8, 16, 32, 64}
+	}
 	sys, err := arch.Build(arch.Config{Kind: arch.TrainBox, NumAccels: 64})
 	if err != nil {
 		log.Fatal(err)
@@ -28,7 +35,7 @@ func main() {
 		sys.Topo.NumNodes(), verifyLocality(sys))
 
 	// Fake dataset keys: the initializer only needs names to shard.
-	keys := make([]string, 4096)
+	keys := make([]string, numKeys)
 	for i := range keys {
 		keys[i] = fmt.Sprintf("item-%05d", i)
 	}
@@ -61,7 +68,7 @@ func main() {
 	t := report.NewTable("TrainBox scale-up (Inception-v4)",
 		"accelerators", "boxes", "throughput (samples/s)", "accel-equivalents")
 	w, _ := workload.ByName("Inception-v4")
-	for _, n := range []int{8, 16, 32, 64, 128, 256} {
+	for _, n := range sweep {
 		s, err := arch.Build(arch.Config{Kind: arch.TrainBox, NumAccels: n})
 		if err != nil {
 			log.Fatal(err)

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math"
@@ -19,6 +20,12 @@ import (
 )
 
 func main() {
+	demo := flag.Bool("demo", false, "short CI budget: smaller latency sweep")
+	flag.Parse()
+	sweep := []int{2, 4, 8, 16, 32, 64, 128, 256}
+	if *demo {
+		sweep = []int{2, 4, 8, 16}
+	}
 	const ranks = 8
 	// Identical replicas: same init seed everywhere.
 	replicas := make([]*nn.Network, ranks)
@@ -85,7 +92,7 @@ func main() {
 	const modelBytes = 100 * units.MB
 	var labels []string
 	var values []float64
-	for _, n := range []int{2, 4, 8, 16, 32, 64, 128, 256} {
+	for _, n := range sweep {
 		labels = append(labels, fmt.Sprintf("n=%d", n))
 		values = append(values, m.NormalizedLatency(n, modelBytes))
 	}

@@ -194,10 +194,10 @@ type Executor struct {
 	stats       pipeline.StatsSet
 
 	reg        *metrics.Registry
-	mSamples   *metrics.Counter   // dataprep.samples_prepared
-	mPerSample *metrics.Histogram // dataprep.ns_per_sample
+	mSamples   *metrics.Counter   // dataprep.executor.samples_prepared
+	mPerSample *metrics.Histogram // dataprep.executor.ns_per_sample
 	mRate      *metrics.Meter     // dataprep.samples (rate)
-	mBatches   *metrics.Counter   // dataprep.batches_prepared
+	mBatches   *metrics.Counter   // dataprep.executor.batches_prepared
 }
 
 // NewExecutor creates an executor; workers ≤ 0 selects GOMAXPROCS.
@@ -215,10 +215,10 @@ func NewExecutor(prep Preparer, workers int, datasetSeed int64) *Executor {
 // returns e for chaining.
 func (e *Executor) WithMetrics(reg *metrics.Registry) *Executor {
 	e.reg = reg
-	e.mSamples = reg.Counter("dataprep.samples_prepared")
-	e.mPerSample = reg.Histogram("dataprep.ns_per_sample")
-	e.mRate = reg.Meter("dataprep.samples")
-	e.mBatches = reg.Counter("dataprep.batches_prepared")
+	e.mSamples = reg.Counter("dataprep.executor.samples_prepared")
+	e.mPerSample = reg.Histogram("dataprep.executor.ns_per_sample")
+	e.mRate = reg.Meter("dataprep.executor.samples")
+	e.mBatches = reg.Counter("dataprep.executor.batches_prepared")
 	return e
 }
 

@@ -25,7 +25,7 @@ func TestExecutorAndPrefetcherMetrics(t *testing.T) {
 	exec := NewExecutor(ImagePreparer{Config: cfg}, 2, 7).WithMetrics(reg)
 
 	const epochs = 3
-	pf, err := NewPrefetcher(exec, store, keys, epochs, 2)
+	pf, err := NewPrefetcher(exec, store, keys, epochs, WithDepth(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,16 +46,16 @@ func TestExecutorAndPrefetcherMetrics(t *testing.T) {
 
 	snap := reg.Snapshot()
 	wantSamples := int64(epochs * len(keys))
-	if got := snap.Counters["dataprep.samples_prepared"]; got != wantSamples {
-		t.Errorf("dataprep.samples_prepared = %d, want %d", got, wantSamples)
+	if got := snap.Counters["dataprep.executor.samples_prepared"]; got != wantSamples {
+		t.Errorf("dataprep.executor.samples_prepared = %d, want %d", got, wantSamples)
 	}
-	if got := snap.Counters["dataprep.batches_prepared"]; got != epochs {
-		t.Errorf("dataprep.batches_prepared = %d, want %d", got, epochs)
+	if got := snap.Counters["dataprep.executor.batches_prepared"]; got != epochs {
+		t.Errorf("dataprep.executor.batches_prepared = %d, want %d", got, epochs)
 	}
 	if got := snap.Counters["dataprep.prefetch.batches_delivered"]; got != epochs {
 		t.Errorf("prefetch.batches_delivered = %d, want %d", got, epochs)
 	}
-	perSample := snap.Histograms["dataprep.ns_per_sample"]
+	perSample := snap.Histograms["dataprep.executor.ns_per_sample"]
 	if perSample.Count != epochs || perSample.Mean <= 0 {
 		t.Errorf("ns_per_sample = %+v, want %d positive batch observations", perSample, epochs)
 	}
@@ -68,8 +68,8 @@ func TestExecutorAndPrefetcherMetrics(t *testing.T) {
 	if snap.Counters["storage.nvme.bytes_read"] != int64(store.UsedBytes())*epochs {
 		t.Errorf("storage bytes_read = %d, want %d", snap.Counters["storage.nvme.bytes_read"], int64(store.UsedBytes())*epochs)
 	}
-	if snap.Meters["dataprep.samples"].Count != wantSamples {
-		t.Errorf("sample meter count = %d, want %d", snap.Meters["dataprep.samples"].Count, wantSamples)
+	if snap.Meters["dataprep.executor.samples"].Count != wantSamples {
+		t.Errorf("sample meter count = %d, want %d", snap.Meters["dataprep.executor.samples"].Count, wantSamples)
 	}
 }
 
@@ -86,7 +86,7 @@ func TestUnmeteredExecutorPaysNothing(t *testing.T) {
 	if _, err := exec.PrepareBatch(store, store.Keys(), 0); err != nil {
 		t.Fatal(err)
 	}
-	pf, err := NewPrefetcher(exec, store, store.Keys(), 1, 1)
+	pf, err := NewPrefetcher(exec, store, store.Keys(), 1, WithDepth(1))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -45,21 +45,68 @@ type Batch struct {
 	Samples []Prepared
 }
 
+// PrefetchOption configures a Prefetcher at construction time.
+type PrefetchOption func(*prefetchConfig) error
+
+type prefetchConfig struct {
+	depth int
+	reg   *metrics.Registry
+}
+
+// WithDepth sets how many batches the prefetcher keeps buffered ahead
+// of the consumer. The default, 1, is the paper's double buffering;
+// deeper queues absorb jittery prepare latency at the cost of memory.
+func WithDepth(n int) PrefetchOption {
+	return func(c *prefetchConfig) error {
+		if n < 1 {
+			return fmt.Errorf("dataprep: prefetch depth must be ≥ 1, got %d", n)
+		}
+		c.depth = n
+		return nil
+	}
+}
+
+// WithMetrics routes the prefetcher's series ("dataprep.prefetch.*" and
+// the pipeline's "pipeline.prefetch.*") to reg instead of the
+// executor's registry.
+func WithMetrics(reg *metrics.Registry) PrefetchOption {
+	return func(c *prefetchConfig) error {
+		if reg == nil {
+			return fmt.Errorf("dataprep: WithMetrics needs a non-nil registry")
+		}
+		c.reg = reg
+		return nil
+	}
+}
+
 // NewPrefetcher starts preparing epochs [0, epochs) of the given keys
-// with the executor, keeping up to depth batches buffered ahead of the
-// consumer. depth must be ≥ 1 (the paper's double buffering is depth 1).
-func NewPrefetcher(exec *Executor, store *storage.Store, keys []string, epochs, depth int) (*Prefetcher, error) {
+// with the executor, keeping up to WithDepth batches (default 1)
+// buffered ahead of the consumer.
+func NewPrefetcher(exec *Executor, store *storage.Store, keys []string, epochs int, opts ...PrefetchOption) (*Prefetcher, error) {
 	if exec == nil || store == nil {
 		return nil, fmt.Errorf("dataprep: prefetcher needs an executor and a store")
 	}
 	if len(keys) == 0 {
 		return nil, fmt.Errorf("dataprep: prefetcher needs at least one key")
 	}
-	if epochs < 1 || depth < 1 {
-		return nil, fmt.Errorf("dataprep: prefetcher needs epochs ≥ 1 and depth ≥ 1, got %d/%d", epochs, depth)
+	if epochs < 1 {
+		return nil, fmt.Errorf("dataprep: prefetcher needs epochs ≥ 1, got %d", epochs)
+	}
+	// By default the prefetcher inherits the executor's registry: its
+	// prepare stage reports under "pipeline.prefetch.*", and batch
+	// delivery under "dataprep.prefetch.*". With an unmetered executor
+	// both are no-ops.
+	cfg := prefetchConfig{depth: 1, reg: exec.reg}
+	for _, opt := range opts {
+		if opt == nil {
+			return nil, fmt.Errorf("dataprep: nil PrefetchOption")
+		}
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
 	}
 	keysCopy := append([]string(nil), keys...)
-	prepare := pipeline.NewStage("prepare", 1, depth,
+	prepare := pipeline.NewStage("prepare", 1, cfg.depth,
 		func(ctx context.Context, epoch int) (Batch, error) {
 			samples, err := exec.PrepareBatchContext(ctx, store, keysCopy, epoch)
 			if err != nil {
@@ -72,15 +119,19 @@ func NewPrefetcher(exec *Executor, store *storage.Store, keys []string, epochs, 
 		return nil, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	// The prefetcher inherits the executor's registry: its prepare stage
-	// reports under "pipeline.prefetch.*", and batch delivery under
-	// "dataprep.prefetch.*". With an unmetered executor both are no-ops.
 	return &Prefetcher{
-		run:      pl.WithMetrics(exec.reg).Run(ctx, pipeline.IndexSource(epochs)),
+		run:      pl.WithMetrics(cfg.reg).Run(ctx, pipeline.IndexSource(epochs)),
 		cancel:   cancel,
-		mBatches: exec.reg.Counter("dataprep.prefetch.batches_delivered"),
-		mDepth:   exec.reg.Gauge("dataprep.prefetch.queue_depth"),
+		mBatches: cfg.reg.Counter("dataprep.prefetch.batches_delivered"),
+		mDepth:   cfg.reg.Gauge("dataprep.prefetch.queue_depth"),
 	}, nil
+}
+
+// NewPrefetcherDepth is the pre-options constructor.
+//
+// Deprecated: use NewPrefetcher with WithDepth.
+func NewPrefetcherDepth(exec *Executor, store *storage.Store, keys []string, epochs, depth int) (*Prefetcher, error) {
+	return NewPrefetcher(exec, store, keys, epochs, WithDepth(depth))
 }
 
 // Next blocks until the next batch is ready and returns it. After the

@@ -10,7 +10,7 @@ import (
 func TestPrefetcherDeliversEpochsInOrder(t *testing.T) {
 	s := imageStore(t, 4)
 	exec := NewExecutor(ImagePreparer{Config: DefaultImageConfig()}, 2, 1)
-	pf, err := NewPrefetcher(exec, s, s.Keys(), 3, 2)
+	pf, err := NewPrefetcher(exec, s, s.Keys(), 3, WithDepth(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +39,7 @@ func TestPrefetcherMatchesDirectPreparation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pf, err := NewPrefetcher(exec, s, s.Keys(), 1, 1)
+	pf, err := NewPrefetcher(exec, s, s.Keys(), 1, WithDepth(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +60,7 @@ func TestPrefetcherMatchesDirectPreparation(t *testing.T) {
 func TestPrefetcherCloseEarly(t *testing.T) {
 	s := imageStore(t, 4)
 	exec := NewExecutor(ImagePreparer{Config: DefaultImageConfig()}, 2, 1)
-	pf, err := NewPrefetcher(exec, s, s.Keys(), 100, 1)
+	pf, err := NewPrefetcher(exec, s, s.Keys(), 100, WithDepth(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +74,7 @@ func TestPrefetcherCloseEarly(t *testing.T) {
 func TestPrefetcherPropagatesErrors(t *testing.T) {
 	s := imageStore(t, 2)
 	exec := NewExecutor(ImagePreparer{Config: DefaultImageConfig()}, 2, 1)
-	pf, err := NewPrefetcher(exec, s, []string{"img-00000", "missing"}, 2, 1)
+	pf, err := NewPrefetcher(exec, s, []string{"img-00000", "missing"}, 2, WithDepth(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,11 +91,11 @@ func TestPrefetcherValidation(t *testing.T) {
 		name string
 		f    func() (*Prefetcher, error)
 	}{
-		{"nil executor", func() (*Prefetcher, error) { return NewPrefetcher(nil, s, s.Keys(), 1, 1) }},
-		{"nil store", func() (*Prefetcher, error) { return NewPrefetcher(exec, nil, s.Keys(), 1, 1) }},
-		{"no keys", func() (*Prefetcher, error) { return NewPrefetcher(exec, s, nil, 1, 1) }},
-		{"zero epochs", func() (*Prefetcher, error) { return NewPrefetcher(exec, s, s.Keys(), 0, 1) }},
-		{"zero depth", func() (*Prefetcher, error) { return NewPrefetcher(exec, s, s.Keys(), 1, 0) }},
+		{"nil executor", func() (*Prefetcher, error) { return NewPrefetcher(nil, s, s.Keys(), 1, WithDepth(1)) }},
+		{"nil store", func() (*Prefetcher, error) { return NewPrefetcher(exec, nil, s.Keys(), 1, WithDepth(1)) }},
+		{"no keys", func() (*Prefetcher, error) { return NewPrefetcher(exec, s, nil, 1, WithDepth(1)) }},
+		{"zero epochs", func() (*Prefetcher, error) { return NewPrefetcher(exec, s, s.Keys(), 0, WithDepth(1)) }},
+		{"zero depth", func() (*Prefetcher, error) { return NewPrefetcher(exec, s, s.Keys(), 1, WithDepth(0)) }},
 	}
 	for _, c := range cases {
 		if _, err := c.f(); err == nil {
@@ -112,7 +112,7 @@ func TestPrefetcherConcurrentDoubleClose(t *testing.T) {
 	t.Parallel()
 	s := imageStore(t, 2)
 	exec := NewExecutor(ImagePreparer{Config: DefaultImageConfig()}, 2, 1)
-	pf, err := NewPrefetcher(exec, s, s.Keys(), 50, 2)
+	pf, err := NewPrefetcher(exec, s, s.Keys(), 50, WithDepth(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +150,7 @@ func TestPrefetcherConcurrentDoubleClose(t *testing.T) {
 func TestPrefetcherNextAfterCloseReturnsErrClosed(t *testing.T) {
 	s := imageStore(t, 2)
 	exec := NewExecutor(ImagePreparer{Config: DefaultImageConfig()}, 2, 1)
-	pf, err := NewPrefetcher(exec, s, s.Keys(), 50, 1)
+	pf, err := NewPrefetcher(exec, s, s.Keys(), 50, WithDepth(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +168,7 @@ func TestPrefetcherNextAfterCloseReturnsErrClosed(t *testing.T) {
 	}
 	// A prefetcher that exhausts naturally still reports ErrExhausted —
 	// and only flips to ErrClosed once Close is called.
-	pf2, err := NewPrefetcher(exec, s, s.Keys(), 1, 1)
+	pf2, err := NewPrefetcher(exec, s, s.Keys(), 1, WithDepth(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +191,7 @@ func TestPrefetcherErrorDoesNotLeakGoroutines(t *testing.T) {
 	exec := NewExecutor(ImagePreparer{Config: DefaultImageConfig()}, 2, 1)
 	base := runtime.NumGoroutine()
 	keys := append(s.Keys(), "missing")
-	pf, err := NewPrefetcher(exec, s, keys, 100, 2)
+	pf, err := NewPrefetcher(exec, s, keys, 100, WithDepth(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +213,7 @@ func TestPrefetcherErrorDoesNotLeakGoroutines(t *testing.T) {
 func TestPrefetcherStats(t *testing.T) {
 	s := imageStore(t, 2)
 	exec := NewExecutor(ImagePreparer{Config: DefaultImageConfig()}, 2, 1)
-	pf, err := NewPrefetcher(exec, s, s.Keys(), 3, 1)
+	pf, err := NewPrefetcher(exec, s, s.Keys(), 3, WithDepth(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +243,7 @@ func TestPrefetcherStats(t *testing.T) {
 func TestPrefetcherSlowConsumer(t *testing.T) {
 	s := imageStore(t, 2)
 	exec := NewExecutor(ImagePreparer{Config: DefaultImageConfig()}, 2, 1)
-	pf, err := NewPrefetcher(exec, s, s.Keys(), 5, 2)
+	pf, err := NewPrefetcher(exec, s, s.Keys(), 5, WithDepth(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,5 +256,33 @@ func TestPrefetcherSlowConsumer(t *testing.T) {
 		if b.Epoch != epoch {
 			t.Fatalf("slow consumer broke ordering: %d != %d", b.Epoch, epoch)
 		}
+	}
+}
+
+// TestDeprecatedPrefetcherShim keeps the pre-options constructor alive:
+// NewPrefetcherDepth must behave exactly like NewPrefetcher+WithDepth,
+// including rejecting a non-positive depth.
+func TestDeprecatedPrefetcherShim(t *testing.T) {
+	s := imageStore(t, 3)
+	exec := NewExecutor(ImagePreparer{Config: DefaultImageConfig()}, 2, 1)
+	pf, err := NewPrefetcherDepth(exec, s, s.Keys(), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	for epoch := 0; epoch < 2; epoch++ {
+		b, err := pf.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Epoch != epoch || len(b.Samples) != s.Len() {
+			t.Fatalf("shimmed prefetcher misdelivered epoch %d: %+v", epoch, b)
+		}
+	}
+	if _, err := pf.Next(); err != ErrExhausted {
+		t.Fatalf("want ErrExhausted, got %v", err)
+	}
+	if _, err := NewPrefetcherDepth(exec, s, s.Keys(), 1, 0); err == nil {
+		t.Fatal("shim accepted depth 0")
 	}
 }

@@ -10,6 +10,7 @@ package eth
 
 import (
 	"fmt"
+	"sync"
 
 	"trainbox/internal/units"
 )
@@ -31,11 +32,15 @@ type SwitchSpec struct {
 }
 
 // Network is an analytical model of the prep-pool network: a set of
-// same-speed ports behind one switch.
+// same-speed ports behind one switch. Port attachment and bandwidth
+// reservations are safe for concurrent use.
 type Network struct {
-	link  LinkSpec
-	sw    SwitchSpec
-	inUse int
+	link LinkSpec
+	sw   SwitchSpec
+
+	mu       sync.Mutex
+	inUse    int
+	reserved units.BytesPerSec
 }
 
 // NewNetwork builds a prep-pool network with the given port count.
@@ -57,6 +62,8 @@ func (n *Network) Ports() int { return n.sw.Ports }
 
 // Attach reserves a port, returning an error when the switch is full.
 func (n *Network) Attach() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	if n.inUse >= n.sw.Ports {
 		return fmt.Errorf("eth: all %d ports in use", n.sw.Ports)
 	}
@@ -64,13 +71,36 @@ func (n *Network) Attach() error {
 	return nil
 }
 
+// Detach releases a previously attached port. Releasing with no port
+// attached is an accounting error and is reported rather than silently
+// wrapping the counter negative.
+func (n *Network) Detach() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.inUse <= 0 {
+		return fmt.Errorf("eth: detach with no port attached")
+	}
+	n.inUse--
+	return nil
+}
+
 // Attached returns the number of reserved ports.
-func (n *Network) Attached() int { return n.inUse }
+func (n *Network) Attached() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.inUse
+}
 
 // PortBandwidth returns the usable bandwidth of one port given the
 // aggregate ceiling and the number of attached ports: min(link,
 // aggregate/attached).
 func (n *Network) PortBandwidth() units.BytesPerSec {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.portBandwidthLocked()
+}
+
+func (n *Network) portBandwidthLocked() units.BytesPerSec {
 	bw := n.link.Bandwidth
 	if n.sw.AggregateBandwidth > 0 && n.inUse > 0 {
 		share := n.sw.AggregateBandwidth / units.BytesPerSec(n.inUse)
@@ -79,6 +109,79 @@ func (n *Network) PortBandwidth() units.BytesPerSec {
 		}
 	}
 	return bw
+}
+
+// Capacity returns the fabric's total reservable bandwidth: the switch's
+// aggregate ceiling, or ports × link bandwidth when the switch is
+// non-blocking.
+func (n *Network) Capacity() units.BytesPerSec {
+	if n.sw.AggregateBandwidth > 0 {
+		return n.sw.AggregateBandwidth
+	}
+	return n.link.Bandwidth * units.BytesPerSec(n.sw.Ports)
+}
+
+// Reserved returns the bandwidth currently held by live reservations.
+func (n *Network) Reserved() units.BytesPerSec {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.reserved
+}
+
+// Available returns the bandwidth still reservable.
+func (n *Network) Available() units.BytesPerSec {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.Capacity() - n.reserved
+}
+
+// Reservation is a claim on a slice of the fabric's bandwidth, granted
+// by Reserve and returned with Release. The prep-pool runtime holds one
+// per leased device so a grant can never outrun the network.
+type Reservation struct {
+	net      *Network
+	bw       units.BytesPerSec
+	released bool
+}
+
+// Bandwidth returns the reserved bandwidth.
+func (r *Reservation) Bandwidth() units.BytesPerSec { return r.bw }
+
+// Reserve claims bw of the fabric's capacity, failing when the claim
+// would exceed it (or when bw is non-positive). Every successful Reserve
+// must be paired with exactly one Release.
+func (n *Network) Reserve(bw units.BytesPerSec) (*Reservation, error) {
+	if bw <= 0 {
+		return nil, fmt.Errorf("eth: non-positive reservation %v", bw)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.reserved+bw > n.Capacity() {
+		return nil, fmt.Errorf("eth: reserving %v exceeds capacity (%v of %v already reserved)",
+			bw, n.reserved, n.Capacity())
+	}
+	n.reserved += bw
+	return &Reservation{net: n, bw: bw}, nil
+}
+
+// Release returns the reservation's bandwidth to the fabric. A second
+// Release on the same reservation is an accounting bug and is reported
+// without corrupting the reserved total.
+func (r *Reservation) Release() error {
+	if r == nil {
+		return fmt.Errorf("eth: release of nil reservation")
+	}
+	r.net.mu.Lock()
+	defer r.net.mu.Unlock()
+	if r.released {
+		return fmt.Errorf("eth: reservation released twice")
+	}
+	if r.net.reserved < r.bw {
+		return fmt.Errorf("eth: release of %v exceeds reserved total %v", r.bw, r.net.reserved)
+	}
+	r.released = true
+	r.net.reserved -= r.bw
+	return nil
 }
 
 // TransferTime returns the time to move v bytes over one port.

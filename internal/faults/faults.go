@@ -251,19 +251,19 @@ type metered struct {
 }
 
 // Metered wraps inj so every injected fault is counted in the registry:
-// "faults.injected_errors", "faults.injected_delays",
-// "faults.injected_stalls", and cumulative injected latency under
-// "faults.injected_delay_ns". A nil inj returns nil (still zero-cost).
+// "faults.injector.errors", "faults.injector.delays",
+// "faults.injector.stalls", and cumulative injected latency under
+// "faults.injector.delay_ns". A nil inj returns nil (still zero-cost).
 func Metered(inj Injector, reg *metrics.Registry) Injector {
 	if inj == nil {
 		return nil
 	}
 	return &metered{
 		inj:     inj,
-		mErrs:   reg.Counter("faults.injected_errors"),
-		mDelays: reg.Counter("faults.injected_delays"),
-		mStalls: reg.Counter("faults.injected_stalls"),
-		mNs:     reg.Counter("faults.injected_delay_ns"),
+		mErrs:   reg.Counter("faults.injector.errors"),
+		mDelays: reg.Counter("faults.injector.delays"),
+		mStalls: reg.Counter("faults.injector.stalls"),
+		mNs:     reg.Counter("faults.injector.delay_ns"),
 	}
 }
 

@@ -206,13 +206,13 @@ func TestMeteredCountsInjections(t *testing.T) {
 		inj.Inject(Op{Name: "r", Key: fmt.Sprintf("%d", i)})
 	}
 	snap := reg.Snapshot()
-	if got := snap.Counters["faults.injected_errors"]; got != 4 {
+	if got := snap.Counters["faults.injector.errors"]; got != 4 {
 		t.Errorf("injected_errors = %d, want 4", got)
 	}
-	if got := snap.Counters["faults.injected_delays"]; got != 4 {
+	if got := snap.Counters["faults.injector.delays"]; got != 4 {
 		t.Errorf("injected_delays = %d, want 4", got)
 	}
-	if got := snap.Counters["faults.injected_delay_ns"]; got != 4*int64(time.Millisecond) {
+	if got := snap.Counters["faults.injector.delay_ns"]; got != 4*int64(time.Millisecond) {
 		t.Errorf("injected_delay_ns = %d", got)
 	}
 	if Metered(nil, reg) != nil {

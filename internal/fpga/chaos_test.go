@@ -33,7 +33,7 @@ func chaosFixture(t *testing.T, injs ...faults.Injector) (*Cluster, *storage.Sto
 		}
 		handlers[i] = h.WithFaults(injs[i])
 	}
-	cluster, err := NewCluster(handlers...)
+	cluster, err := NewCluster(handlers)
 	if err != nil {
 		t.Fatal(err)
 	}

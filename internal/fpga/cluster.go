@@ -32,30 +32,36 @@ import (
 // failure re-ejects them. The degradation ladder is therefore
 // retry-on-another-device → shrink the pool → host fallback, and every
 // rung preserves bit-identical output.
+//
+// Membership is dynamic: Lease adds a device and Release removes one,
+// the seam the multi-job prep-pool runtime (internal/preppool) uses to
+// migrate pooled FPGAs between jobs as their deficits change. Both are
+// batch-boundary operations — they must not run while a PrepareBatch is
+// in flight.
 type Cluster struct {
-	handlers []*P2PHandler
-	index    map[*P2PHandler]int
-	avail    chan *P2PHandler
-	stats    pipeline.StatsSet
+	name  string
+	stats pipeline.StatsSet
 
 	health  HealthConfig
 	fbExec  *dataprep.Executor
 	fbStore *storage.Store
 
 	mu      sync.Mutex
-	states  []deviceState
+	devices []*device
+	index   map[*P2PHandler]*device
+	avail   chan *device
 	alive   int
+	nextID  int
 	batches int64
 	allDead chan struct{} // closed while every device is ejected
 
 	reg         *metrics.Registry
-	mJobs       *metrics.Counter // fpga.pool.jobs_dispatched
-	mEjected    *metrics.Counter // fpga.pool.devices_ejected
-	mReadmitted *metrics.Counter // fpga.pool.devices_readmitted
-	mRetries    *metrics.Counter // fpga.pool.sample_retries
-	mDegraded   *metrics.Counter // fpga.pool.degraded_samples
-	gActive     *metrics.Gauge   // fpga.pool.devices_active
-	busy        []atomic.Int64   // cumulative per-device busy ns
+	mJobs       *metrics.Counter // fpga.pool[.<name>].jobs_dispatched
+	mEjected    *metrics.Counter // fpga.pool[.<name>].devices_ejected
+	mReadmitted *metrics.Counter // fpga.pool[.<name>].devices_readmitted
+	mRetries    *metrics.Counter // fpga.pool[.<name>].sample_retries
+	mDegraded   *metrics.Counter // fpga.pool[.<name>].degraded_samples
+	gActive     *metrics.Gauge   // fpga.pool[.<name>].devices_active
 	wall        atomic.Int64     // cumulative batch wall ns
 }
 
@@ -77,51 +83,90 @@ func DefaultHealthConfig() HealthConfig {
 	return HealthConfig{EjectAfter: 3, ProbationBatches: 4}
 }
 
-// deviceState is one device's health ledger, guarded by Cluster.mu.
-type deviceState struct {
+// device is one pooled handler's ledger, guarded by Cluster.mu except
+// for the atomic busy counter.
+type device struct {
+	h           *P2PHandler
+	id          int // stable per-cluster id for utilization metrics
 	consecFails int
 	ejected     bool
 	ejectedAt   int64 // batch counter value at ejection
 	probation   bool  // readmitted on trial: one failure re-ejects
+	busy        atomic.Int64
 }
 
-// NewCluster builds a cluster over the pooled device handlers; devices
-// are checked out per sample, so concurrent batches share the pool.
-// Health tracking is off by default (any device error fails the batch,
-// the pre-resilience contract); enable it with WithHealth.
-func NewCluster(handlers ...*P2PHandler) (*Cluster, error) {
-	if len(handlers) == 0 {
-		return nil, fmt.Errorf("fpga: cluster needs at least one device handler")
+// NewCluster builds a cluster over the pooled device handlers,
+// configured by functional options (WithHealth, WithFallback,
+// WithMetrics, WithName, WithFaults). Devices are checked out per
+// sample, so concurrent batches share the pool. Health tracking is off
+// by default (any device error fails the batch, the pre-resilience
+// contract). A cluster needs at least one handler unless WithFallback
+// arms a host path, in which case it may start empty and grow through
+// Lease.
+func NewCluster(handlers []*P2PHandler, opts ...Option) (*Cluster, error) {
+	c := &Cluster{
+		index:   map[*P2PHandler]*device{},
+		allDead: make(chan struct{}),
 	}
-	avail := make(chan *P2PHandler, len(handlers))
-	index := make(map[*P2PHandler]int, len(handlers))
 	for i, h := range handlers {
 		if h == nil {
 			return nil, fmt.Errorf("fpga: cluster handler %d is nil", i)
 		}
-		if _, dup := index[h]; dup {
+		if _, dup := c.index[h]; dup {
 			return nil, fmt.Errorf("fpga: cluster handler %d registered twice", i)
 		}
-		index[h] = i
-		avail <- h
+		d := &device{h: h, id: c.nextID}
+		c.nextID++
+		c.devices = append(c.devices, d)
+		c.index[h] = d
 	}
-	return &Cluster{
-		handlers: handlers,
-		index:    index,
-		avail:    avail,
-		states:   make([]deviceState, len(handlers)),
-		alive:    len(handlers),
-		allDead:  make(chan struct{}),
-		busy:     make([]atomic.Int64, len(handlers)),
-	}, nil
+	c.alive = len(c.devices)
+	for _, opt := range opts {
+		if err := opt.applyCluster(c); err != nil {
+			return nil, err
+		}
+	}
+	if len(c.devices) == 0 && c.fbExec == nil {
+		return nil, fmt.Errorf("fpga: cluster needs at least one device handler (or a WithFallback host path)")
+	}
+	c.rebuildAvailLocked()
+	c.resolveMetrics()
+	return c, nil
 }
 
-// WithHealth enables per-device health tracking with the given config
-// (zero fields select defaults): consecutive failures eject a device,
-// ejected devices are re-admitted on probation, and failed samples are
-// re-dispatched to other devices instead of failing the batch. Attach
-// before use; returns c for chaining.
-func (c *Cluster) WithHealth(cfg HealthConfig) *Cluster {
+// metricPrefix returns the cluster's metric namespace:
+// "fpga.pool." unscoped, "fpga.pool.<name>." when named.
+func (c *Cluster) metricPrefix() string {
+	if c.name == "" {
+		return "fpga.pool."
+	}
+	return "fpga.pool." + c.name + "."
+}
+
+// pipelineName returns the dispatch pipeline's name:
+// "fpga-pool" unscoped, "fpga-pool-<name>" when named.
+func (c *Cluster) pipelineName() string {
+	if c.name == "" {
+		return "fpga-pool"
+	}
+	return "fpga-pool-" + c.name
+}
+
+// resolveMetrics (re-)binds the cluster's metric handles against the
+// attached registry (all handles are nil no-ops without one).
+func (c *Cluster) resolveMetrics() {
+	prefix := c.metricPrefix()
+	c.mJobs = c.reg.Counter(prefix + "jobs_dispatched")
+	c.mEjected = c.reg.Counter(prefix + "devices_ejected")
+	c.mReadmitted = c.reg.Counter(prefix + "devices_readmitted")
+	c.mRetries = c.reg.Counter(prefix + "sample_retries")
+	c.mDegraded = c.reg.Counter(prefix + "degraded_samples")
+	c.gActive = c.reg.Gauge(prefix + "devices_active")
+	c.gActive.SetInt(int64(c.ActiveDevices()))
+}
+
+// setHealth normalizes and stores the health config.
+func (c *Cluster) setHealth(cfg HealthConfig) {
 	if cfg.EjectAfter <= 0 {
 		cfg.EjectAfter = DefaultHealthConfig().EjectAfter
 	}
@@ -129,43 +174,139 @@ func (c *Cluster) WithHealth(cfg HealthConfig) *Cluster {
 		cfg.ProbationBatches = 0
 	}
 	c.health = cfg
+}
+
+// WithHealth enables per-device health tracking.
+//
+// Deprecated: pass fpga.WithHealth(cfg) to NewCluster instead. Kept as a
+// thin shim; returns c for chaining.
+func (c *Cluster) WithHealth(cfg HealthConfig) *Cluster {
+	c.setHealth(cfg)
 	return c
 }
 
-// WithFallback attaches the host data-preparation path: when every
-// pooled device is ejected (or a sample has exhausted its pool
-// attempts), the sample is prepared by exec over store instead — the
-// bottom rung of the degradation ladder. Because per-sample seeds
-// depend only on (dataset seed, key, epoch), degraded batches remain
-// bit-identical. Attach before use; returns c for chaining.
+// WithFallback attaches the host data-preparation path used once the
+// pool is empty or a sample's pool attempts are spent.
+//
+// Deprecated: pass fpga.WithFallback(exec, store) to NewCluster instead.
+// Kept as a thin shim; returns c for chaining.
 func (c *Cluster) WithFallback(exec *dataprep.Executor, store *storage.Store) *Cluster {
 	c.fbExec = exec
 	c.fbStore = store
 	return c
 }
 
-// WithMetrics attaches a registry: dispatched jobs count under
-// "fpga.pool.jobs_dispatched", per-device utilization (cumulative busy
-// time over cumulative batch wall time — the pool-balance observable of
-// Section V-D) under "fpga.pool.device.<i>.utilization", resilience
-// counters under "fpga.pool.{devices_ejected,devices_readmitted,
-// sample_retries,degraded_samples}" with the live pool size at
-// "fpga.pool.devices_active", and the dispatch pipeline under
-// "pipeline.fpga-pool.*". Attach before use; returns c for chaining.
+// WithMetrics attaches a registry for the cluster's telemetry.
+//
+// Deprecated: pass fpga.WithMetrics(reg) to NewCluster instead. Kept as
+// a thin shim; returns c for chaining.
 func (c *Cluster) WithMetrics(reg *metrics.Registry) *Cluster {
 	c.reg = reg
-	c.mJobs = reg.Counter("fpga.pool.jobs_dispatched")
-	c.mEjected = reg.Counter("fpga.pool.devices_ejected")
-	c.mReadmitted = reg.Counter("fpga.pool.devices_readmitted")
-	c.mRetries = reg.Counter("fpga.pool.sample_retries")
-	c.mDegraded = reg.Counter("fpga.pool.degraded_samples")
-	c.gActive = reg.Gauge("fpga.pool.devices_active")
-	c.gActive.SetInt(int64(c.ActiveDevices()))
+	c.resolveMetrics()
 	return c
 }
 
-// Devices returns the number of pooled devices, ejected or not.
-func (c *Cluster) Devices() int { return len(c.handlers) }
+// rebuildAvailLocked reconstructs the checkout channel from current
+// membership. Callers must hold no devices checked out (the
+// batch-boundary contract of membership changes) and, when the cluster
+// is shared, c.mu.
+func (c *Cluster) rebuildAvailLocked() {
+	capacity := len(c.devices)
+	if capacity == 0 {
+		capacity = 1
+	}
+	avail := make(chan *device, capacity)
+	alive := 0
+	for _, d := range c.devices {
+		if !d.ejected {
+			avail <- d
+			alive++
+		}
+	}
+	c.avail = avail
+	c.alive = alive
+	if alive == 0 {
+		// Degraded: ensure allDead is closed so acquirers fall through.
+		select {
+		case <-c.allDead:
+		default:
+			close(c.allDead)
+		}
+	} else {
+		select {
+		case <-c.allDead:
+			c.allDead = make(chan struct{})
+		default:
+		}
+	}
+}
+
+// Lease adds a device handler to the cluster — the grant half of the
+// prep-pool migration seam. It must only be called at a batch boundary
+// (no PrepareBatch in flight). The device enters healthy, with a fresh
+// ledger.
+func (c *Cluster) Lease(h *P2PHandler) error {
+	if h == nil {
+		return fmt.Errorf("fpga: lease of nil handler")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.index[h]; dup {
+		return fmt.Errorf("fpga: handler already leased to this cluster")
+	}
+	d := &device{h: h, id: c.nextID}
+	c.nextID++
+	c.devices = append(c.devices, d)
+	c.index[h] = d
+	c.rebuildAvailLocked()
+	c.gActive.SetInt(int64(c.alive))
+	return nil
+}
+
+// Release removes a device handler from the cluster and hands it back
+// to the caller — the reclaim half of the prep-pool migration seam. It
+// must only be called at a batch boundary. Releasing an ejected device
+// is allowed (that is how a pool retires dead hardware).
+func (c *Cluster) Release(h *P2PHandler) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.index[h]
+	if !ok {
+		return fmt.Errorf("fpga: release of handler not in this cluster")
+	}
+	delete(c.index, h)
+	for i, e := range c.devices {
+		if e == d {
+			c.devices = append(c.devices[:i], c.devices[i+1:]...)
+			break
+		}
+	}
+	c.rebuildAvailLocked()
+	c.gActive.SetInt(int64(c.alive))
+	return nil
+}
+
+// Ejected returns the handlers currently ejected by health tracking —
+// what a prep-pool reaps at epoch boundaries to retire dead devices and
+// re-run its rebalance.
+func (c *Cluster) Ejected() []*P2PHandler {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []*P2PHandler
+	for _, d := range c.devices {
+		if d.ejected {
+			out = append(out, d.h)
+		}
+	}
+	return out
+}
+
+// Devices returns the number of member devices, ejected or not.
+func (c *Cluster) Devices() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.devices)
+}
 
 // ActiveDevices returns the number of devices currently in the pool
 // (not ejected).
@@ -192,11 +333,15 @@ func (c *Cluster) healthEnabled() bool { return c.health.EjectAfter > 0 }
 // no fallback — fail the batch.
 func (c *Cluster) PrepareBatch(ctx context.Context, keys []string, datasetSeed int64, epoch int) ([]dataprep.Prepared, error) {
 	c.beginBatch()
-	dispatch := pipeline.NewStage("pool-dispatch", len(c.handlers), len(c.handlers),
+	par := c.Devices()
+	if par == 0 {
+		par = 1 // empty pool: the stage exists to drive the host fallback
+	}
+	dispatch := pipeline.NewStage("pool-dispatch", par, par,
 		func(ctx context.Context, i int) (dataprep.Prepared, error) {
 			return c.prepareSample(ctx, keys[i], datasetSeed, epoch)
 		})
-	pl, err := pipeline.New("fpga-pool", dispatch)
+	pl, err := pipeline.New(c.pipelineName(), dispatch)
 	if err != nil {
 		return nil, err
 	}
@@ -220,11 +365,11 @@ func (c *Cluster) prepareSample(ctx context.Context, key string, datasetSeed int
 	seed := dataprep.SampleSeed(datasetSeed, key, epoch)
 	maxTries := 1
 	if c.healthEnabled() {
-		maxTries = len(c.handlers)
+		maxTries = c.Devices()
 	}
 	var lastErr error
 	for attempt := 0; attempt < maxTries; attempt++ {
-		h, ok, err := c.acquire(ctx)
+		d, ok, err := c.acquire(ctx)
 		if err != nil {
 			return dataprep.Prepared{}, err
 		}
@@ -232,15 +377,15 @@ func (c *Cluster) prepareSample(ctx context.Context, key string, datasetSeed int
 			break // pool empty: fall through to the host path
 		}
 		start := time.Now()
-		p := h.prepareSample(ctx, key, seed, attempt)
-		c.busy[c.index[h]].Add(time.Since(start).Nanoseconds())
+		p := d.h.prepareSample(ctx, key, seed, attempt)
+		d.busy.Add(time.Since(start).Nanoseconds())
 		c.mJobs.Inc()
 		if p.Err == nil {
-			c.release(h, true)
+			c.release(d, true)
 			return p, nil
 		}
 		deviceFault := faults.IsDeviceFault(p.Err)
-		c.release(h, !deviceFault)
+		c.release(d, !deviceFault)
 		if !c.healthEnabled() || !deviceFault {
 			// Data errors fail identically everywhere; without health
 			// tracking every error keeps the legacy fail-fast contract.
@@ -266,22 +411,23 @@ func (c *Cluster) prepareSample(ctx context.Context, key string, datasetSeed int
 // acquire checks a device out of the pool. ok=false with a nil error
 // means the pool has no live device (degraded mode); a non-nil error is
 // context cancellation.
-func (c *Cluster) acquire(ctx context.Context) (h *P2PHandler, ok bool, err error) {
-	select {
-	case h = <-c.avail:
-		return h, true, nil
-	default:
-	}
+func (c *Cluster) acquire(ctx context.Context) (d *device, ok bool, err error) {
 	c.mu.Lock()
+	avail := c.avail
 	dead := c.allDead
 	empty := c.alive == 0
 	c.mu.Unlock()
+	select {
+	case d = <-avail:
+		return d, true, nil
+	default:
+	}
 	if empty {
 		return nil, false, nil
 	}
 	select {
-	case h = <-c.avail:
-		return h, true, nil
+	case d = <-avail:
+		return d, true, nil
 	case <-dead:
 		return nil, false, nil
 	case <-ctx.Done():
@@ -293,26 +439,29 @@ func (c *Cluster) acquire(ctx context.Context) (h *P2PHandler, ok bool, err erro
 // success (or a failure not attributable to the device) clears its
 // strikes; a device fault adds one, and enough consecutive strikes —
 // or any strike while on probation — eject it instead of returning it.
-func (c *Cluster) release(h *P2PHandler, clean bool) {
+func (c *Cluster) release(d *device, clean bool) {
 	if !c.healthEnabled() {
-		c.avail <- h
+		c.mu.Lock()
+		avail := c.avail
+		c.mu.Unlock()
+		avail <- d
 		return
 	}
 	c.mu.Lock()
-	st := &c.states[c.index[h]]
 	if clean {
-		st.consecFails = 0
-		st.probation = false
+		d.consecFails = 0
+		d.probation = false
+		avail := c.avail
 		c.mu.Unlock()
-		c.avail <- h
+		avail <- d
 		return
 	}
-	st.consecFails++
-	if st.probation || st.consecFails >= c.health.EjectAfter {
-		st.ejected = true
-		st.probation = false
-		st.consecFails = 0
-		st.ejectedAt = c.batches
+	d.consecFails++
+	if d.probation || d.consecFails >= c.health.EjectAfter {
+		d.ejected = true
+		d.probation = false
+		d.consecFails = 0
+		d.ejectedAt = c.batches
 		c.alive--
 		c.mEjected.Inc()
 		c.gActive.SetInt(int64(c.alive))
@@ -322,8 +471,9 @@ func (c *Cluster) release(h *P2PHandler, clean bool) {
 		c.mu.Unlock()
 		return
 	}
+	avail := c.avail
 	c.mu.Unlock()
-	c.avail <- h
+	avail <- d
 }
 
 // beginBatch advances the batch counter and re-admits ejected devices
@@ -339,29 +489,29 @@ func (c *Cluster) beginBatch() {
 	if c.health.ProbationBatches <= 0 {
 		return
 	}
-	for i := range c.states {
-		st := &c.states[i]
-		if !st.ejected || c.batches-st.ejectedAt < int64(c.health.ProbationBatches) {
+	for _, d := range c.devices {
+		if !d.ejected || c.batches-d.ejectedAt < int64(c.health.ProbationBatches) {
 			continue
 		}
-		st.ejected = false
-		st.probation = true
-		st.consecFails = 0
+		d.ejected = false
+		d.probation = true
+		d.consecFails = 0
 		if c.alive == 0 {
 			c.allDead = make(chan struct{}) // pool is live again
 		}
 		c.alive++
 		c.mReadmitted.Inc()
 		c.gActive.SetInt(int64(c.alive))
-		// avail has capacity for every handler and ejected devices are
+		// avail has capacity for every device and ejected devices are
 		// never in it, so this send cannot block.
-		c.avail <- c.handlers[i]
+		c.avail <- d
 	}
 }
 
 // reportUtilization publishes each device's share of cumulative batch
 // wall time spent busy — the direct observable of whether the pool's
-// devices are evenly loaded.
+// devices are evenly loaded. Device ids are stable across membership
+// changes, so a migrated-away device's series simply stops advancing.
 func (c *Cluster) reportUtilization() {
 	if c.reg == nil {
 		return
@@ -370,8 +520,12 @@ func (c *Cluster) reportUtilization() {
 	if wall <= 0 {
 		return
 	}
-	for i := range c.busy {
-		util := float64(c.busy[i].Load()) / float64(wall)
-		c.reg.Gauge(fmt.Sprintf("fpga.pool.device.%d.utilization", i)).Set(util)
+	prefix := c.metricPrefix()
+	c.mu.Lock()
+	devices := append([]*device(nil), c.devices...)
+	c.mu.Unlock()
+	for _, d := range devices {
+		util := float64(d.busy.Load()) / float64(wall)
+		c.reg.Gauge(fmt.Sprintf("%sdevice.%d.utilization", prefix, d.id)).Set(util)
 	}
 }

@@ -31,7 +31,7 @@ func poolFixture(t *testing.T, devices int) (*Cluster, *storage.Store, dataprep.
 		}
 		handlers[i] = h
 	}
-	cluster, err := NewCluster(handlers...)
+	cluster, err := NewCluster(handlers)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,10 +78,10 @@ func TestClusterBitEqualWithHostPath(t *testing.T) {
 }
 
 func TestClusterErrorsAndValidation(t *testing.T) {
-	if _, err := NewCluster(); err == nil {
+	if _, err := NewCluster(nil); err == nil {
 		t.Error("empty cluster accepted")
 	}
-	if _, err := NewCluster(nil); err == nil {
+	if _, err := NewCluster([]*P2PHandler{nil}); err == nil {
 		t.Error("nil handler accepted")
 	}
 	cluster, _, _ := poolFixture(t, 2)

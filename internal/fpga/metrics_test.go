@@ -14,8 +14,8 @@ func TestClusterMetrics(t *testing.T) {
 	cluster, store, _ := poolFixture(t, 2)
 	reg := metrics.NewRegistry()
 	cluster.WithMetrics(reg)
-	for _, h := range cluster.handlers {
-		h.WithMetrics(reg)
+	for _, d := range cluster.devices {
+		d.h.WithMetrics(reg)
 	}
 	keys := store.Keys()
 
@@ -58,7 +58,7 @@ func TestClusterMetrics(t *testing.T) {
 func TestP2PBatchMetrics(t *testing.T) {
 	cluster, store, _ := poolFixture(t, 1)
 	reg := metrics.NewRegistry()
-	h := cluster.handlers[0].WithMetrics(reg)
+	h := cluster.devices[0].h.WithMetrics(reg)
 
 	out, err := h.PrepareBatch(store.Keys(), 3, 0)
 	if err != nil {

@@ -36,8 +36,9 @@ type P2PHandler struct {
 }
 
 // NewP2PHandler binds an FPGA engine to an SSD namespace with a queue
-// pair of the given depth.
-func NewP2PHandler(ns *nvme.Namespace, engine *Emulator, queueDepth int) (*P2PHandler, error) {
+// pair of the given depth, configured by functional options
+// (WithMetrics, WithFaults).
+func NewP2PHandler(ns *nvme.Namespace, engine *Emulator, queueDepth int, opts ...Option) (*P2PHandler, error) {
 	if ns == nil || engine == nil {
 		return nil, fmt.Errorf("fpga: p2p handler needs a namespace and an engine")
 	}
@@ -45,12 +46,21 @@ func NewP2PHandler(ns *nvme.Namespace, engine *Emulator, queueDepth int) (*P2PHa
 	if err != nil {
 		return nil, err
 	}
-	return &P2PHandler{client: client, engine: engine, depth: queueDepth}, nil
+	h := &P2PHandler{client: client, engine: engine, depth: queueDepth}
+	for _, opt := range opts {
+		if err := opt.applyHandler(h); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
 }
 
 // WithMetrics attaches a registry: per-sample device latency and sample
 // counts report under "fpga.p2p.*", and batch pipelines under
-// "pipeline.fpga-p2p.*". Attach before use; returns h for chaining.
+// "pipeline.fpga-p2p.*".
+//
+// Deprecated: pass fpga.WithMetrics(reg) to NewP2PHandler instead. Kept
+// as a thin shim; returns h for chaining.
 func (h *P2PHandler) WithMetrics(reg *metrics.Registry) *P2PHandler {
 	h.reg = reg
 	h.mSamples = reg.Counter("fpga.p2p.samples_prepared")
@@ -62,7 +72,10 @@ func (h *P2PHandler) WithMetrics(reg *metrics.Registry) *P2PHandler {
 // this handler issues, under op name "fpga.p2p.read" — the knob chaos
 // tests turn to make one pooled device flaky or dead (see
 // faults.NewDeviceDeath). A nil injector (the default) keeps the
-// fault-free fast path. Attach before use; returns h for chaining.
+// fault-free fast path.
+//
+// Deprecated: pass fpga.WithFaults(inj) to NewP2PHandler instead. Kept
+// as a thin shim; returns h for chaining.
 func (h *P2PHandler) WithFaults(inj faults.Injector) *P2PHandler {
 	h.inj = inj
 	return h

@@ -1,0 +1,19 @@
+package metrics
+
+import "regexp"
+
+// validName is the repo-wide metric naming scheme:
+// subsystem.object.metric — at least three dot-separated segments, all
+// lowercase. The first segment (the subsystem) starts with a letter;
+// later segments may start with a digit and may contain hyphens, which
+// admits instance-scoped segments like "fpga.pool.device.0.utilization"
+// and pipeline stages like "pipeline.fpga-pool.pool-dispatch.items".
+var validName = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z0-9][a-z0-9_-]*){2,}$`)
+
+// ValidName reports whether name follows the subsystem.object.metric
+// scheme. Production registrations are expected to pass; the registry
+// itself does not enforce the rule (tests do), so scratch names in
+// experiments stay cheap.
+func ValidName(name string) bool {
+	return validName.MatchString(name)
+}

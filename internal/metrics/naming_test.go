@@ -1,0 +1,41 @@
+package metrics
+
+import "testing"
+
+func TestValidName(t *testing.T) {
+	good := []string{
+		"storage.nvme.bytes_read",
+		"dataprep.executor.samples_prepared",
+		"dataprep.prefetch.queue_depth",
+		"train.driver.prep_step_overlap",
+		"faults.injector.delay_ns",
+		"fpga.pool.devices_ejected",
+		"fpga.pool.joba.devices_ejected",
+		"fpga.pool.device.0.utilization",
+		"pipeline.fpga-pool.pool-dispatch.items",
+		"pipeline.fpga-pool-joba.pool-dispatch.busy_ns",
+		"preppool.job.job-a.pooled_share",
+	}
+	for _, name := range good {
+		if !ValidName(name) {
+			t.Errorf("ValidName(%q) = false, want true", name)
+		}
+	}
+	bad := []string{
+		"",
+		"train",                 // one segment
+		"train.samples",         // two segments
+		"Train.driver.samples",  // uppercase
+		"train.driver.Samples",  // uppercase later segment
+		".driver.samples",       // empty subsystem
+		"train..samples",        // empty segment
+		"train.driver.samples.", // trailing dot
+		"9train.driver.samples", // subsystem starts with digit
+		"train.driver.samp les", // whitespace
+	}
+	for _, name := range bad {
+		if ValidName(name) {
+			t.Errorf("ValidName(%q) = true, want false", name)
+		}
+	}
+}

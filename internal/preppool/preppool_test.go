@@ -1,0 +1,322 @@
+package preppool
+
+import (
+	"context"
+	"testing"
+
+	"trainbox/internal/dataprep"
+	"trainbox/internal/eth"
+	"trainbox/internal/faults"
+	"trainbox/internal/fpga"
+	"trainbox/internal/metrics"
+	"trainbox/internal/nvme"
+	"trainbox/internal/storage"
+	"trainbox/internal/units"
+	"trainbox/internal/workload"
+)
+
+// fixture builds one shared dataset store plus n pool devices over it,
+// handler i wired to injs[i] when given (nil = healthy).
+func fixture(t *testing.T, devices int, injs ...faults.Injector) ([]*fpga.P2PHandler, *storage.Store, dataprep.ImageConfig) {
+	t.Helper()
+	store := storage.NewStore(storage.DefaultSSDSpec())
+	if err := dataprep.BuildImageDataset(store, 8, 4, 3); err != nil {
+		t.Fatal(err)
+	}
+	ns, err := nvme.LoadStore(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := dataprep.DefaultImageConfig()
+	handlers := make([]*fpga.P2PHandler, devices)
+	for i := range handlers {
+		var opts []fpga.Option
+		if i < len(injs) && injs[i] != nil {
+			opts = append(opts, fpga.WithFaults(injs[i]))
+		}
+		h, err := fpga.NewP2PHandler(ns, fpga.NewImageEmulator(cfg), 8, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handlers[i] = h
+	}
+	return handlers, store, cfg
+}
+
+func spec(name string, cfg dataprep.ImageConfig, store *storage.Store, seed int64, required, inBox units.SamplesPerSec) JobSpec {
+	return JobSpec{
+		Name:         name,
+		Type:         workload.Image,
+		RequiredRate: required,
+		InBoxRate:    inBox,
+		Exec:         dataprep.NewExecutor(dataprep.ImagePreparer{Config: cfg}, 2, seed),
+		Store:        store,
+		DatasetSeed:  seed,
+	}
+}
+
+// oracle prepares the epoch on a fresh fault-free host executor.
+func oracle(t *testing.T, cfg dataprep.ImageConfig, store *storage.Store, seed int64, keys []string, epoch int) []dataprep.Prepared {
+	t.Helper()
+	exec := dataprep.NewExecutor(dataprep.ImagePreparer{Config: cfg}, 2, seed)
+	out, err := exec.PrepareBatch(store, keys, epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func assertBitIdentical(t *testing.T, got, want []dataprep.Prepared) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("batch sizes differ: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Key != want[i].Key {
+			t.Fatalf("sample %d key %q, want %q — split broke ordering", i, got[i].Key, want[i].Key)
+		}
+		for j := range want[i].Image.Data {
+			if got[i].Image.Data[j] != want[i].Image.Data[j] {
+				t.Fatalf("sample %d diverges at element %d — pooled split not bit-identical", i, j)
+			}
+		}
+	}
+}
+
+// TestRebalanceMigratesLeasesOnDemandCrossover: two jobs whose demand
+// crosses over mid-run. The rebalancer must reclaim the lease from the
+// job whose demand dropped and migrate it to the one whose demand rose,
+// with every epoch of both jobs bit-identical to its host oracle.
+func TestRebalanceMigratesLeasesOnDemandCrossover(t *testing.T) {
+	handlers, store, cfg := fixture(t, 3)
+	reg := metrics.NewRegistry()
+	pool, err := NewPool(handlers, WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A needs 2 pool FPGAs, B needs 1 (image rate 8000/device).
+	jobA, err := pool.Register(spec("job-a", cfg, store, 3, 16000, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobB, err := pool.Register(spec("job-b", cfg, store, 7, 8000, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := store.Keys()
+
+	runEpoch := func(j *Job, seed int64, epoch int) {
+		t.Helper()
+		out, err := j.PrepareEpoch(context.Background(), keys, epoch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertBitIdentical(t, out, oracle(t, cfg, store, seed, keys, epoch))
+	}
+	runEpoch(jobA, 3, 0)
+	runEpoch(jobB, 7, 0)
+	if a, b := jobA.Leases(), jobB.Leases(); a != 2 || b != 1 {
+		t.Fatalf("initial leases a=%d b=%d, want 2/1", a, b)
+	}
+	if pool.Migrations() != 0 {
+		t.Fatalf("migrations before crossover = %d, want 0", pool.Migrations())
+	}
+
+	// Demand crossover: A cools to 1 device of need, B heats to 2.
+	if err := jobA.SetRequiredRate(8000); err != nil {
+		t.Fatal(err)
+	}
+	if err := jobB.SetRequiredRate(16000); err != nil {
+		t.Fatal(err)
+	}
+	runEpoch(jobA, 3, 1) // A's boundary: surplus lease reclaimed
+	runEpoch(jobB, 7, 1) // B's boundary: reclaimed lease migrates to B
+	if a, b := jobA.Leases(), jobB.Leases(); a != 1 || b != 2 {
+		t.Fatalf("post-crossover leases a=%d b=%d, want 1/2", a, b)
+	}
+	if pool.Migrations() < 1 {
+		t.Error("no lease migration recorded across the crossover")
+	}
+	if got := reg.Snapshot().Counters["preppool.pool.migrations"]; got < 1 {
+		t.Errorf("preppool.pool.migrations = %d, want ≥ 1", got)
+	}
+	runEpoch(jobA, 3, 2)
+	runEpoch(jobB, 7, 2)
+}
+
+// TestReclaimOverProvisionedJob: a job whose demand drops to zero must
+// give every lease back to the free pool at its next epoch boundary.
+func TestReclaimOverProvisionedJob(t *testing.T) {
+	handlers, store, cfg := fixture(t, 2)
+	pool, err := NewPool(handlers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := pool.Register(spec("greedy", cfg, store, 3, 16000, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := store.Keys()
+	if _, err := job.PrepareEpoch(context.Background(), keys, 0); err != nil {
+		t.Fatal(err)
+	}
+	if job.Leases() != 2 || pool.FreeDevices() != 0 {
+		t.Fatalf("leases=%d free=%d, want 2/0", job.Leases(), pool.FreeDevices())
+	}
+	if err := job.SetRequiredRate(0); err != nil {
+		t.Fatal(err)
+	}
+	out, err := job.PrepareEpoch(context.Background(), keys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, out, oracle(t, cfg, store, 3, keys, 1))
+	if job.Leases() != 0 || pool.FreeDevices() != 2 {
+		t.Errorf("leases=%d free=%d after demand dropped, want 0/2", job.Leases(), pool.FreeDevices())
+	}
+}
+
+// TestEthernetBudgetCapsGrants: a pool behind a constrained fabric must
+// stop granting leases at the reservation ceiling — the job still
+// completes (host path covers the rest), it just gets fewer devices.
+func TestEthernetBudgetCapsGrants(t *testing.T) {
+	handlers, store, cfg := fixture(t, 2)
+	// 10 GB/s aggregate; each image lease needs 8000 samples/s × 1 MiB ≈
+	// 8.4 GB/s, so the fabric carries exactly one lease.
+	net, err := eth.NewNetwork(eth.Link100G, eth.SwitchSpec{Ports: 4, AggregateBandwidth: 10 * units.GBps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := NewPool(handlers, WithNetwork(net, units.MB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := pool.Register(spec("capped", cfg, store, 3, 16000, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := store.Keys()
+	out, err := job.PrepareEpoch(context.Background(), keys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, out, oracle(t, cfg, store, 3, keys, 0))
+	if got := job.Leases(); got != 1 {
+		t.Errorf("leases = %d under a one-lease fabric budget, want 1", got)
+	}
+	if net.Reserved() == 0 {
+		t.Error("granted lease holds no fabric reservation")
+	}
+	if err := job.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := net.Reserved(); got != 0 {
+		t.Errorf("reserved = %v after close, want 0 (reservations must be returned)", got)
+	}
+	if pool.FreeDevices() != 2 {
+		t.Errorf("free = %d after close, want 2", pool.FreeDevices())
+	}
+}
+
+// TestDeviceDeathRetiresAndRebalances: a pooled device dies mid-epoch.
+// The epoch must complete bit-identical to the oracle (health layer
+// re-dispatches), and the next epoch boundary must retire the corpse
+// and grant a replacement from spare pool capacity — the re-run
+// rebalance, not host fallback, absorbing the death.
+func TestDeviceDeathRetiresAndRebalances(t *testing.T) {
+	// Device 0 dies after 3 reads; device 2 is the idle spare.
+	handlers, store, cfg := fixture(t, 3, faults.NewDeviceDeath(3))
+	reg := metrics.NewRegistry()
+	pool, err := NewPool(handlers, WithMetrics(reg), WithHealth(fpga.HealthConfig{EjectAfter: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := pool.Register(spec("victim", cfg, store, 3, 16000, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := store.Keys()
+
+	out, err := job.PrepareEpoch(context.Background(), keys, 0)
+	if err != nil {
+		t.Fatalf("epoch with mid-run device death failed: %v", err)
+	}
+	assertBitIdentical(t, out, oracle(t, cfg, store, 3, keys, 0))
+	if got := job.Leases(); got != 2 {
+		t.Fatalf("leases = %d before the reap, want 2", got)
+	}
+
+	// Next boundary: corpse retired, spare granted, capacity restored.
+	out, err = job.PrepareEpoch(context.Background(), keys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, out, oracle(t, cfg, store, 3, keys, 1))
+	if got := job.Leases(); got != 2 {
+		t.Errorf("leases = %d after rebalance, want 2 (spare must replace the corpse)", got)
+	}
+	if pool.FreeDevices() != 0 {
+		t.Errorf("free = %d, want 0", pool.FreeDevices())
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["preppool.pool.retired_devices"]; got != 1 {
+		t.Errorf("retired_devices = %d, want 1", got)
+	}
+	if got := snap.Counters["fpga.pool.victim.devices_ejected"]; got != 1 {
+		t.Errorf("victim cluster ejections = %d, want 1", got)
+	}
+}
+
+// TestRegisterValidation: bad job specs are rejected before touching
+// pool state.
+func TestRegisterValidation(t *testing.T) {
+	handlers, store, cfg := fixture(t, 1)
+	pool, err := NewPool(handlers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Register(spec("Bad Name", cfg, store, 3, 8000, 0)); err == nil {
+		t.Error("invalid job name accepted")
+	}
+	if _, err := pool.Register(JobSpec{Name: "nohost", Type: workload.Image, RequiredRate: 1}); err == nil {
+		t.Error("job without host path accepted")
+	}
+	if _, err := pool.Register(spec("ok", cfg, store, 3, 8000, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Register(spec("ok", cfg, store, 3, 8000, 0)); err == nil {
+		t.Error("duplicate job name accepted")
+	}
+	if _, err := NewPool([]*fpga.P2PHandler{nil}); err == nil {
+		t.Error("nil device accepted")
+	}
+	if _, err := NewPool(nil, WithRebalanceEvery(0)); err == nil {
+		t.Error("zero rebalance period accepted")
+	}
+	if _, err := NewPool(nil, WithNetwork(nil, units.MB)); err == nil {
+		t.Error("nil network accepted")
+	}
+}
+
+// TestClosedJobRefusesEpochs: a closed job must fail fast, and closing
+// twice is an error.
+func TestClosedJobRefusesEpochs(t *testing.T) {
+	handlers, store, cfg := fixture(t, 1)
+	pool, err := NewPool(handlers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := pool.Register(spec("gone", cfg, store, 3, 8000, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Close(); err == nil {
+		t.Error("double close accepted")
+	}
+	if _, err := job.PrepareEpoch(context.Background(), store.Keys(), 0); err == nil {
+		t.Error("closed job prepared an epoch")
+	}
+}

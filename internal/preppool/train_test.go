@@ -1,0 +1,190 @@
+package preppool
+
+import (
+	"context"
+	"testing"
+
+	"trainbox/internal/dataprep"
+	"trainbox/internal/faults"
+	"trainbox/internal/fpga"
+	"trainbox/internal/metrics"
+	"trainbox/internal/nvme"
+	"trainbox/internal/storage"
+	"trainbox/internal/train"
+	"trainbox/internal/units"
+)
+
+// stripeFeature pools the prepared tensor's first channel into 8×8
+// features (the training tests' standard feature map).
+func stripeFeature(p dataprep.Prepared) ([]float64, int, error) {
+	ten := p.Image
+	const block = 4
+	side := ten.W / block
+	feat := make([]float64, side*side)
+	for by := 0; by < side; by++ {
+		for bx := 0; bx < side; bx++ {
+			var sum float64
+			for y := by * block; y < (by+1)*block; y++ {
+				for x := bx * block; x < (bx+1)*block; x++ {
+					sum += float64(ten.At(0, y, x))
+				}
+			}
+			feat[by*side+bx] = sum / (block * block)
+		}
+	}
+	return feat, p.Label, nil
+}
+
+// trainFixture builds a 32×32-crop dataset store and pool devices, with
+// optional per-device injectors.
+func trainFixture(t *testing.T, devices int, injs ...faults.Injector) ([]*fpga.P2PHandler, *storage.Store, dataprep.ImageConfig) {
+	t.Helper()
+	store := storage.NewStore(storage.DefaultSSDSpec())
+	if err := dataprep.BuildImageDataset(store, 8, 4, 5); err != nil {
+		t.Fatal(err)
+	}
+	ns, err := nvme.LoadStore(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := dataprep.DefaultImageConfig()
+	cfg.CropW, cfg.CropH = 32, 32
+	handlers := make([]*fpga.P2PHandler, devices)
+	for i := range handlers {
+		var opts []fpga.Option
+		if i < len(injs) && injs[i] != nil {
+			opts = append(opts, fpga.WithFaults(injs[i]))
+		}
+		h, err := fpga.NewP2PHandler(ns, fpga.NewImageEmulator(cfg), 8, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handlers[i] = h
+	}
+	return handlers, store, cfg
+}
+
+// TestTrainingOnPoolSurvivesDeviceDeathBitIdentical is the end-to-end
+// chaos acceptance run: a training job served by the prep-pool loses a
+// pooled device mid-epoch, the pool retires it and grants the spare at
+// the next boundary, and the finished model is bit-identical to a
+// fault-free oracle trained on the pure host path.
+func TestTrainingOnPoolSurvivesDeviceDeathBitIdentical(t *testing.T) {
+	const datasetSeed = 5
+	cfgT := train.Config{
+		Replicas: 2, Widths: []int{64, 16, 4}, Epochs: 6,
+		LearningRate: 0.05, PrefetchDepth: 2, Seed: 9,
+	}
+
+	// Oracle: pure host path, no pool, no faults.
+	_, oracleStore, imgCfg := trainFixture(t, 0)
+	oracleExec := dataprep.NewExecutor(dataprep.ImagePreparer{Config: imgCfg}, 2, datasetSeed)
+	oracle, err := train.Run(context.Background(), cfgT,
+		train.WithDataset(oracleExec, oracleStore, oracleStore.Keys()),
+		train.WithFeature(stripeFeature))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pool path: device 0 dies after 12 reads — mid-run, mid-epoch.
+	handlers, store, imgCfg := trainFixture(t, 3, faults.NewDeviceDeath(12))
+	reg := metrics.NewRegistry()
+	pool, err := NewPool(handlers, WithMetrics(reg), WithHealth(fpga.HealthConfig{EjectAfter: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := pool.Register(JobSpec{
+		Name: "chaos", Type: 0, RequiredRate: 16000,
+		Exec:        dataprep.NewExecutor(dataprep.ImagePreparer{Config: imgCfg}, 2, datasetSeed),
+		Store:       store,
+		DatasetSeed: datasetSeed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgT.Metrics = reg
+	res, err := train.Run(context.Background(), cfgT,
+		train.WithPreparer(job.Preparer(store.Keys()), store.Len()),
+		train.WithFeature(stripeFeature))
+	if err != nil {
+		t.Fatalf("training did not survive the pooled device death: %v", err)
+	}
+
+	a, b := res.Model(), oracle.Model()
+	for li := range a.Layers {
+		for i := range a.Layers[li].W {
+			if a.Layers[li].W[i] != b.Layers[li].W[i] {
+				t.Fatalf("layer %d weight %d diverged from oracle", li, i)
+			}
+		}
+	}
+	snap := res.Metrics
+	if got := snap.Counters["preppool.pool.retired_devices"]; got != 1 {
+		t.Errorf("retired_devices = %d, want 1", got)
+	}
+	if got := snap.Counters["fpga.pool.chaos.devices_ejected"]; got != 1 {
+		t.Errorf("chaos cluster ejections = %d, want 1", got)
+	}
+	if job.Leases() != 2 {
+		t.Errorf("leases = %d at end of run, want 2 (spare replaced the corpse)", job.Leases())
+	}
+	if snap.Counters["preppool.job.chaos.pooled_samples"] == 0 {
+		t.Error("no samples prepared on the pooled path — test is vacuous")
+	}
+}
+
+// TestRunJobsOverSharedPool: two concurrent training jobs share one
+// pool through train.RunJobs, both completing with their demand served
+// and per-job telemetry separated.
+func TestRunJobsOverSharedPool(t *testing.T) {
+	handlers, store, imgCfg := trainFixture(t, 3)
+	reg := metrics.NewRegistry()
+	pool, err := NewPool(handlers, WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkJob := func(name string, seed int64, required float64) *Job {
+		t.Helper()
+		j, err := pool.Register(JobSpec{
+			Name: name, Type: 0, RequiredRate: units.SamplesPerSec(required),
+			Exec:        dataprep.NewExecutor(dataprep.ImagePreparer{Config: imgCfg}, 2, seed),
+			Store:       store,
+			DatasetSeed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	jobA := mkJob("alpha", 5, 16000)
+	jobB := mkJob("beta", 11, 8000)
+
+	cfgT := train.Config{
+		Replicas: 2, Widths: []int{64, 16, 4}, Epochs: 4,
+		LearningRate: 0.05, PrefetchDepth: 1, Seed: 9, Metrics: reg,
+	}
+	results, err := train.RunJobs(context.Background(), []train.Job{
+		{Name: "alpha", Config: cfgT, Options: []train.Option{
+			train.WithPreparer(jobA.Preparer(store.Keys()), store.Len()),
+			train.WithFeature(stripeFeature)}},
+		{Name: "beta", Config: cfgT, Options: []train.Option{
+			train.WithPreparer(jobB.Preparer(store.Keys()), store.Len()),
+			train.WithFeature(stripeFeature)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d, want 2", len(results))
+	}
+	snap := reg.Snapshot()
+	wantSamples := int64(store.Len() * cfgT.Epochs)
+	for _, name := range []string{"alpha", "beta"} {
+		if got := snap.Counters["preppool.job."+name+".samples"]; got != wantSamples {
+			t.Errorf("job %s samples = %d, want %d", name, got, wantSamples)
+		}
+	}
+	if snap.Counters["preppool.job.alpha.pooled_samples"] == 0 {
+		t.Error("alpha never used the pool")
+	}
+}

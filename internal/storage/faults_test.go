@@ -156,7 +156,7 @@ func TestStoreInjectedLatencyStillSucceeds(t *testing.T) {
 	if err != nil || string(obj.Data) != "payload" {
 		t.Fatalf("delayed read: %v %+v", err, obj)
 	}
-	if reg.Counter("faults.injected_delays").Value() != 1 {
+	if reg.Counter("faults.injector.delays").Value() != 1 {
 		t.Error("injected delay not metered")
 	}
 	if reg.Counter("storage.nvme.retries").Value() != 0 {

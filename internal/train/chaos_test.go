@@ -48,7 +48,7 @@ func assertModelsBitIdentical(t *testing.T, got, want Result) {
 // produce the oracle's model bit-for-bit with >0 retries on record.
 func TestTrainSurvivesStorageFaultStorm(t *testing.T) {
 	oracleExec, oracleStore, keys := setup(t, 16)
-	oracle, err := Run(baseConfig(), oracleExec, oracleStore, keys, stripeFeature)
+	oracle, err := Run(context.Background(), baseConfig(), WithDataset(oracleExec, oracleStore, keys), WithFeature(stripeFeature))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,14 +72,14 @@ func TestTrainSurvivesStorageFaultStorm(t *testing.T) {
 	cfg := baseConfig()
 	cfg.Metrics = reg
 
-	res, err := Run(cfg, stormExec, stormStore, keys, stripeFeature)
+	res, err := Run(context.Background(), cfg, WithDataset(stormExec, stormStore, keys), WithFeature(stripeFeature))
 	if err != nil {
 		t.Fatalf("training did not survive the fault storm: %v", err)
 	}
 	assertModelsBitIdentical(t, res, oracle)
 
 	snap := res.Metrics
-	if snap.Counters["faults.injected_errors"] == 0 {
+	if snap.Counters["faults.injector.errors"] == 0 {
 		t.Error("storm injected no errors — test is vacuous")
 	}
 	if snap.Counters["storage.nvme.retries"] == 0 {
@@ -100,7 +100,7 @@ func TestTrainSurvivesPooledDeviceDeath(t *testing.T) {
 	oracleExec, oracleStore, keys := setup(t, 8)
 	cfg := baseConfig()
 	cfg.Epochs = 6
-	oracle, err := Run(cfg, oracleExec, oracleStore, keys, stripeFeature)
+	oracle, err := Run(context.Background(), cfg, WithDataset(oracleExec, oracleStore, keys), WithFeature(stripeFeature))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,14 +130,14 @@ func TestTrainSurvivesPooledDeviceDeath(t *testing.T) {
 		}
 		handlers = append(handlers, h.WithFaults(inj))
 	}
-	cluster, err := fpga.NewCluster(handlers...)
+	fallback := dataprep.NewExecutor(dataprep.ImagePreparer{Config: imgCfg}, 2, 0)
+	cluster, err := fpga.NewCluster(handlers,
+		fpga.WithHealth(fpga.HealthConfig{EjectAfter: 3, ProbationBatches: 0}),
+		fpga.WithFallback(fallback, store),
+		fpga.WithMetrics(reg))
 	if err != nil {
 		t.Fatal(err)
 	}
-	fallback := dataprep.NewExecutor(dataprep.ImagePreparer{Config: imgCfg}, 2, 0)
-	cluster.WithHealth(fpga.HealthConfig{EjectAfter: 3, ProbationBatches: 0}).
-		WithFallback(fallback, store).
-		WithMetrics(reg)
 
 	cfg.Metrics = reg
 	const datasetSeed = 5 // matches setup()'s executor seed

@@ -1,0 +1,76 @@
+package train
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Job is one named training run inside a multi-job workload: its own
+// Config plus the options selecting its data source and feature map.
+// Jobs sharing a prep-pool pass a preppool-backed WithPreparer.
+type Job struct {
+	Name    string
+	Config  Config
+	Options []Option
+}
+
+// JobResult pairs a finished job's name with its Result.
+type JobResult struct {
+	Name string
+	Result
+}
+
+// RunJobs trains the jobs concurrently — the multi-tenant shape of the
+// paper's Section V-D, where several training jobs share one prep-pool.
+// Each job runs its own driver pipeline in its own goroutine; the first
+// job error (or ctx being cancelled) cancels every other job. Results
+// are returned in job order. Job names must be non-empty and unique so
+// per-job telemetry and pool leases stay attributable.
+func RunJobs(ctx context.Context, jobs []Job) ([]JobResult, error) {
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("train: no jobs")
+	}
+	names := make(map[string]bool, len(jobs))
+	for i, j := range jobs {
+		if j.Name == "" {
+			return nil, fmt.Errorf("train: job %d has no name", i)
+		}
+		if names[j.Name] {
+			return nil, fmt.Errorf("train: duplicate job name %q", j.Name)
+		}
+		names[j.Name] = true
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]JobResult, len(jobs))
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j Job) {
+			defer wg.Done()
+			res, err := Run(ctx, j.Config, j.Options...)
+			if err != nil {
+				// Record only the root cause: jobs failing afterwards with
+				// context.Canceled were collateral of this cancellation.
+				errOnce.Do(func() {
+					firstErr = fmt.Errorf("train: job %q: %w", j.Name, err)
+					cancel()
+				})
+				return
+			}
+			results[i] = JobResult{Name: j.Name, Result: res}
+		}(i, j)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}

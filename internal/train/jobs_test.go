@@ -1,0 +1,117 @@
+package train
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"trainbox/internal/dataprep"
+)
+
+// TestRunJobsTrainsConcurrently: two independent jobs must both finish,
+// return results in job order, and match their solo-run models exactly
+// (concurrency must not perturb either job's determinism).
+func TestRunJobsTrainsConcurrently(t *testing.T) {
+	execA, storeA, keysA := setup(t, 16)
+	execB, storeB, keysB := setup(t, 8)
+	cfgA := baseConfig()
+	cfgB := baseConfig()
+	cfgB.Replicas = 2
+
+	soloA, err := Run(context.Background(), cfgA, WithDataset(execA, storeA, keysA), WithFeature(stripeFeature))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	execA2, storeA2, keysA2 := setup(t, 16)
+	results, err := RunJobs(context.Background(), []Job{
+		{Name: "jobA", Config: cfgA, Options: []Option{
+			WithDataset(execA2, storeA2, keysA2), WithFeature(stripeFeature)}},
+		{Name: "jobB", Config: cfgB, Options: []Option{
+			WithDataset(execB, storeB, keysB), WithFeature(stripeFeature)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].Name != "jobA" || results[1].Name != "jobB" {
+		t.Fatalf("results out of order: %+v", results)
+	}
+	assertModelsBitIdentical(t, results[0].Result, soloA)
+	if results[1].SamplesProcessed != 8*cfgB.Epochs {
+		t.Errorf("jobB processed %d samples, want %d", results[1].SamplesProcessed, 8*cfgB.Epochs)
+	}
+}
+
+// TestRunJobsFirstErrorCancelsAll: a failing job must surface its name
+// in the error and cancel the workload.
+func TestRunJobsFirstErrorCancelsAll(t *testing.T) {
+	exec, store, keys := setup(t, 8)
+	bad := append(append([]string(nil), keys...), "missing")
+	cfg := baseConfig()
+	cfg.Epochs = 50
+	_, err := RunJobs(context.Background(), []Job{
+		{Name: "healthy", Config: cfg, Options: []Option{
+			WithDataset(exec, store, keys), WithFeature(stripeFeature)}},
+		{Name: "doomed", Config: cfg, Options: []Option{
+			WithDataset(exec, store, bad), WithFeature(stripeFeature)}},
+	})
+	if err == nil {
+		t.Fatal("workload with a doomed job succeeded")
+	}
+	if !strings.Contains(err.Error(), "doomed") {
+		t.Errorf("error does not name the failing job: %v", err)
+	}
+}
+
+// TestRunJobsValidation: empty workloads, unnamed jobs, and duplicate
+// names are rejected before any training starts.
+func TestRunJobsValidation(t *testing.T) {
+	if _, err := RunJobs(context.Background(), nil); err == nil {
+		t.Error("empty workload accepted")
+	}
+	if _, err := RunJobs(context.Background(), []Job{{Name: ""}}); err == nil {
+		t.Error("unnamed job accepted")
+	}
+	if _, err := RunJobs(context.Background(), []Job{{Name: "a"}, {Name: "a"}}); err == nil {
+		t.Error("duplicate job names accepted")
+	}
+}
+
+// TestRunOptionValidation: the options constructor must reject missing
+// or conflicting sources and a missing feature.
+func TestRunOptionValidation(t *testing.T) {
+	exec, store, keys := setup(t, 8)
+	if _, err := Run(context.Background(), baseConfig(), WithFeature(stripeFeature)); err == nil {
+		t.Error("run with no data source accepted")
+	}
+	if _, err := Run(context.Background(), baseConfig(),
+		WithDataset(exec, store, keys)); err == nil {
+		t.Error("run with no feature accepted")
+	}
+	if _, err := Run(context.Background(), baseConfig(),
+		WithDataset(exec, store, keys),
+		WithPreparer(func(ctx context.Context, epoch int) ([]dataprep.Prepared, error) { return nil, nil }, 8),
+		WithFeature(stripeFeature)); err == nil {
+		t.Error("two data sources accepted")
+	}
+	if _, err := Run(context.Background(), baseConfig(),
+		WithPreparer(nil, 8), WithFeature(stripeFeature)); err == nil {
+		t.Error("nil preparer accepted")
+	}
+	if _, err := Run(context.Background(), baseConfig(),
+		WithDataset(nil, nil, keys), WithFeature(stripeFeature)); err == nil {
+		t.Error("nil dataset accepted")
+	}
+}
+
+// TestRunHonoursContext: a pre-cancelled context must abort the run.
+func TestRunHonoursContext(t *testing.T) {
+	exec, store, keys := setup(t, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := baseConfig()
+	cfg.Epochs = 50
+	if _, err := Run(ctx, cfg, WithDataset(exec, store, keys), WithFeature(stripeFeature)); err == nil {
+		t.Error("cancelled run succeeded")
+	}
+}

@@ -140,38 +140,116 @@ type epochSamples struct {
 // augmentation depends only on (dataset seed, key, epoch).
 type EpochPreparer func(ctx context.Context, epoch int) ([]dataprep.Prepared, error)
 
-// Run trains data-parallel replicas over the keyed dataset as one
-// staged pipeline: a prepare stage (the next-batch prefetcher, queue
-// depth = PrefetchDepth) overlaps each epoch's data preparation with
-// the previous epoch's computation; an extract stage converts prepared
-// samples to model inputs into pooled buffers; the serial step stage
-// splits each epoch across replicas, backpropagates in parallel
-// (pipeline.ForEach), ring-all-reduces, and applies one synchronous SGD
-// step per minibatch. The first error anywhere cancels the pipeline.
-func Run(cfg Config, exec *dataprep.Executor, store *storage.Store, keys []string, feature FeatureFn) (Result, error) {
-	if exec == nil || store == nil {
-		return Result{}, fmt.Errorf("train: nil executor or store")
-	}
-	keysCopy := append([]string(nil), keys...)
-	return RunWithPreparer(cfg, func(ctx context.Context, epoch int) ([]dataprep.Prepared, error) {
-		return exec.PrepareBatchContext(ctx, store, keysCopy, epoch)
-	}, len(keysCopy), feature)
+// Option configures a training run — where its prepared samples come
+// from (WithDataset or WithPreparer, exactly one) and how they map to
+// model inputs (WithFeature, required).
+type Option func(*runOptions) error
+
+type runOptions struct {
+	prepare EpochPreparer
+	numKeys int
+	feature FeatureFn
 }
 
-// RunWithPreparer is Run with the data-preparation path abstracted
-// behind an EpochPreparer: the driver pipeline, replica compute, and
-// synchronization are identical — only the source of prepared samples
-// changes. numKeys is the per-epoch sample count (used for buffer
-// sizing and replica-feeding validation).
+// WithDataset serves the run from the host data-preparation path: each
+// epoch prepares the keyed dataset with exec over store.
+func WithDataset(exec *dataprep.Executor, store *storage.Store, keys []string) Option {
+	return func(o *runOptions) error {
+		if exec == nil || store == nil {
+			return fmt.Errorf("train: WithDataset needs an executor and a store")
+		}
+		if o.prepare != nil {
+			return fmt.Errorf("train: multiple data sources configured")
+		}
+		keysCopy := append([]string(nil), keys...)
+		o.prepare = func(ctx context.Context, epoch int) ([]dataprep.Prepared, error) {
+			return exec.PrepareBatchContext(ctx, store, keysCopy, epoch)
+		}
+		o.numKeys = len(keysCopy)
+		return nil
+	}
+}
+
+// WithPreparer serves the run from an arbitrary EpochPreparer — an
+// fpga.Cluster's self-healing pool, a preppool job's split host/pool
+// path, or a chaos harness. numKeys is the per-epoch sample count
+// (used for buffer sizing and replica-feeding validation).
+func WithPreparer(p EpochPreparer, numKeys int) Option {
+	return func(o *runOptions) error {
+		if p == nil {
+			return fmt.Errorf("train: WithPreparer needs a non-nil preparer")
+		}
+		if o.prepare != nil {
+			return fmt.Errorf("train: multiple data sources configured")
+		}
+		o.prepare = p
+		o.numKeys = numKeys
+		return nil
+	}
+}
+
+// WithFeature sets the sample→(input, label) mapping. Required.
+func WithFeature(f FeatureFn) Option {
+	return func(o *runOptions) error {
+		if f == nil {
+			return fmt.Errorf("train: WithFeature needs a non-nil feature function")
+		}
+		o.feature = f
+		return nil
+	}
+}
+
+// Run trains data-parallel replicas as one staged pipeline: a prepare
+// stage (queue depth = PrefetchDepth) overlaps each epoch's data
+// preparation with the previous epoch's computation; an extract stage
+// converts prepared samples to model inputs into pooled buffers; the
+// serial step stage splits each epoch across replicas, backpropagates
+// in parallel (pipeline.ForEach), ring-all-reduces, and applies one
+// synchronous SGD step per minibatch. The first error anywhere — or
+// ctx being cancelled — cancels the pipeline and drains every
+// goroutine.
+//
+// The run is configured by options: exactly one data source
+// (WithDataset for the host executor path, WithPreparer for anything
+// else) plus the required WithFeature.
+func Run(ctx context.Context, cfg Config, opts ...Option) (Result, error) {
+	var o runOptions
+	for _, opt := range opts {
+		if err := opt(&o); err != nil {
+			return Result{}, err
+		}
+	}
+	if o.prepare == nil {
+		return Result{}, fmt.Errorf("train: no data source (use WithDataset or WithPreparer)")
+	}
+	if o.feature == nil {
+		return Result{}, fmt.Errorf("train: no feature function (use WithFeature)")
+	}
+	return run(ctx, cfg, o.prepare, o.numKeys, o.feature)
+}
+
+// RunWithPreparer trains with the data-preparation path abstracted
+// behind an EpochPreparer.
+//
+// Deprecated: use Run(ctx, cfg, WithPreparer(prepare, numKeys),
+// WithFeature(feature)). Kept as a one-line forwarder.
 func RunWithPreparer(cfg Config, prepare EpochPreparer, numKeys int, feature FeatureFn) (Result, error) {
+	return Run(context.Background(), cfg, WithPreparer(prepare, numKeys), WithFeature(feature))
+}
+
+// RunDataset trains on the host executor path with the pre-options
+// calling convention (the old five-argument Run).
+//
+// Deprecated: use Run(ctx, cfg, WithDataset(exec, store, keys),
+// WithFeature(feature)). Kept as a one-line forwarder.
+func RunDataset(cfg Config, exec *dataprep.Executor, store *storage.Store, keys []string, feature FeatureFn) (Result, error) {
+	return Run(context.Background(), cfg, WithDataset(exec, store, keys), WithFeature(feature))
+}
+
+// run is the driver pipeline shared by every entry point.
+func run(ctx context.Context, cfg Config, prepare EpochPreparer, numKeys int, feature FeatureFn) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
-	}
-	if prepare == nil {
-		return Result{}, fmt.Errorf("train: nil epoch preparer")
-	}
-	if feature == nil {
-		return Result{}, fmt.Errorf("train: nil feature function")
 	}
 	if numKeys < cfg.Replicas {
 		return Result{}, fmt.Errorf("train: %d keys cannot feed %d replicas", numKeys, cfg.Replicas)
@@ -213,10 +291,10 @@ func RunWithPreparer(cfg Config, prepare EpochPreparer, numKeys int, feature Fea
 		reg = metrics.NewRegistry()
 	}
 	tm := &trainMetrics{
-		stepNs:  reg.Histogram("train.step_ns"),
-		syncNs:  reg.Histogram("train.sync_ns"),
-		samples: reg.Counter("train.samples"),
-		rate:    reg.Meter("train.samples_rate"),
+		stepNs:  reg.Histogram("train.driver.step_ns"),
+		syncNs:  reg.Histogram("train.driver.sync_ns"),
+		samples: reg.Counter("train.driver.samples"),
+		rate:    reg.Meter("train.driver.samples_rate"),
 	}
 
 	step := pipeline.NewStage("step", 1, 0,
@@ -232,7 +310,7 @@ func RunWithPreparer(cfg Config, prepare EpochPreparer, numKeys int, feature Fea
 
 	res := Result{Replicas: replicas}
 	start := time.Now()
-	run := pl.WithMetrics(reg).Run(context.Background(), pipeline.IndexSource(cfg.Epochs))
+	run := pl.WithMetrics(reg).Run(ctx, pipeline.IndexSource(cfg.Epochs))
 	epochStats, err := pipeline.Drain[[]StepStat](run)
 	if err != nil {
 		return Result{}, err
@@ -260,7 +338,7 @@ func RunWithPreparer(cfg Config, prepare EpochPreparer, numKeys int, feature Fea
 		}
 	}
 	if stepBusy > 0 {
-		reg.Gauge("train.prep_step_overlap").Set(float64(prepBusy) / float64(stepBusy))
+		reg.Gauge("train.driver.prep_step_overlap").Set(float64(prepBusy) / float64(stepBusy))
 	}
 	res.Metrics = reg.Snapshot()
 	return res, nil

@@ -1,6 +1,7 @@
 package train
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"strings"
@@ -55,7 +56,7 @@ func baseConfig() Config {
 
 func TestRunKeepsReplicasSynchronized(t *testing.T) {
 	exec, store, keys := setup(t, 16)
-	res, err := Run(baseConfig(), exec, store, keys, stripeFeature)
+	res, err := Run(context.Background(), baseConfig(), WithDataset(exec, store, keys), WithFeature(stripeFeature))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestRunReducesLoss(t *testing.T) {
 	cfg := baseConfig()
 	cfg.Epochs = 8
 	cfg.LearningRate = 0.1
-	res, err := Run(cfg, exec, store, keys, stripeFeature)
+	res, err := Run(context.Background(), cfg, WithDataset(exec, store, keys), WithFeature(stripeFeature))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,14 +101,14 @@ func TestDataParallelMatchesSingleWorkerOracle(t *testing.T) {
 
 	multi := baseConfig()
 	multi.Epochs = 2
-	resMulti, err := Run(multi, exec, store, keys, stripeFeature)
+	resMulti, err := Run(context.Background(), multi, WithDataset(exec, store, keys), WithFeature(stripeFeature))
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	single := multi
 	single.Replicas = 1
-	resSingle, err := Run(single, exec, store, keys, stripeFeature)
+	resSingle, err := Run(context.Background(), single, WithDataset(exec, store, keys), WithFeature(stripeFeature))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestRunMinibatchSplitting(t *testing.T) {
 	cfg := baseConfig()
 	cfg.Replicas = 2
 	cfg.MinibatchPerReplica = 2 // shard of 8 → 4 steps per epoch
-	res, err := Run(cfg, exec, store, keys, stripeFeature)
+	res, err := Run(context.Background(), cfg, WithDataset(exec, store, keys), WithFeature(stripeFeature))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,16 +153,16 @@ func TestRunValidation(t *testing.T) {
 	for i, mutate := range bads {
 		cfg := baseConfig()
 		mutate(&cfg)
-		if _, err := Run(cfg, exec, store, keys, stripeFeature); err == nil {
+		if _, err := Run(context.Background(), cfg, WithDataset(exec, store, keys), WithFeature(stripeFeature)); err == nil {
 			t.Errorf("bad config %d accepted", i)
 		}
 	}
-	if _, err := Run(baseConfig(), exec, store, keys, nil); err == nil {
+	if _, err := Run(context.Background(), baseConfig(), WithDataset(exec, store, keys), WithFeature(nil)); err == nil {
 		t.Error("nil feature accepted")
 	}
 	cfg := baseConfig()
 	cfg.Replicas = 100
-	if _, err := Run(cfg, exec, store, keys, stripeFeature); err == nil {
+	if _, err := Run(context.Background(), cfg, WithDataset(exec, store, keys), WithFeature(stripeFeature)); err == nil {
 		t.Error("more replicas than keys accepted")
 	}
 }
@@ -176,7 +177,7 @@ func TestRunStorageErrorCancelsPipeline(t *testing.T) {
 	cfg := baseConfig()
 	cfg.Epochs = 50
 	badKeys := append(append([]string(nil), keys...), "missing")
-	_, err := Run(cfg, exec, store, badKeys, stripeFeature)
+	_, err := Run(context.Background(), cfg, WithDataset(exec, store, badKeys), WithFeature(stripeFeature))
 	if err == nil {
 		t.Fatal("run with missing key succeeded")
 	}
@@ -207,7 +208,7 @@ func TestRunFeatureErrorCancelsPipeline(t *testing.T) {
 		}
 		return stripeFeature(p)
 	}
-	if _, err := Run(cfg, exec, store, keys, badFeature); err == nil {
+	if _, err := Run(context.Background(), cfg, WithDataset(exec, store, keys), WithFeature(badFeature)); err == nil {
 		t.Fatal("run with failing feature succeeded")
 	}
 	deadline := time.Now().Add(5 * time.Second)
@@ -221,7 +222,7 @@ func TestRunFeatureErrorCancelsPipeline(t *testing.T) {
 
 func TestMaxReplicaDivergenceDetectsDrift(t *testing.T) {
 	exec, store, keys := setup(t, 8)
-	res, err := Run(baseConfig(), exec, store, keys, stripeFeature)
+	res, err := Run(context.Background(), baseConfig(), WithDataset(exec, store, keys), WithFeature(stripeFeature))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +252,7 @@ func TestRunWithMomentumKeepsReplicasSynchronized(t *testing.T) {
 	cfg.Momentum = 0.9
 	cfg.WeightDecay = 1e-4
 	cfg.Epochs = 4
-	res, err := Run(cfg, exec, store, keys, stripeFeature)
+	res, err := Run(context.Background(), cfg, WithDataset(exec, store, keys), WithFeature(stripeFeature))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +267,7 @@ func TestRunRejectsBadOptimizer(t *testing.T) {
 	exec, store, keys := setup(t, 8)
 	cfg := baseConfig()
 	cfg.Momentum = 1.5
-	if _, err := Run(cfg, exec, store, keys, stripeFeature); err == nil {
+	if _, err := Run(context.Background(), cfg, WithDataset(exec, store, keys), WithFeature(stripeFeature)); err == nil {
 		t.Error("momentum ≥ 1 accepted")
 	}
 }
@@ -284,26 +285,26 @@ func TestRunMetricsSnapshot(t *testing.T) {
 	cfg := baseConfig()
 	cfg.Metrics = reg
 
-	res, err := Run(cfg, exec, store, keys, stripeFeature)
+	res, err := Run(context.Background(), cfg, WithDataset(exec, store, keys), WithFeature(stripeFeature))
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	snap := res.Metrics
-	steps := snap.Histograms["train.step_ns"]
+	steps := snap.Histograms["train.driver.step_ns"]
 	if int(steps.Count) != len(res.Steps) {
 		t.Errorf("train.step_ns count = %d, want %d", steps.Count, len(res.Steps))
 	}
 	if steps.Count > 0 && (steps.P50 <= 0 || steps.P99 < steps.P50) {
 		t.Errorf("step latency quantiles implausible: %+v", steps)
 	}
-	if got := snap.Counters["train.samples"]; got != int64(res.SamplesProcessed) {
+	if got := snap.Counters["train.driver.samples"]; got != int64(res.SamplesProcessed) {
 		t.Errorf("train.samples = %d, want %d", got, res.SamplesProcessed)
 	}
-	if snap.Histograms["train.sync_ns"].Count != steps.Count {
-		t.Errorf("train.sync_ns count = %d, want %d", snap.Histograms["train.sync_ns"].Count, steps.Count)
+	if snap.Histograms["train.driver.sync_ns"].Count != steps.Count {
+		t.Errorf("train.sync_ns count = %d, want %d", snap.Histograms["train.driver.sync_ns"].Count, steps.Count)
 	}
-	if _, ok := snap.Gauges["train.prep_step_overlap"]; !ok {
+	if _, ok := snap.Gauges["train.driver.prep_step_overlap"]; !ok {
 		t.Error("train.prep_step_overlap gauge missing")
 	}
 
@@ -319,13 +320,13 @@ func TestRunMetricsSnapshot(t *testing.T) {
 	}
 
 	// Shared-registry series from the executor and the store.
-	if got := snap.Counters["dataprep.samples_prepared"]; got != int64(cfg.Epochs*len(keys)) {
-		t.Errorf("dataprep.samples_prepared = %d, want %d", got, cfg.Epochs*len(keys))
+	if got := snap.Counters["dataprep.executor.samples_prepared"]; got != int64(cfg.Epochs*len(keys)) {
+		t.Errorf("dataprep.executor.samples_prepared = %d, want %d", got, cfg.Epochs*len(keys))
 	}
 	if snap.Counters["storage.nvme.bytes_read"] <= 0 {
 		t.Error("storage bytes_read not recorded")
 	}
-	if snap.Meters["train.samples_rate"].RatePerSec <= 0 {
+	if snap.Meters["train.driver.samples_rate"].RatePerSec <= 0 {
 		t.Error("train sample rate not recorded")
 	}
 }
@@ -334,15 +335,31 @@ func TestRunMetricsSnapshot(t *testing.T) {
 // driver uses a private one, so Result.Metrics is always observable.
 func TestRunWithoutMetricsStillSnapshots(t *testing.T) {
 	exec, store, keys := setup(t, 8)
-	res, err := Run(baseConfig(), exec, store, keys, stripeFeature)
+	res, err := Run(context.Background(), baseConfig(), WithDataset(exec, store, keys), WithFeature(stripeFeature))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Metrics.Histograms["train.step_ns"].Count == 0 {
+	if res.Metrics.Histograms["train.driver.step_ns"].Count == 0 {
 		t.Error("private registry snapshot empty")
 	}
 	// The unmetered executor must not have leaked series into it.
-	if _, ok := res.Metrics.Counters["dataprep.samples_prepared"]; ok {
+	if _, ok := res.Metrics.Counters["dataprep.executor.samples_prepared"]; ok {
 		t.Error("executor metrics appeared without WithMetrics")
 	}
+}
+
+// TestDeprecatedRunDatasetShim keeps the pre-options five-argument
+// entry point alive: RunDataset must produce exactly what the options
+// form produces.
+func TestDeprecatedRunDatasetShim(t *testing.T) {
+	exec, store, keys := setup(t, 8)
+	want, err := Run(context.Background(), baseConfig(), WithDataset(exec, store, keys), WithFeature(stripeFeature))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunDataset(baseConfig(), exec, store, keys, stripeFeature)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertModelsBitIdentical(t, got, want)
 }

@@ -1,0 +1,117 @@
+// Integration test for the repo-wide metric naming scheme: drive every
+// metered subsystem — storage with faults and retries, the host
+// executor, the prefetcher, pooled FPGA devices, the prep-pool runtime,
+// and the training driver — into ONE shared registry, then assert that
+// every name in the final snapshot follows subsystem.object.metric
+// (metrics.ValidName).
+package trainbox_test
+
+import (
+	"context"
+	"testing"
+
+	"trainbox/internal/dataprep"
+	"trainbox/internal/faults"
+	"trainbox/internal/fpga"
+	"trainbox/internal/metrics"
+	"trainbox/internal/nvme"
+	"trainbox/internal/preppool"
+	"trainbox/internal/storage"
+	"trainbox/internal/train"
+)
+
+func poolFeature(p dataprep.Prepared) ([]float64, int, error) {
+	ten := p.Image
+	const block = 4
+	side := ten.W / block
+	feat := make([]float64, side*side)
+	for by := 0; by < side; by++ {
+		for bx := 0; bx < side; bx++ {
+			var sum float64
+			for y := by * block; y < (by+1)*block; y++ {
+				for x := bx * block; x < (bx+1)*block; x++ {
+					sum += float64(ten.At(0, y, x))
+				}
+			}
+			feat[by*side+bx] = sum / (block * block)
+		}
+	}
+	return feat, p.Label, nil
+}
+
+func TestAllExportedMetricNamesFollowScheme(t *testing.T) {
+	const seed = 5
+	reg := metrics.NewRegistry()
+
+	store := storage.NewStore(storage.DefaultSSDSpec())
+	if err := dataprep.BuildImageDataset(store, 8, 4, seed); err != nil {
+		t.Fatal(err)
+	}
+	store.WithMetrics(reg).WithFaults(faults.Metered(faults.NewErrorRate(7, 0.1, nil), reg)).
+		WithRetry(faults.RetryPolicy{MaxAttempts: 4, Seed: 8})
+
+	imgCfg := dataprep.DefaultImageConfig()
+	imgCfg.CropW, imgCfg.CropH = 32, 32
+	exec := dataprep.NewExecutor(dataprep.ImagePreparer{Config: imgCfg}, 2, seed).WithMetrics(reg)
+
+	// Prefetcher series.
+	pf, err := dataprep.NewPrefetcher(exec, store, store.Keys(), 2, dataprep.WithDepth(2), dataprep.WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := pf.Next(); err != nil {
+			if err != dataprep.ErrExhausted {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	pf.Close()
+
+	// Pooled devices, the prep-pool runtime, and the training driver.
+	ns, err := nvme.LoadStore(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	handlers := make([]*fpga.P2PHandler, 2)
+	for i := range handlers {
+		h, err := fpga.NewP2PHandler(ns, fpga.NewImageEmulator(imgCfg), 8, fpga.WithMetrics(reg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		handlers[i] = h
+	}
+	pool, err := preppool.NewPool(handlers, preppool.WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := pool.Register(preppool.JobSpec{
+		Name: "naming", Type: 0, RequiredRate: 16000,
+		Exec:        exec,
+		Store:       store,
+		DatasetSeed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := train.Run(context.Background(), train.Config{
+		Replicas: 2, Widths: []int{64, 16, 4}, Epochs: 2,
+		LearningRate: 0.05, PrefetchDepth: 1, Seed: 9, Metrics: reg,
+	},
+		train.WithPreparer(job.Preparer(store.Keys()), store.Len()),
+		train.WithFeature(poolFeature)); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	names := snap.Names()
+	if len(names) < 25 {
+		t.Fatalf("only %d metric names exported — the fixture is not exercising the stack", len(names))
+	}
+	for _, name := range names {
+		if !metrics.ValidName(name) {
+			t.Errorf("metric %q does not follow subsystem.object.metric", name)
+		}
+	}
+}
