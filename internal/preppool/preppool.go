@@ -213,6 +213,16 @@ func (p *Pool) Register(spec JobSpec) (*Job, error) {
 	if spec.RequiredRate < 0 || spec.InBoxRate < 0 {
 		return nil, fmt.Errorf("preppool: job %q has negative rates", spec.Name)
 	}
+	// The uniqueness check must precede any name-scoped side effect
+	// (cluster construction, metric binding): a rejected duplicate must
+	// not clobber the live same-named job's gauges.
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, other := range p.jobs {
+		if other.spec.Name == spec.Name {
+			return nil, fmt.Errorf("preppool: job name %q already registered", spec.Name)
+		}
+	}
 	cluster, err := fpga.NewCluster(nil,
 		fpga.WithName(spec.Name),
 		fpga.WithHealth(p.health),
@@ -237,14 +247,6 @@ func (p *Pool) Register(spec JobSpec) (*Job, error) {
 	j.gAchieved = p.reg.Gauge(prefix + "achieved_rate")
 	j.gRequired = p.reg.Gauge(prefix + "required_rate")
 	j.gRequired.Set(float64(spec.RequiredRate))
-
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, other := range p.jobs {
-		if other.spec.Name == spec.Name {
-			return nil, fmt.Errorf("preppool: job name %q already registered", spec.Name)
-		}
-	}
 	p.jobs = append(p.jobs, j)
 	p.dirty = true
 	return j, nil
@@ -280,12 +282,16 @@ func (j *Job) Close() error {
 	if j.closed {
 		return fmt.Errorf("preppool: job %q closed twice", j.spec.Name)
 	}
-	j.closed = true
-	for _, h := range j.order {
-		if err := j.releaseLeaseLocked(h, true); err != nil {
+	// Drain rather than range: releaseLeaseLocked removes from j.order in
+	// place, so a range would read shifted entries. The job is only
+	// marked closed once every lease released — a failure partway leaves
+	// it open and usable instead of stranded holding leases.
+	for len(j.order) > 0 {
+		if err := j.releaseLeaseLocked(j.order[len(j.order)-1], true); err != nil {
 			return err
 		}
 	}
+	j.closed = true
 	for i, other := range j.pool.jobs {
 		if other == j {
 			j.pool.jobs = append(j.pool.jobs[:i], j.pool.jobs[i+1:]...)

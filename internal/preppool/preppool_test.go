@@ -298,6 +298,58 @@ func TestRegisterValidation(t *testing.T) {
 	}
 }
 
+// TestCloseReturnsAllLeases: closing a job that holds several leases
+// must release every one back to the free pool. Regression test: Close
+// used to range over j.order while releasing shifted entries out from
+// under the iteration, so a 3-lease job failed with a spurious "does
+// not hold that device" error and leaked a lease.
+func TestCloseReturnsAllLeases(t *testing.T) {
+	handlers, store, cfg := fixture(t, 3)
+	pool, err := NewPool(handlers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := pool.Register(spec("hog", cfg, store, 3, 24000, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job.PrepareEpoch(context.Background(), store.Keys(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := job.Leases(); got != 3 {
+		t.Fatalf("leases = %d before close, want 3", got)
+	}
+	if err := job.Close(); err != nil {
+		t.Fatalf("close with 3 leases failed: %v", err)
+	}
+	if got := pool.FreeDevices(); got != 3 {
+		t.Errorf("free = %d after close, want 3 (all leases returned)", got)
+	}
+}
+
+// TestDuplicateRegisterKeepsLiveJobMetrics: a rejected duplicate
+// registration must not touch the live same-named job's metrics.
+// Regression test: Register used to bind and set the required_rate
+// gauge before the uniqueness check, so the rejected spec's rate
+// overwrote the live job's.
+func TestDuplicateRegisterKeepsLiveJobMetrics(t *testing.T) {
+	handlers, store, cfg := fixture(t, 1)
+	reg := metrics.NewRegistry()
+	pool, err := NewPool(handlers, WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Register(spec("twin", cfg, store, 3, 8000, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Register(spec("twin", cfg, store, 3, 999, 0)); err == nil {
+		t.Fatal("duplicate job name accepted")
+	}
+	if got := reg.Snapshot().Gauges["preppool.job.twin.required_rate"]; got != 8000 {
+		t.Errorf("required_rate = %v after rejected duplicate, want 8000", got)
+	}
+}
+
 // TestClosedJobRefusesEpochs: a closed job must fail fast, and closing
 // twice is an error.
 func TestClosedJobRefusesEpochs(t *testing.T) {
