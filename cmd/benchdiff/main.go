@@ -1,15 +1,27 @@
 // Command benchdiff is the CI perf-regression gate: it compares the
-// tracked throughput metrics of a freshly generated BENCH.json (from
-// `trainbox-bench -json`) against the committed BENCH_baseline.json and
-// exits non-zero if any metric regressed by more than the threshold.
+// tracked throughput metrics and the per-kernel allocation matrix of a
+// freshly generated BENCH.json (from `trainbox-bench -json`) against
+// the committed BENCH_baseline.json and exits non-zero if any metric
+// regressed by more than the threshold.
 //
-//	benchdiff -baseline BENCH_baseline.json -current bench.json [-threshold 0.25]
+//	benchdiff -baseline BENCH_baseline.json -current bench.json [-threshold 0.25] [-alloc-threshold 0.25]
 //
-// Only throughput metrics present in the baseline are gated — new
-// metrics in the current report start being tracked once they land in a
-// regenerated baseline, and improvements never fail the gate. The
-// default 25% threshold absorbs CI-runner noise; tighten it locally
-// when comparing runs on one machine.
+// Two gates run:
+//
+//   - throughput (lower is worse): a tracked metric fails when it drops
+//     more than -threshold below the baseline;
+//   - kernel allocs/sample (higher is worse): a tracked kernel fails
+//     when its allocation count grows more than -alloc-threshold above
+//     the baseline. A zero-alloc baseline fails on any allocation at
+//     all (cur > 0.5): zero allocations is an invariant, not a level.
+//     Kernel ns/sample is reported but never gated — allocation counts
+//     are deterministic where CI wall-clock is not.
+//
+// Only metrics present in the baseline are gated — new ones start
+// being tracked once they land in a regenerated baseline, and
+// improvements never fail the gate. The default 25% thresholds absorb
+// CI-runner noise; tighten them locally when comparing runs on one
+// machine.
 //
 // Exit codes: 0 = no regression, 1 = regression detected, 2 = bad
 // input (missing file, schema mismatch, empty baseline).
@@ -29,9 +41,16 @@ import (
 // benchFile is the subset of the trainbox-bench JSON schema the gate
 // reads.
 type benchFile struct {
-	Schema     string             `json:"schema"`
-	GoVersion  string             `json:"go_version"`
-	Throughput map[string]float64 `json:"throughput"`
+	Schema     string                `json:"schema"`
+	GoVersion  string                `json:"go_version"`
+	Throughput map[string]float64    `json:"throughput"`
+	Kernels    map[string]kernelStat `json:"kernels"`
+}
+
+// kernelStat mirrors trainbox-bench's per-kernel entry.
+type kernelStat struct {
+	NsPerSample     float64 `json:"ns_per_sample"`
+	AllocsPerSample float64 `json:"allocs_per_sample"`
 }
 
 // delta is one metric's comparison.
@@ -49,16 +68,20 @@ func main() {
 	baselinePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline report")
 	currentPath := flag.String("current", "bench.json", "freshly generated report")
 	threshold := flag.Float64("threshold", 0.25, "maximum tolerated fractional throughput drop (0.25 = 25%)")
+	allocThreshold := flag.Float64("alloc-threshold", 0.25, "maximum tolerated fractional allocs/sample growth per kernel (0.25 = 25%)")
 	flag.Parse()
 
-	code, out := run(*baselinePath, *currentPath, *threshold)
+	code, out := run(*baselinePath, *currentPath, *threshold, *allocThreshold)
 	fmt.Print(out)
 	os.Exit(code)
 }
 
-func run(baselinePath, currentPath string, threshold float64) (int, string) {
+func run(baselinePath, currentPath string, threshold, allocThreshold float64) (int, string) {
 	if threshold < 0 || threshold >= 1 {
 		return 2, fmt.Sprintf("benchdiff: threshold %v outside [0,1)\n", threshold)
+	}
+	if allocThreshold < 0 {
+		return 2, fmt.Sprintf("benchdiff: alloc-threshold %v negative\n", allocThreshold)
 	}
 	baseline, err := load(baselinePath)
 	if err != nil {
@@ -93,18 +116,73 @@ func run(baselinePath, currentPath string, threshold float64) (int, string) {
 		}
 	}
 	sb.WriteString(t.String())
+
+	// The allocation gate: per-kernel allocs/sample, higher is worse.
+	kdeltas := compareKernels(baseline.Kernels, current.Kernels, allocThreshold)
+	allocRegressions := 0
+	if len(kdeltas) > 0 {
+		kt := report.NewTable(fmt.Sprintf("Kernel allocs/sample vs baseline (gate: +%.0f%%; ns informational)", allocThreshold*100),
+			"kernel", "base allocs", "cur allocs", "change", "base ns", "cur ns", "status")
+		for _, d := range kdeltas {
+			switch {
+			case d.Missing:
+				allocRegressions++
+				kt.AddRowf(d.Name, d.Baseline.AllocsPerSample, "—", "—", d.Baseline.NsPerSample, "—", "MISSING")
+			case d.New:
+				untracked++
+				kt.AddRowf(d.Name, "—", d.Current.AllocsPerSample, "—", "—", d.Current.NsPerSample, "new (untracked)")
+			case d.Regressed:
+				allocRegressions++
+				kt.AddRowf(d.Name, d.Baseline.AllocsPerSample, d.Current.AllocsPerSample,
+					changeLabel(d.Change), d.Baseline.NsPerSample, d.Current.NsPerSample, "REGRESSED")
+			default:
+				kt.AddRowf(d.Name, d.Baseline.AllocsPerSample, d.Current.AllocsPerSample,
+					changeLabel(d.Change), d.Baseline.NsPerSample, d.Current.NsPerSample, "ok")
+			}
+		}
+		sb.WriteString(kt.String())
+	}
+
 	if untracked > 0 {
 		fmt.Fprintf(&sb, "benchdiff: %d new metric(s) not in %s — informational only; regenerate the baseline to start gating them\n",
 			untracked, baselinePath)
 	}
-	if regressions > 0 {
-		fmt.Fprintf(&sb, "benchdiff: %d tracked throughput metric(s) regressed >%.0f%% vs %s\n",
-			regressions, threshold*100, baselinePath)
+	if regressions+allocRegressions > 0 {
+		if regressions > 0 {
+			fmt.Fprintf(&sb, "benchdiff: %d tracked throughput metric(s) regressed >%.0f%% vs %s\n",
+				regressions, threshold*100, baselinePath)
+		}
+		if allocRegressions > 0 {
+			fmt.Fprintf(&sb, "benchdiff: %d tracked kernel(s) grew allocs/sample >%.0f%% vs %s\n",
+				allocRegressions, allocThreshold*100, baselinePath)
+		}
 		return 1, sb.String()
 	}
-	fmt.Fprintf(&sb, "benchdiff: all %d tracked throughput metrics within %.0f%% of baseline\n",
-		len(deltas)-untracked, threshold*100)
+	fmt.Fprintf(&sb, "benchdiff: all %d tracked throughput metrics and %d kernels within thresholds\n",
+		len(deltas)-countNew(deltas), len(kdeltas)-countNewKernels(kdeltas))
 	return 0, sb.String()
+}
+
+func changeLabel(change float64) string { return fmt.Sprintf("%+.1f%%", 100*change) }
+
+func countNew(ds []delta) int {
+	n := 0
+	for _, d := range ds {
+		if d.New {
+			n++
+		}
+	}
+	return n
+}
+
+func countNewKernels(ds []kernelDelta) int {
+	n := 0
+	for _, d := range ds {
+		if d.New {
+			n++
+		}
+	}
+	return n
 }
 
 // load reads and schema-checks one report.
@@ -161,6 +239,59 @@ func compare(baseline, current map[string]float64, threshold float64) []delta {
 	sort.Strings(fresh)
 	for _, name := range fresh {
 		out = append(out, delta{Name: name, Current: current[name], New: true})
+	}
+	return out
+}
+
+// kernelDelta is one kernel's allocation comparison.
+type kernelDelta struct {
+	Name              string
+	Baseline, Current kernelStat
+	Change            float64 // fractional allocs/sample growth
+	Regressed         bool
+	Missing           bool
+	New               bool
+}
+
+// compareKernels gates every baseline-tracked kernel's allocs/sample:
+// growth beyond the threshold regresses, and a zero-alloc baseline
+// regresses on any allocation at all (cur > 0.5 absorbs AllocsPerRun
+// rounding) — zero is an invariant, not a level. A kernel missing from
+// the current report regresses: silently dropping a tracked kernel
+// must not pass CI. Kernels only in the current report are
+// informational until a regenerated baseline tracks them.
+func compareKernels(baseline, current map[string]kernelStat, threshold float64) []kernelDelta {
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]kernelDelta, 0, len(names))
+	for _, name := range names {
+		base := baseline[name]
+		cur, ok := current[name]
+		d := kernelDelta{Name: name, Baseline: base, Current: cur}
+		switch {
+		case !ok:
+			d.Missing = true
+		case base.AllocsPerSample < 0.5:
+			d.Regressed = cur.AllocsPerSample > 0.5
+			d.Change = cur.AllocsPerSample - base.AllocsPerSample
+		default:
+			d.Change = (cur.AllocsPerSample - base.AllocsPerSample) / base.AllocsPerSample
+			d.Regressed = cur.AllocsPerSample > base.AllocsPerSample*(1+threshold)
+		}
+		out = append(out, d)
+	}
+	fresh := make([]string, 0, 4)
+	for name := range current {
+		if _, tracked := baseline[name]; !tracked {
+			fresh = append(fresh, name)
+		}
+	}
+	sort.Strings(fresh)
+	for _, name := range fresh {
+		out = append(out, kernelDelta{Name: name, Current: current[name], New: true})
 	}
 	return out
 }

@@ -88,13 +88,13 @@ func TestRunExitCodes(t *testing.T) {
 
 	ok := writeReport(t, dir, "ok.json", "trainbox-bench/v1",
 		map[string]float64{"prefetcher_samples_per_sec": 900})
-	if code, out := run(base, ok, 0.25); code != 0 {
+	if code, out := run(base, ok, 0.25, 0.25); code != 0 {
 		t.Errorf("10%% drop: exit %d, output:\n%s", code, out)
 	}
 
 	bad := writeReport(t, dir, "bad.json", "trainbox-bench/v1",
 		map[string]float64{"prefetcher_samples_per_sec": 500})
-	code, out := run(base, bad, 0.25)
+	code, out := run(base, bad, 0.25, 0.25)
 	if code != 1 {
 		t.Errorf("50%% drop: exit %d, want 1", code)
 	}
@@ -103,25 +103,25 @@ func TestRunExitCodes(t *testing.T) {
 	}
 
 	empty := writeReport(t, dir, "empty.json", "trainbox-bench/v1", map[string]float64{})
-	if code, _ := run(base, empty, 0.25); code != 1 {
+	if code, _ := run(base, empty, 0.25, 0.25); code != 1 {
 		t.Errorf("missing tracked metric: exit %d, want 1", code)
 	}
 
 	wrong := writeReport(t, dir, "wrong.json", "somethingelse/v9",
 		map[string]float64{"prefetcher_samples_per_sec": 1000})
-	if code, _ := run(base, wrong, 0.25); code != 2 {
+	if code, _ := run(base, wrong, 0.25, 0.25); code != 2 {
 		t.Errorf("schema mismatch: exit %d, want 2", code)
 	}
 
-	if code, _ := run(empty, ok, 0.25); code != 2 {
+	if code, _ := run(empty, ok, 0.25, 0.25); code != 2 {
 		t.Errorf("empty baseline: exit %d, want 2", code)
 	}
 
-	if code, _ := run(base, filepath.Join(dir, "nope.json"), 0.25); code != 2 {
+	if code, _ := run(base, filepath.Join(dir, "nope.json"), 0.25, 0.25); code != 2 {
 		t.Errorf("missing file: exit %d, want 2", code)
 	}
 
-	if code, _ := run(base, ok, 1.5); code != 2 {
+	if code, _ := run(base, ok, 1.5, 0.25); code != 2 {
 		t.Errorf("bad threshold: exit %d, want 2", code)
 	}
 
@@ -130,7 +130,7 @@ func TestRunExitCodes(t *testing.T) {
 	// obvious next step.
 	grown := writeReport(t, dir, "grown.json", "trainbox-bench/v1",
 		map[string]float64{"prefetcher_samples_per_sec": 950, "pool_degraded_samples_per_sec": 500})
-	code, out = run(base, grown, 0.25)
+	code, out = run(base, grown, 0.25, 0.25)
 	if code != 0 {
 		t.Errorf("new metric failed the gate: exit %d, output:\n%s", code, out)
 	}
@@ -142,7 +142,108 @@ func TestRunExitCodes(t *testing.T) {
 	// mask a regression.
 	grownBad := writeReport(t, dir, "grownbad.json", "trainbox-bench/v1",
 		map[string]float64{"prefetcher_samples_per_sec": 500, "pool_degraded_samples_per_sec": 500})
-	if code, _ := run(base, grownBad, 0.25); code != 1 {
+	if code, _ := run(base, grownBad, 0.25, 0.25); code != 1 {
 		t.Errorf("regression masked by new metric: exit %d, want 1", code)
+	}
+}
+
+func writeReportK(t *testing.T, dir, name string, throughput map[string]float64, kernels map[string]kernelStat) string {
+	t.Helper()
+	data, err := json.Marshal(benchFile{Schema: "trainbox-bench/v1.1", Throughput: throughput, Kernels: kernels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCompareKernelsAllocGate covers the allocation gate's arms:
+// tolerated growth, regression past the threshold, the zero-baseline
+// invariant, improvement, and missing/new kernels.
+func TestCompareKernelsAllocGate(t *testing.T) {
+	base := map[string]kernelStat{
+		"a":    {NsPerSample: 100, AllocsPerSample: 100},
+		"b":    {NsPerSample: 100, AllocsPerSample: 100},
+		"zero": {NsPerSample: 100, AllocsPerSample: 0},
+		"gone": {NsPerSample: 100, AllocsPerSample: 10},
+	}
+	cur := map[string]kernelStat{
+		"a":    {NsPerSample: 900, AllocsPerSample: 120}, // +20% allocs, 9× slower: ns never gates
+		"b":    {NsPerSample: 10, AllocsPerSample: 130},  // +30% allocs
+		"zero": {NsPerSample: 100, AllocsPerSample: 1},   // zero-alloc invariant broken
+		"new":  {NsPerSample: 1, AllocsPerSample: 1},
+	}
+	byName := map[string]kernelDelta{}
+	for _, d := range compareKernels(base, cur, 0.25) {
+		byName[d.Name] = d
+	}
+	if byName["a"].Regressed {
+		t.Error("a grew 20% < threshold, must pass")
+	}
+	if !byName["b"].Regressed {
+		t.Error("b grew 30% > threshold, must regress")
+	}
+	if !byName["zero"].Regressed {
+		t.Error("zero-alloc kernel allocated, must regress")
+	}
+	if !byName["gone"].Missing {
+		t.Error("dropped kernel must be flagged missing")
+	}
+	if d := byName["new"]; !d.New || d.Regressed || d.Missing {
+		t.Errorf("new kernel misclassified: %+v", d)
+	}
+
+	// An improvement (fewer allocs) never regresses.
+	better := compareKernels(
+		map[string]kernelStat{"k": {AllocsPerSample: 100}},
+		map[string]kernelStat{"k": {AllocsPerSample: 3}}, 0.25)
+	if better[0].Regressed {
+		t.Error("allocation improvement flagged as regression")
+	}
+}
+
+// TestRunKernelGateEndToEnd drives the allocation gate through real
+// files: growth past the threshold fails the run even when every
+// throughput metric is healthy.
+func TestRunKernelGateEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	tp := map[string]float64{"prefetcher_samples_per_sec": 1000}
+	base := writeReportK(t, dir, "base.json", tp,
+		map[string]kernelStat{"prepare_image": {NsPerSample: 5000, AllocsPerSample: 4}})
+
+	ok := writeReportK(t, dir, "ok.json", tp,
+		map[string]kernelStat{"prepare_image": {NsPerSample: 9000, AllocsPerSample: 4}})
+	if code, out := run(base, ok, 0.25, 0.25); code != 0 {
+		t.Errorf("unchanged allocs: exit %d, output:\n%s", code, out)
+	}
+
+	bad := writeReportK(t, dir, "bad.json", tp,
+		map[string]kernelStat{"prepare_image": {NsPerSample: 5000, AllocsPerSample: 400}})
+	code, out := run(base, bad, 0.25, 0.25)
+	if code != 1 {
+		t.Errorf("100× alloc growth: exit %d, want 1", code)
+	}
+	if !strings.Contains(out, "REGRESSED") || !strings.Contains(out, "prepare_image") {
+		t.Errorf("output does not flag the alloc regression:\n%s", out)
+	}
+
+	// Dropping a tracked kernel fails — coverage cannot silently shrink.
+	dropped := writeReportK(t, dir, "dropped.json", tp, map[string]kernelStat{})
+	if code, _ := run(base, dropped, 0.25, 0.25); code != 1 {
+		t.Errorf("dropped kernel: exit %d, want 1", code)
+	}
+
+	// A v1 baseline with no kernels still gates throughput only — the
+	// kernel gate activates once a regenerated baseline tracks kernels.
+	v1 := writeReport(t, dir, "v1.json", "trainbox-bench/v1", tp)
+	if code, out := run(v1, bad, 0.25, 0.25); code != 0 {
+		t.Errorf("v1 baseline must not gate kernels: exit %d, output:\n%s", code, out)
+	}
+
+	if code, _ := run(base, ok, 0.25, -0.1); code != 2 {
+		t.Errorf("negative alloc-threshold: exit %d, want 2", code)
 	}
 }

@@ -38,7 +38,9 @@ import (
 
 // benchSchema versions the JSON report format. Bump on incompatible
 // changes; cmd/benchdiff refuses to compare mismatched major schemas.
-const benchSchema = "trainbox-bench/v1"
+// v1.1 adds the per-kernel matrix (ns/sample and allocs/sample per
+// sample-path kernel) alongside v1's throughput metrics.
+const benchSchema = "trainbox-bench/v1.1"
 
 var (
 	markdown = flag.Bool("md", false, "emit the paper-vs-measured summary as a markdown table")
@@ -74,7 +76,10 @@ type benchReport struct {
 	GeneratedAt string             `json:"generated_at"`
 	Experiments []experimentValue  `json:"experiments"`
 	Throughput  map[string]float64 `json:"throughput"`
-	Metrics     metrics.Snapshot   `json:"metrics"`
+	// Kernels is the per-kernel sample-path matrix; allocs/sample is
+	// gated by cmd/benchdiff, ns/sample is informational.
+	Kernels map[string]kernelStat `json:"kernels"`
+	Metrics metrics.Snapshot      `json:"metrics"`
 }
 
 // harness accumulates all output in memory so a mid-run failure never
@@ -123,6 +128,7 @@ func run(md bool, jsonPath string) error {
 			CPUs:        runtime.NumCPU(),
 			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 			Throughput:  map[string]float64{},
+			Kernels:     map[string]kernelStat{},
 		},
 	}
 
@@ -144,7 +150,8 @@ func run(md bool, jsonPath string) error {
 		{"Fig 22", stepFig22},
 	}
 	if jsonPath != "" {
-		steps = append(steps, step{"live throughput", stepLiveThroughput})
+		steps = append(steps, step{"kernel matrix", stepKernels},
+			step{"live throughput", stepLiveThroughput})
 	}
 	for _, s := range steps {
 		if err := s.fn(h); err != nil {
@@ -167,8 +174,8 @@ func run(md bool, jsonPath string) error {
 		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
 			return fmt.Errorf("write report: %w", err)
 		}
-		fmt.Printf("wrote %s (%s, %d experiments, %d tracked throughput metrics)\n",
-			jsonPath, benchSchema, len(h.rep.Experiments), len(h.rep.Throughput))
+		fmt.Printf("wrote %s (%s, %d experiments, %d tracked throughput metrics, %d kernels)\n",
+			jsonPath, benchSchema, len(h.rep.Experiments), len(h.rep.Throughput), len(h.rep.Kernels))
 	}
 	return nil
 }

@@ -18,12 +18,12 @@ import (
 	"context"
 	"fmt"
 	"hash/fnv"
-	"math/rand"
 	"runtime"
 	"time"
 
 	"trainbox/internal/dsp"
 	"trainbox/internal/imgproc"
+	"trainbox/internal/memframe"
 	"trainbox/internal/metrics"
 	"trainbox/internal/pipeline"
 	"trainbox/internal/storage"
@@ -87,57 +87,18 @@ func SampleSeed(datasetSeed int64, key string, epoch int) int64 {
 	return int64(h.Sum64())
 }
 
-// PrepareImage runs the full image pipeline on stored JPEG bytes.
+// PrepareImage runs the full image pipeline on stored JPEG bytes. Shim
+// over PrepareImageScratch with a throwaway working set, so the caller
+// owns the result outright.
 func PrepareImage(jpegData []byte, cfg ImageConfig, seed int64) (*imgproc.Tensor, error) {
-	img, err := imgproc.DecodeJPEG(jpegData)
-	if err != nil {
-		return nil, err
-	}
-	rng := rand.New(rand.NewSource(seed))
-	var cropped *imgproc.Image
-	if cfg.Augment {
-		cropped, err = imgproc.RandomCrop(img, cfg.CropW, cfg.CropH, rng)
-	} else {
-		cropped, err = imgproc.CenterCrop(img, cfg.CropW, cfg.CropH)
-	}
-	if err != nil {
-		return nil, err
-	}
-	if cfg.Augment && rng.Float64() < cfg.MirrorProb {
-		cropped = imgproc.Mirror(cropped)
-	}
-	if cfg.Augment && cfg.NoiseStd > 0 {
-		cropped = imgproc.GaussianNoise(cropped, cfg.NoiseStd, rng)
-	}
-	return imgproc.ToTensor(cropped, cfg.Mean, cfg.Std)
+	return PrepareImageScratch(jpegData, cfg, seed, nil)
 }
 
-// PrepareAudio runs the full audio pipeline on stored PCM16 bytes.
+// PrepareAudio runs the full audio pipeline on stored PCM16 bytes. Shim
+// over PrepareAudioScratch with a throwaway working set, so the caller
+// owns the result outright.
 func PrepareAudio(pcmData []byte, cfg AudioConfig, seed int64) (*dsp.Spectrogram, error) {
-	signal, err := dsp.PCM16Decode(pcmData)
-	if err != nil {
-		return nil, err
-	}
-	rng := rand.New(rand.NewSource(seed))
-	if cfg.Augment && cfg.NoiseStd > 0 {
-		dsp.AddNoise(signal, cfg.NoiseStd, rng)
-	}
-	mel, err := dsp.LogMelSpectrogram(signal, cfg.Mel)
-	if err != nil {
-		return nil, err
-	}
-	if cfg.Augment {
-		if cfg.TimeMaskWidth > 0 {
-			dsp.TimeMask(mel, cfg.TimeMaskWidth, 0, rng)
-		}
-		if cfg.FreqMaskWidth > 0 {
-			dsp.FreqMask(mel, cfg.FreqMaskWidth, 0, rng)
-		}
-	}
-	if cfg.Normalize {
-		dsp.Normalize(mel)
-	}
-	return mel, nil
+	return PrepareAudioScratch(pcmData, cfg, seed, nil)
 }
 
 // Prepared is one pipeline output: exactly one of Image, Audio, or
@@ -193,6 +154,13 @@ type Executor struct {
 	datasetSeed int64
 	stats       pipeline.StatsSet
 
+	// The zero-allocation sample path: when prep implements
+	// ScratchPreparer, every worker draws a pooled Scratch whose output
+	// buffers come from out; consumers return finished samples through
+	// Recycle to close the loop.
+	out       *memframe.Set
+	scratches *pipeline.Pool[*Scratch]
+
 	reg        *metrics.Registry
 	mSamples   *metrics.Counter   // dataprep.executor.samples_prepared
 	mPerSample *metrics.Histogram // dataprep.executor.ns_per_sample
@@ -205,8 +173,57 @@ func NewExecutor(prep Preparer, workers int, datasetSeed int64) *Executor {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Executor{prep: prep, workers: workers, datasetSeed: datasetSeed}
+	e := &Executor{prep: prep, workers: workers, datasetSeed: datasetSeed}
+	e.out = memframe.NewSet()
+	e.scratches = pipeline.NewPool(func() *Scratch { return NewScratchWithOutput(e.out) })
+	return e
 }
+
+// prepareSample runs one sample through the preparer, threading a
+// pooled Scratch when the preparer supports it.
+func (e *Executor) prepareSample(obj storage.Object, seed int64) Prepared {
+	if sp, ok := e.prep.(ScratchPreparer); ok {
+		s := e.scratches.Get()
+		p := sp.PrepareScratch(obj, seed, s)
+		e.scratches.Put(s)
+		return p
+	}
+	return e.prep.Prepare(obj, seed)
+}
+
+// Recycle returns finished samples' output buffers (tensor and
+// spectrogram data) to the executor's output pools for reuse by later
+// prepares. Callers must drop every reference to the recycled samples
+// first: touching a recycled buffer races with the next prepare.
+// Recycling samples that did not come from this executor is safe but
+// pointless.
+func (e *Executor) Recycle(ps ...Prepared) {
+	for i := range ps {
+		p := &ps[i]
+		if p.Image != nil && p.Image.Data != nil {
+			e.out.F32.Put(p.Image.Data)
+			p.Image = nil
+		}
+		if p.Audio != nil && p.Audio.Data != nil {
+			e.out.F64.Put(p.Audio.Data)
+			p.Audio = nil
+		}
+		for _, t := range p.Video {
+			if t != nil && t.Data != nil {
+				e.out.F32.Put(t.Data)
+			}
+		}
+		p.Video = nil
+	}
+}
+
+// ScratchStats reports the per-worker Scratch pool's reuse counters; in
+// steady state News ≪ Gets.
+func (e *Executor) ScratchStats() pipeline.PoolStats { return e.scratches.Stats() }
+
+// OutputStats reports the output buffer pools' aggregate reuse
+// counters; News ≈ Gets means nobody is calling Recycle.
+func (e *Executor) OutputStats() memframe.Stats { return e.out.Stats() }
 
 // WithMetrics attaches a registry: every subsequent batch reports
 // samples prepared, per-sample latency quantiles, and delivered-sample
@@ -246,7 +263,7 @@ func (e *Executor) PrepareOne(ctx context.Context, store *storage.Store, key str
 	if err != nil {
 		return Prepared{}, fmt.Errorf("dataprep: sample %q: %w", key, err)
 	}
-	p := e.prep.Prepare(obj, SampleSeed(datasetSeed, key, epoch))
+	p := e.prepareSample(obj, SampleSeed(datasetSeed, key, epoch))
 	if p.Err != nil {
 		return Prepared{}, fmt.Errorf("dataprep: sample %q: %w", p.Key, p.Err)
 	}
@@ -269,7 +286,7 @@ func (e *Executor) PrepareBatchContext(ctx context.Context, store *storage.Store
 		})
 	prep := pipeline.NewStage("prepare", e.workers, e.workers,
 		func(_ context.Context, obj storage.Object) (Prepared, error) {
-			p := e.prep.Prepare(obj, SampleSeed(e.datasetSeed, obj.Key, epoch))
+			p := e.prepareSample(obj, SampleSeed(e.datasetSeed, obj.Key, epoch))
 			if p.Err != nil {
 				return Prepared{}, fmt.Errorf("dataprep: sample %q: %w", p.Key, p.Err)
 			}

@@ -1,0 +1,251 @@
+package dataprep
+
+import (
+	"fmt"
+	"math/rand"
+
+	"trainbox/internal/dsp"
+	"trainbox/internal/imgproc"
+	"trainbox/internal/memframe"
+	"trainbox/internal/storage"
+)
+
+// Scratch is one worker's reusable working set for the per-sample
+// decode→augment→cast path: decode/crop images, the PCM signal buffer,
+// a cached dsp.MelPlan, and the MJPEG clip scratch. The Prepare*Scratch
+// variants thread it through every kernel so steady-state preparation
+// recycles one bounded working set instead of allocating per sample
+// (DESIGN.md §12).
+//
+// A Scratch is NOT safe for concurrent use — hold one per goroutine
+// (dataprep.Executor keeps a pipeline.Pool of them). The intermediate
+// buffers live for exactly one Prepare call; only the returned
+// tensor/spectrogram escapes, and when the Scratch carries an output
+// Set those outputs draw from it (give them back via Executor.Recycle).
+type Scratch struct {
+	imgA imgproc.Image // decode destination, then mirror destination
+	imgB imgproc.Image // crop destination
+	sig  []float64     // PCM decode buffer
+
+	melCfg dsp.MelConfig // config mel was built for
+	mel    *dsp.MelPlan  // lazily (re)built when the config changes
+
+	clip   imgproc.Video    // MJPEG decode scratch
+	frames []*imgproc.Image // temporal-sample scratch
+
+	// out supplies output tensor/spectrogram buffers; nil means outputs
+	// are freshly allocated (and never recycled) — the safe default for
+	// callers that hold results indefinitely, e.g. oracle tests.
+	out *memframe.Set
+}
+
+// NewScratch returns a Scratch whose outputs are freshly allocated.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// NewScratchWithOutput returns a Scratch drawing output buffers from
+// out. Callers own the returned samples' buffers until they Put them
+// back (Executor.Recycle does this).
+func NewScratchWithOutput(out *memframe.Set) *Scratch { return &Scratch{out: out} }
+
+// getF32 draws an output float32 buffer from the output set, or
+// allocates when the scratch has none.
+func (s *Scratch) getF32(n int) []float32 {
+	if s == nil || s.out == nil {
+		return make([]float32, n)
+	}
+	return s.out.F32.Get(n)
+}
+
+// getF64 draws an output float64 buffer from the output set.
+func (s *Scratch) getF64(n int) []float64 {
+	if s == nil || s.out == nil {
+		return make([]float64, n)
+	}
+	return s.out.F64.Get(n)
+}
+
+// melPlan returns the cached MelPlan for cfg, rebuilding it when the
+// config changed since the last call.
+func (s *Scratch) melPlan(cfg dsp.MelConfig) (*dsp.MelPlan, error) {
+	if s.mel == nil || s.melCfg != cfg {
+		p, err := dsp.NewMelPlan(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.mel, s.melCfg = p, cfg
+	}
+	return s.mel, nil
+}
+
+// PrepareImageScratch is PrepareImage with an explicit working set: the
+// decode, crop, mirror, and noise stages run in s's buffers, and the
+// returned tensor's Data comes from s's output set (caller-owned until
+// recycled). A nil s behaves like PrepareImage. The output is
+// bit-identical to PrepareImage for equal inputs and seeds.
+func PrepareImageScratch(jpegData []byte, cfg ImageConfig, seed int64, s *Scratch) (*imgproc.Tensor, error) {
+	if s == nil {
+		s = NewScratch()
+	}
+	if err := imgproc.DecodeJPEGInto(&s.imgA, jpegData); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var err error
+	if cfg.Augment {
+		err = imgproc.RandomCropInto(&s.imgB, &s.imgA, cfg.CropW, cfg.CropH, rng)
+	} else {
+		err = imgproc.CenterCropInto(&s.imgB, &s.imgA, cfg.CropW, cfg.CropH)
+	}
+	if err != nil {
+		return nil, err
+	}
+	cur := &s.imgB
+	if cfg.Augment && rng.Float64() < cfg.MirrorProb {
+		imgproc.MirrorInto(&s.imgA, cur) // decode buffer is free now
+		cur = &s.imgA
+	}
+	if cfg.Augment && cfg.NoiseStd > 0 {
+		imgproc.GaussianNoiseInto(cur, cur, cfg.NoiseStd, rng)
+	}
+	t := &imgproc.Tensor{Data: s.getF32(3 * cur.H * cur.W)}
+	if err := imgproc.ToTensorInto(t, cur, cfg.Mean, cfg.Std); err != nil {
+		if s.out != nil {
+			s.out.F32.Put(t.Data)
+		}
+		return nil, err
+	}
+	return t, nil
+}
+
+// PrepareAudioScratch is PrepareAudio with an explicit working set: PCM
+// decode and the log-Mel front-end run in s's buffers (the MelPlan is
+// cached across calls), and the returned spectrogram's Data comes from
+// s's output set. A nil s behaves like PrepareAudio. The output is
+// bit-identical to PrepareAudio for equal inputs and seeds.
+func PrepareAudioScratch(pcmData []byte, cfg AudioConfig, seed int64, s *Scratch) (*dsp.Spectrogram, error) {
+	if s == nil {
+		s = NewScratch()
+	}
+	var err error
+	s.sig, err = dsp.PCM16DecodeInto(s.sig, pcmData)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	if cfg.Augment && cfg.NoiseStd > 0 {
+		dsp.AddNoise(s.sig, cfg.NoiseStd, rng)
+	}
+	plan, err := s.melPlan(cfg.Mel)
+	if err != nil {
+		return nil, err
+	}
+	frames := cfg.Mel.STFT.NumFrames(len(s.sig))
+	mel := &dsp.Spectrogram{Data: s.getF64(frames * cfg.Mel.NumMels)}
+	if err := plan.LogMelInto(mel, s.sig); err != nil {
+		if s.out != nil {
+			s.out.F64.Put(mel.Data)
+		}
+		return nil, err
+	}
+	if cfg.Augment {
+		if cfg.TimeMaskWidth > 0 {
+			dsp.TimeMask(mel, cfg.TimeMaskWidth, 0, rng)
+		}
+		if cfg.FreqMaskWidth > 0 {
+			dsp.FreqMask(mel, cfg.FreqMaskWidth, 0, rng)
+		}
+	}
+	if cfg.Normalize {
+		dsp.Normalize(mel)
+	}
+	return mel, nil
+}
+
+// PrepareVideoScratch is PrepareVideo with an explicit working set: the
+// MJPEG clip decodes into reused frame buffers, the per-frame
+// crop/mirror stages run in s's images, and each returned tensor's Data
+// comes from s's output set. A nil s behaves like PrepareVideo. The
+// output is bit-identical to PrepareVideo for equal inputs and seeds.
+func PrepareVideoScratch(mjpeg []byte, cfg VideoConfig, seed int64, s *Scratch) ([]*imgproc.Tensor, error) {
+	if s == nil {
+		s = NewScratch()
+	}
+	if cfg.FramesPerClip <= 0 {
+		return nil, fmt.Errorf("dataprep: frames per clip %d", cfg.FramesPerClip)
+	}
+	if err := imgproc.DecodeMJPEGInto(&s.clip, mjpeg); err != nil {
+		return nil, err
+	}
+	n := len(s.clip.Frames)
+	if cfg.FramesPerClip > n {
+		return nil, fmt.Errorf("imgproc: cannot sample %d of %d frames", cfg.FramesPerClip, n)
+	}
+	s.frames = s.frames[:0]
+	for i := 0; i < cfg.FramesPerClip; i++ {
+		s.frames = append(s.frames, s.clip.Frames[i*n/cfg.FramesPerClip])
+	}
+	rng := rand.New(rand.NewSource(seed))
+	w, h := s.clip.FrameSize()
+	// One crop window and one mirror decision for the whole clip,
+	// drawing from rng in the same order as PrepareVideo.
+	var x0, y0 int
+	if cfg.Augment {
+		if cfg.CropW > w || cfg.CropH > h {
+			return nil, fmt.Errorf("dataprep: crop %dx%d larger than frames %dx%d", cfg.CropW, cfg.CropH, w, h)
+		}
+		x0 = rng.Intn(w - cfg.CropW + 1)
+		y0 = rng.Intn(h - cfg.CropH + 1)
+	} else {
+		x0 = (w - cfg.CropW) / 2
+		y0 = (h - cfg.CropH) / 2
+	}
+	mirror := cfg.Augment && rng.Float64() < cfg.MirrorProb
+
+	out := make([]*imgproc.Tensor, len(s.frames))
+	for i, frame := range s.frames {
+		if err := imgproc.CropInto(&s.imgB, frame, x0, y0, cfg.CropW, cfg.CropH); err != nil {
+			return nil, err
+		}
+		cur := &s.imgB
+		if mirror {
+			imgproc.MirrorInto(&s.imgA, cur)
+			cur = &s.imgA
+		}
+		t := &imgproc.Tensor{Data: s.getF32(3 * cur.H * cur.W)}
+		if err := imgproc.ToTensorInto(t, cur, cfg.Mean, cfg.Std); err != nil {
+			if s.out != nil {
+				s.out.F32.Put(t.Data)
+			}
+			return nil, err
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+// ScratchPreparer is a Preparer that can run against a caller-provided
+// working set. The CPU preparers implement it; dataprep.Executor uses
+// it (with a pooled Scratch per worker) whenever its Preparer supports
+// it.
+type ScratchPreparer interface {
+	Preparer
+	PrepareScratch(obj storage.Object, seed int64, s *Scratch) Prepared
+}
+
+// PrepareScratch implements ScratchPreparer.
+func (p ImagePreparer) PrepareScratch(obj storage.Object, seed int64, s *Scratch) Prepared {
+	t, err := PrepareImageScratch(obj.Data, p.Config, seed, s)
+	return Prepared{Key: obj.Key, Label: obj.Label, Image: t, Err: err}
+}
+
+// PrepareScratch implements ScratchPreparer.
+func (p AudioPreparer) PrepareScratch(obj storage.Object, seed int64, s *Scratch) Prepared {
+	sp, err := PrepareAudioScratch(obj.Data, p.Config, seed, s)
+	return Prepared{Key: obj.Key, Label: obj.Label, Audio: sp, Err: err}
+}
+
+// PrepareScratch implements ScratchPreparer.
+func (p VideoPreparer) PrepareScratch(obj storage.Object, seed int64, s *Scratch) Prepared {
+	t, err := PrepareVideoScratch(obj.Data, p.Config, seed, s)
+	return Prepared{Key: obj.Key, Label: obj.Label, Video: t, Err: err}
+}

@@ -2,7 +2,6 @@ package dataprep
 
 import (
 	"fmt"
-	"math/rand"
 
 	"trainbox/internal/imgproc"
 	"trainbox/internal/storage"
@@ -36,51 +35,11 @@ func DefaultVideoConfig() VideoConfig {
 }
 
 // PrepareVideo runs the clip pipeline on stored MJPEG bytes, returning
-// one tensor per sampled frame (T × [C,H,W]).
+// one tensor per sampled frame (T × [C,H,W]). Shim over
+// PrepareVideoScratch with a throwaway working set, so the caller owns
+// the result outright.
 func PrepareVideo(mjpeg []byte, cfg VideoConfig, seed int64) ([]*imgproc.Tensor, error) {
-	if cfg.FramesPerClip <= 0 {
-		return nil, fmt.Errorf("dataprep: frames per clip %d", cfg.FramesPerClip)
-	}
-	clip, err := imgproc.DecodeMJPEG(mjpeg)
-	if err != nil {
-		return nil, err
-	}
-	frames, err := clip.SampleFrames(cfg.FramesPerClip)
-	if err != nil {
-		return nil, err
-	}
-	rng := rand.New(rand.NewSource(seed))
-	w, h := clip.FrameSize()
-	// One crop window and one mirror decision for the whole clip.
-	var x0, y0 int
-	if cfg.Augment {
-		if cfg.CropW > w || cfg.CropH > h {
-			return nil, fmt.Errorf("dataprep: crop %dx%d larger than frames %dx%d", cfg.CropW, cfg.CropH, w, h)
-		}
-		x0 = rng.Intn(w - cfg.CropW + 1)
-		y0 = rng.Intn(h - cfg.CropH + 1)
-	} else {
-		x0 = (w - cfg.CropW) / 2
-		y0 = (h - cfg.CropH) / 2
-	}
-	mirror := cfg.Augment && rng.Float64() < cfg.MirrorProb
-
-	out := make([]*imgproc.Tensor, len(frames))
-	for i, frame := range frames {
-		cropped, err := imgproc.Crop(frame, x0, y0, cfg.CropW, cfg.CropH)
-		if err != nil {
-			return nil, err
-		}
-		if mirror {
-			cropped = imgproc.Mirror(cropped)
-		}
-		ten, err := imgproc.ToTensor(cropped, cfg.Mean, cfg.Std)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = ten
-	}
-	return out, nil
+	return PrepareVideoScratch(mjpeg, cfg, seed, nil)
 }
 
 // VideoPreparer is the CPU video Preparer.

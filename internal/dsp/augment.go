@@ -163,13 +163,25 @@ func PCM16Encode(signal []float64) []byte {
 
 // PCM16Decode reverses PCM16Encode. Odd-length input returns an error.
 func PCM16Decode(b []byte) ([]float64, error) {
+	return PCM16DecodeInto(nil, b)
+}
+
+// PCM16DecodeInto decodes into dst's capacity (growing it when needed)
+// and returns the resized slice — the reuse seam for the scratch-based
+// prepare path. Odd-length input returns an error.
+func PCM16DecodeInto(dst []float64, b []byte) ([]float64, error) {
 	if len(b)%2 != 0 {
 		return nil, fmt.Errorf("dsp: PCM16 payload has odd length %d", len(b))
 	}
-	out := make([]float64, len(b)/2)
-	for i := range out {
-		s := int16(uint16(b[2*i]) | uint16(b[2*i+1])<<8)
-		out[i] = float64(s) / 32767
+	n := len(b) / 2
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	} else {
+		dst = dst[:n]
 	}
-	return out, nil
+	for i := range dst {
+		s := int16(uint16(b[2*i]) | uint16(b[2*i+1])<<8)
+		dst[i] = float64(s) / 32767
+	}
+	return dst, nil
 }

@@ -1,0 +1,340 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+)
+
+// This file adds Plan-style contexts to the audio front-end: precomputed
+// twiddle factors, window tables, Mel filterbanks, and DCT cosine tables
+// that are built once and reused across calls, plus *Into variants that
+// write into caller-provided destinations. Plans are the dsp layer of
+// the zero-allocation sample path (DESIGN.md §12): a steady-state
+// prepare loop holds one plan per worker and recycles its scratch
+// instead of reallocating tables per sample.
+//
+// Every plan computes its tables with exactly the arithmetic the
+// non-plan functions use (same recurrences, same expression order), so
+// plan outputs are bit-identical to the one-shot entry points — a
+// property the tests assert.
+
+// FFTPlan caches the per-stage twiddle factors for one transform
+// length. The tables are immutable after construction, so a single plan
+// is safe for concurrent use.
+type FFTPlan struct {
+	n   int
+	fwd [][]complex128 // per butterfly stage: size = 2<<s, len = size/2
+	inv [][]complex128
+}
+
+// NewFFTPlan builds a plan for length-n transforms. n must be a power
+// of two (ErrNotPow2 otherwise); n == 0 yields a no-op plan.
+func NewFFTPlan(n int) (*FFTPlan, error) {
+	if n&(n-1) != 0 {
+		return nil, ErrNotPow2
+	}
+	p := &FFTPlan{n: n}
+	for size := 2; size <= n; size <<= 1 {
+		p.fwd = append(p.fwd, twiddles(size, false))
+		p.inv = append(p.inv, twiddles(size, true))
+	}
+	return p, nil
+}
+
+// twiddles reproduces the exact recurrence the inline fft uses
+// (w starts at 1 and is multiplied by wStep), so cached butterflies are
+// bit-identical to uncached ones.
+func twiddles(size int, inverse bool) []complex128 {
+	ang := 2 * math.Pi / float64(size)
+	if !inverse {
+		ang = -ang
+	}
+	wStep := complex(math.Cos(ang), math.Sin(ang))
+	w := complex(1, 0)
+	tw := make([]complex128, size/2)
+	for k := range tw {
+		tw[k] = w
+		w *= wStep
+	}
+	return tw
+}
+
+// N returns the transform length the plan serves.
+func (p *FFTPlan) N() int { return p.n }
+
+// Transform computes the in-place forward DFT of x using the cached
+// twiddles. len(x) must equal the plan length.
+func (p *FFTPlan) Transform(x []complex128) error { return p.run(x, p.fwd) }
+
+// Inverse computes the in-place inverse DFT of x (including the 1/n
+// scale) using the cached twiddles.
+func (p *FFTPlan) Inverse(x []complex128) error {
+	if err := p.run(x, p.inv); err != nil {
+		return err
+	}
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] /= n
+	}
+	return nil
+}
+
+func (p *FFTPlan) run(x []complex128, tables [][]complex128) error {
+	n := len(x)
+	if n != p.n {
+		return fmt.Errorf("dsp: plan length %d, input length %d", p.n, n)
+	}
+	if n == 0 {
+		return nil
+	}
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for s, tw := range tables {
+		size := 2 << uint(s)
+		half := size / 2
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * tw[k]
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+			}
+		}
+	}
+	return nil
+}
+
+// --- global table caches ------------------------------------------------
+
+var (
+	planMu   sync.RWMutex
+	fftPlans = map[int]*FFTPlan{}
+	melFBs   = map[melFBKey]*MelFilterbank{}
+	dctTabs  = map[int][]float64{}
+)
+
+type melFBKey struct {
+	cfg  MelConfig
+	bins int
+}
+
+// fftPlanFor returns the shared plan for length n, building it on first
+// use. Plans are immutable, so sharing is safe.
+func fftPlanFor(n int) (*FFTPlan, error) {
+	planMu.RLock()
+	p, ok := fftPlans[n]
+	planMu.RUnlock()
+	if ok {
+		return p, nil
+	}
+	p, err := NewFFTPlan(n)
+	if err != nil {
+		return nil, err
+	}
+	planMu.Lock()
+	if prev, ok := fftPlans[n]; ok {
+		p = prev
+	} else {
+		fftPlans[n] = p
+	}
+	planMu.Unlock()
+	return p, nil
+}
+
+// melFilterbankFor returns the shared filterbank for (cfg, bins),
+// building it on first use. Filterbanks are read-only after
+// construction, so callers must not mutate the result.
+func melFilterbankFor(cfg MelConfig, bins int) (*MelFilterbank, error) {
+	key := melFBKey{cfg: cfg, bins: bins}
+	planMu.RLock()
+	fb, ok := melFBs[key]
+	planMu.RUnlock()
+	if ok {
+		return fb, nil
+	}
+	fb, err := NewMelFilterbank(cfg.NumMels, bins, cfg.STFT.SampleRate, cfg.FMin, cfg.FMax)
+	if err != nil {
+		return nil, err
+	}
+	planMu.Lock()
+	if prev, ok := melFBs[key]; ok {
+		fb = prev
+	} else {
+		melFBs[key] = fb
+	}
+	planMu.Unlock()
+	return fb, nil
+}
+
+// dctTableFor returns the shared DCT-II cosine table for length n:
+// tab[k*n+t] = cos(π/n·(t+0.5)·k), the exact expression DCT2 evaluates.
+func dctTableFor(n int) []float64 {
+	planMu.RLock()
+	tab, ok := dctTabs[n]
+	planMu.RUnlock()
+	if ok {
+		return tab
+	}
+	tab = make([]float64, n*n)
+	for k := 0; k < n; k++ {
+		for t := 0; t < n; t++ {
+			tab[k*n+t] = math.Cos(math.Pi / float64(n) * (float64(t) + 0.5) * float64(k))
+		}
+	}
+	planMu.Lock()
+	if prev, ok := dctTabs[n]; ok {
+		tab = prev
+	} else {
+		dctTabs[n] = tab
+	}
+	planMu.Unlock()
+	return tab
+}
+
+// --- MelPlan ------------------------------------------------------------
+
+// MelPlan is a reusable waveform→log-Mel context: it owns the Hann
+// window, the (shared) Mel filterbank and FFT plan, and the complex and
+// power-spectrum scratch the transform cycles through. A MelPlan is NOT
+// safe for concurrent use — hold one per worker.
+type MelPlan struct {
+	cfg    MelConfig
+	eps    float64
+	window []float64
+	fft    *FFTPlan
+	fb     *MelFilterbank
+	fftLen int
+	bins   int
+	buf    []complex128
+	power  Spectrogram
+}
+
+// NewMelPlan validates cfg and precomputes every table the front-end
+// needs.
+func NewMelPlan(cfg MelConfig) (*MelPlan, error) {
+	if err := cfg.STFT.Validate(); err != nil {
+		return nil, err
+	}
+	fftLen := NextPow2(cfg.STFT.WindowSize)
+	bins := fftLen/2 + 1
+	fft, err := fftPlanFor(fftLen)
+	if err != nil {
+		return nil, err
+	}
+	fb, err := melFilterbankFor(cfg, bins)
+	if err != nil {
+		return nil, err
+	}
+	eps := cfg.LogEps
+	if eps <= 0 {
+		eps = 1e-10
+	}
+	return &MelPlan{
+		cfg:    cfg,
+		eps:    eps,
+		window: HannWindow(cfg.STFT.WindowSize),
+		fft:    fft,
+		fb:     fb,
+		fftLen: fftLen,
+		bins:   bins,
+		buf:    make([]complex128, fftLen),
+	}, nil
+}
+
+// Config returns the configuration the plan was built for.
+func (p *MelPlan) Config() MelConfig { return p.cfg }
+
+// LogMelInto runs the full front-end (Hann STFT → power spectrum → Mel
+// filterbank → log compression) into dst, reusing dst's Data capacity.
+// The result is bit-identical to LogMelSpectrogram(signal, cfg).
+func (p *MelPlan) LogMelInto(dst *Spectrogram, signal []float64) error {
+	cfg := p.cfg.STFT
+	frames := cfg.NumFrames(len(signal))
+	p.power.Reset(frames, p.bins)
+	for t := 0; t < frames; t++ {
+		start := t * cfg.HopSize
+		for i := 0; i < cfg.WindowSize; i++ {
+			p.buf[i] = complex(signal[start+i]*p.window[i], 0)
+		}
+		for i := cfg.WindowSize; i < p.fftLen; i++ {
+			p.buf[i] = 0
+		}
+		if err := p.fft.Transform(p.buf); err != nil {
+			return err
+		}
+		for f := 0; f < p.bins; f++ {
+			re, im := real(p.buf[f]), imag(p.buf[f])
+			p.power.Set(t, f, re*re+im*im)
+		}
+	}
+	if err := p.fb.ApplyInto(dst, &p.power); err != nil {
+		return err
+	}
+	LogCompress(dst, p.eps)
+	return nil
+}
+
+// --- MFCCPlan -----------------------------------------------------------
+
+// MFCCPlan is a reusable MFCC context wrapping a MelPlan plus the
+// (shared) DCT-II cosine table and the pre-emphasis/log-Mel scratch.
+// Not safe for concurrent use — hold one per worker.
+type MFCCPlan struct {
+	cfg    MFCCConfig
+	mel    *MelPlan
+	cos    []float64 // dctTableFor(NumMels)
+	work   []float64
+	melOut Spectrogram
+}
+
+// NewMFCCPlan validates cfg and precomputes the full table set.
+func NewMFCCPlan(cfg MFCCConfig) (*MFCCPlan, error) {
+	if cfg.NumCoeffs <= 0 || cfg.NumCoeffs > cfg.Mel.NumMels {
+		return nil, fmt.Errorf("dsp: MFCC coefficients %d outside [1,%d]", cfg.NumCoeffs, cfg.Mel.NumMels)
+	}
+	mel, err := NewMelPlan(cfg.Mel)
+	if err != nil {
+		return nil, err
+	}
+	return &MFCCPlan{cfg: cfg, mel: mel, cos: dctTableFor(cfg.Mel.NumMels)}, nil
+}
+
+// MFCCInto computes MFCC features into dst, reusing dst's Data
+// capacity. The result is bit-identical to MFCC(signal, cfg).
+func (p *MFCCPlan) MFCCInto(dst *Spectrogram, signal []float64) error {
+	p.work = append(p.work[:0], signal...)
+	if p.cfg.PreEmphasisAlpha > 0 {
+		PreEmphasis(p.work, p.cfg.PreEmphasisAlpha)
+	}
+	if err := p.mel.LogMelInto(&p.melOut, p.work); err != nil {
+		return err
+	}
+	n := p.melOut.Bins
+	nc := p.cfg.NumCoeffs
+	dst.Reset(p.melOut.Frames, nc)
+	scale0 := math.Sqrt(1 / float64(n))
+	scale := math.Sqrt(2 / float64(n))
+	for t := 0; t < p.melOut.Frames; t++ {
+		row := p.melOut.Data[t*n : (t+1)*n]
+		for k := 0; k < nc; k++ {
+			var sum float64
+			cosRow := p.cos[k*n : (k+1)*n]
+			for ti, x := range row {
+				sum += x * cosRow[ti]
+			}
+			if k == 0 {
+				dst.Data[t*nc+k] = sum * scale0
+			} else {
+				dst.Data[t*nc+k] = sum * scale
+			}
+		}
+	}
+	return nil
+}

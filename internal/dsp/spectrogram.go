@@ -66,6 +66,19 @@ func NewSpectrogram(frames, bins int) *Spectrogram {
 	return &Spectrogram{Frames: frames, Bins: bins, Data: make([]float64, frames*bins)}
 }
 
+// Reset reshapes s to frames×bins, reusing Data's capacity when it
+// fits. Like NewSpectrogram, the cells are zeroed.
+func (s *Spectrogram) Reset(frames, bins int) {
+	s.Frames, s.Bins = frames, bins
+	n := frames * bins
+	if cap(s.Data) < n {
+		s.Data = make([]float64, n)
+		return
+	}
+	s.Data = s.Data[:n]
+	clear(s.Data)
+}
+
 // PowerSTFT computes the power spectrogram |STFT|² of signal with Hann
 // windowing. It returns an empty (0-frame) spectrogram for signals
 // shorter than one window.
@@ -163,10 +176,21 @@ func NewMelFilterbank(numMels, numBins, sampleRate int, fMin, fMax float64) (*Me
 // Apply maps a power spectrogram through the filterbank, producing a
 // frames×numMels Mel spectrogram.
 func (fb *MelFilterbank) Apply(s *Spectrogram) (*Spectrogram, error) {
-	if s.Bins != fb.NumBins {
-		return nil, fmt.Errorf("dsp: spectrogram has %d bins, filterbank expects %d", s.Bins, fb.NumBins)
+	out := new(Spectrogram)
+	if err := fb.ApplyInto(out, s); err != nil {
+		return nil, err
 	}
-	out := NewSpectrogram(s.Frames, fb.NumMels)
+	return out, nil
+}
+
+// ApplyInto maps a power spectrogram through the filterbank into dst,
+// reusing dst's Data capacity. dst must not alias s.
+func (fb *MelFilterbank) ApplyInto(dst *Spectrogram, s *Spectrogram) error {
+	if s.Bins != fb.NumBins {
+		return fmt.Errorf("dsp: spectrogram has %d bins, filterbank expects %d", s.Bins, fb.NumBins)
+	}
+	out := dst
+	out.Reset(s.Frames, fb.NumMels)
 	for t := 0; t < s.Frames; t++ {
 		row := s.Data[t*s.Bins : (t+1)*s.Bins]
 		for m := 0; m < fb.NumMels; m++ {
@@ -180,7 +204,7 @@ func (fb *MelFilterbank) Apply(s *Spectrogram) (*Spectrogram, error) {
 			out.Set(t, m, acc)
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // LogCompress applies log(x + eps) in place, the final step of a log-Mel
@@ -208,13 +232,16 @@ func DefaultMelConfig() MelConfig {
 }
 
 // LogMelSpectrogram runs the full front-end: Hann STFT → power spectrum →
-// Mel filterbank → log compression.
+// Mel filterbank → log compression. The filterbank is built once per
+// distinct config (melFilterbankFor) rather than per call; hot paths
+// that also want to reuse FFT and spectrogram scratch should hold a
+// MelPlan and call LogMelInto.
 func LogMelSpectrogram(signal []float64, cfg MelConfig) (*Spectrogram, error) {
 	power, err := PowerSTFT(signal, cfg.STFT)
 	if err != nil {
 		return nil, err
 	}
-	fb, err := NewMelFilterbank(cfg.NumMels, power.Bins, cfg.STFT.SampleRate, cfg.FMin, cfg.FMax)
+	fb, err := melFilterbankFor(cfg, power.Bins)
 	if err != nil {
 		return nil, err
 	}

@@ -15,8 +15,10 @@ package fpga
 
 import (
 	"fmt"
+	"sync"
 
 	"trainbox/internal/dataprep"
+	"trainbox/internal/pipeline"
 	"trainbox/internal/storage"
 	"trainbox/internal/units"
 	"trainbox/internal/workload"
@@ -171,6 +173,15 @@ func PrepRate(t workload.InputType) units.SamplesPerSec {
 type Emulator struct {
 	Image *dataprep.ImageConfig
 	Audio *dataprep.AudioConfig
+
+	// scratches models the engine's on-device working set: each Prepare
+	// draws a pooled dataprep.Scratch so repeated offloads recycle their
+	// decode/augment buffers. Outputs are always freshly allocated
+	// (plain NewScratch, no shared output pool) so callers — including
+	// the bit-identity oracles — may hold results indefinitely. Built
+	// lazily so the zero-value Emulator keeps working.
+	scratchOnce sync.Once
+	scratches   *pipeline.Pool[*dataprep.Scratch]
 }
 
 // NewImageEmulator returns an emulator programmed with the image engine
@@ -189,11 +200,16 @@ func NewAudioEmulator(cfg dataprep.AudioConfig) *Emulator {
 // the programmed engine fail, mirroring a real FPGA whose bitstream only
 // implements one pipeline (partial reconfiguration swaps it).
 func (e *Emulator) Prepare(obj storage.Object, seed int64) dataprep.Prepared {
+	e.scratchOnce.Do(func() {
+		e.scratches = pipeline.NewPool(dataprep.NewScratch)
+	})
+	s := e.scratches.Get()
+	defer e.scratches.Put(s)
 	switch {
 	case e.Image != nil:
-		return dataprep.ImagePreparer{Config: *e.Image}.Prepare(obj, seed)
+		return dataprep.ImagePreparer{Config: *e.Image}.PrepareScratch(obj, seed, s)
 	case e.Audio != nil:
-		return dataprep.AudioPreparer{Config: *e.Audio}.Prepare(obj, seed)
+		return dataprep.AudioPreparer{Config: *e.Audio}.PrepareScratch(obj, seed, s)
 	}
 	return dataprep.Prepared{Key: obj.Key, Err: fmt.Errorf("fpga: emulator not programmed")}
 }

@@ -13,48 +13,12 @@ import (
 // even more expensive — these kernels are what the prep accelerators
 // would host next.
 
-// Resize scales the image to w×h with bilinear interpolation.
+// Resize scales the image to w×h with bilinear interpolation. Shim over
+// ResizeInto with a fresh destination.
 func Resize(im *Image, w, h int) (*Image, error) {
-	if w <= 0 || h <= 0 {
-		return nil, fmt.Errorf("imgproc: resize to invalid %dx%d", w, h)
-	}
-	out := NewImage(w, h)
-	xRatio := float64(im.W) / float64(w)
-	yRatio := float64(im.H) / float64(h)
-	for y := 0; y < h; y++ {
-		srcY := (float64(y) + 0.5) * yRatio
-		y0 := int(srcY - 0.5)
-		fy := srcY - 0.5 - float64(y0)
-		y1 := y0 + 1
-		if y0 < 0 {
-			y0, fy = 0, 0
-		}
-		if y1 >= im.H {
-			y1 = im.H - 1
-		}
-		for x := 0; x < w; x++ {
-			srcX := (float64(x) + 0.5) * xRatio
-			x0 := int(srcX - 0.5)
-			fx := srcX - 0.5 - float64(x0)
-			x1 := x0 + 1
-			if x0 < 0 {
-				x0, fx = 0, 0
-			}
-			if x1 >= im.W {
-				x1 = im.W - 1
-			}
-			var rgb [3]float64
-			for c := 0; c < 3; c++ {
-				tl := float64(im.Pix[(y0*im.W+x0)*3+c])
-				tr := float64(im.Pix[(y0*im.W+x1)*3+c])
-				bl := float64(im.Pix[(y1*im.W+x0)*3+c])
-				br := float64(im.Pix[(y1*im.W+x1)*3+c])
-				top := tl + (tr-tl)*fx
-				bot := bl + (br-bl)*fx
-				rgb[c] = top + (bot-top)*fy
-			}
-			out.Set(x, y, clampU8(rgb[0]), clampU8(rgb[1]), clampU8(rgb[2]))
-		}
+	out := &Image{}
+	if err := ResizeInto(out, im, w, h); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

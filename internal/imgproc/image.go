@@ -201,19 +201,11 @@ func EncodeJPEG(im *Image, quality int) ([]byte, error) {
 
 // DecodeJPEG decompresses JPEG bytes into an RGB image — the "Decoder"
 // engine of Table II (and the dominant CPU cost of image preparation,
-// Section V-B).
+// Section V-B). Shim over DecodeJPEGInto with a fresh destination.
 func DecodeJPEG(data []byte) (*Image, error) {
-	src, err := jpeg.Decode(bytes.NewReader(data))
-	if err != nil {
-		return nil, fmt.Errorf("imgproc: jpeg decode: %w", err)
-	}
-	bounds := src.Bounds()
-	out := NewImage(bounds.Dx(), bounds.Dy())
-	for y := bounds.Min.Y; y < bounds.Max.Y; y++ {
-		for x := bounds.Min.X; x < bounds.Max.X; x++ {
-			r, g, b, _ := src.At(x, y).RGBA()
-			out.Set(x-bounds.Min.X, y-bounds.Min.Y, uint8(r>>8), uint8(g>>8), uint8(b>>8))
-		}
+	out := &Image{}
+	if err := DecodeJPEGInto(out, data); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

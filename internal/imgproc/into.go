@@ -1,0 +1,221 @@
+package imgproc
+
+import (
+	"bytes"
+	"fmt"
+	"image"
+	"image/jpeg"
+	"math/rand"
+)
+
+// This file holds the *Into variants of the image kernels: each writes
+// into a caller-provided destination, reusing its buffer capacity, so a
+// steady-state prepare loop recycles one bounded working set instead of
+// allocating per sample (DESIGN.md §12). Every *Into is bit-identical
+// to its allocating counterpart; the originals are thin shims over
+// these. Unless noted otherwise the destination must not alias the
+// source.
+
+// Reset reshapes the image to w×h, reusing Pix's capacity when it
+// fits. Like NewImage it panics on a non-positive size; unlike NewImage
+// the pixels are STALE — callers must overwrite every one they read.
+func (im *Image) Reset(w, h int) {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("imgproc: invalid image size %dx%d", w, h))
+	}
+	im.W, im.H = w, h
+	n := w * h * 3
+	if cap(im.Pix) < n {
+		im.Pix = make([]uint8, n)
+		return
+	}
+	im.Pix = im.Pix[:n]
+}
+
+// Reset reshapes the tensor to c×h×w, reusing Data's capacity when it
+// fits. The cells are STALE — callers must overwrite every one they
+// read.
+func (t *Tensor) Reset(c, h, w int) {
+	t.C, t.H, t.W = c, h, w
+	n := c * h * w
+	if cap(t.Data) < n {
+		t.Data = make([]float32, n)
+		return
+	}
+	t.Data = t.Data[:n]
+}
+
+// DecodeJPEGInto decodes JPEG bytes into dst, reusing its pixel buffer.
+// The stdlib decoder's concrete image types get allocation-free pixel
+// access (the generic At(x,y).RGBA() path boxes a color.Color per
+// pixel — tens of thousands of allocations per decode); all paths
+// produce identical pixels.
+func DecodeJPEGInto(dst *Image, data []byte) error {
+	src, err := jpeg.Decode(bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("imgproc: jpeg decode: %w", err)
+	}
+	bounds := src.Bounds()
+	w, h := bounds.Dx(), bounds.Dy()
+	if w <= 0 || h <= 0 {
+		return fmt.Errorf("imgproc: jpeg decoded to invalid size %dx%d", w, h)
+	}
+	dst.Reset(w, h)
+	switch s := src.(type) {
+	case *image.YCbCr:
+		for y := bounds.Min.Y; y < bounds.Max.Y; y++ {
+			for x := bounds.Min.X; x < bounds.Max.X; x++ {
+				r, g, b, _ := s.YCbCrAt(x, y).RGBA()
+				dst.Set(x-bounds.Min.X, y-bounds.Min.Y, uint8(r>>8), uint8(g>>8), uint8(b>>8))
+			}
+		}
+	case *image.Gray:
+		for y := bounds.Min.Y; y < bounds.Max.Y; y++ {
+			for x := bounds.Min.X; x < bounds.Max.X; x++ {
+				r, g, b, _ := s.GrayAt(x, y).RGBA()
+				dst.Set(x-bounds.Min.X, y-bounds.Min.Y, uint8(r>>8), uint8(g>>8), uint8(b>>8))
+			}
+		}
+	default:
+		for y := bounds.Min.Y; y < bounds.Max.Y; y++ {
+			for x := bounds.Min.X; x < bounds.Max.X; x++ {
+				r, g, b, _ := src.At(x, y).RGBA()
+				dst.Set(x-bounds.Min.X, y-bounds.Min.Y, uint8(r>>8), uint8(g>>8), uint8(b>>8))
+			}
+		}
+	}
+	return nil
+}
+
+// CropInto extracts the w×h window at (x, y) into dst.
+func CropInto(dst *Image, im *Image, x, y, w, h int) error {
+	if w <= 0 || h <= 0 || x < 0 || y < 0 || x+w > im.W || y+h > im.H {
+		return fmt.Errorf("imgproc: crop %dx%d@(%d,%d) outside %dx%d", w, h, x, y, im.W, im.H)
+	}
+	dst.Reset(w, h)
+	for row := 0; row < h; row++ {
+		srcOff := ((y+row)*im.W + x) * 3
+		dstOff := row * w * 3
+		copy(dst.Pix[dstOff:dstOff+w*3], im.Pix[srcOff:srcOff+w*3])
+	}
+	return nil
+}
+
+// CenterCropInto extracts the centered w×h window into dst.
+func CenterCropInto(dst *Image, im *Image, w, h int) error {
+	return CropInto(dst, im, (im.W-w)/2, (im.H-h)/2, w, h)
+}
+
+// RandomCropInto extracts a uniformly random w×h window into dst,
+// drawing from rng in the same order as RandomCrop.
+func RandomCropInto(dst *Image, im *Image, w, h int, rng *rand.Rand) error {
+	if w > im.W || h > im.H {
+		return fmt.Errorf("imgproc: random crop %dx%d larger than %dx%d", w, h, im.W, im.H)
+	}
+	x := rng.Intn(im.W - w + 1)
+	y := rng.Intn(im.H - h + 1)
+	return CropInto(dst, im, x, y, w, h)
+}
+
+// MirrorInto writes the horizontally flipped image into dst.
+func MirrorInto(dst *Image, im *Image) {
+	dst.Reset(im.W, im.H)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			r, g, b := im.At(x, y)
+			dst.Set(im.W-1-x, y, r, g, b)
+		}
+	}
+}
+
+// GaussianNoiseInto writes im plus clamped Gaussian noise into dst.
+// dst == im is allowed (in-place noising).
+func GaussianNoiseInto(dst *Image, im *Image, stddev float64, rng *rand.Rand) {
+	if dst != im {
+		dst.Reset(im.W, im.H)
+		copy(dst.Pix, im.Pix)
+	}
+	if rng == nil || stddev <= 0 {
+		return
+	}
+	for i, v := range dst.Pix {
+		dst.Pix[i] = clampU8(float64(v) + rng.NormFloat64()*stddev)
+	}
+}
+
+// ResizeInto scales im to w×h with bilinear interpolation into dst.
+func ResizeInto(dst *Image, im *Image, w, h int) error {
+	if w <= 0 || h <= 0 {
+		return fmt.Errorf("imgproc: resize to invalid %dx%d", w, h)
+	}
+	dst.Reset(w, h)
+	xRatio := float64(im.W) / float64(w)
+	yRatio := float64(im.H) / float64(h)
+	for y := 0; y < h; y++ {
+		srcY := (float64(y) + 0.5) * yRatio
+		y0 := int(srcY - 0.5)
+		fy := srcY - 0.5 - float64(y0)
+		y1 := y0 + 1
+		if y0 < 0 {
+			y0, fy = 0, 0
+		}
+		if y1 >= im.H {
+			y1 = im.H - 1
+		}
+		for x := 0; x < w; x++ {
+			srcX := (float64(x) + 0.5) * xRatio
+			x0 := int(srcX - 0.5)
+			fx := srcX - 0.5 - float64(x0)
+			x1 := x0 + 1
+			if x0 < 0 {
+				x0, fx = 0, 0
+			}
+			if x1 >= im.W {
+				x1 = im.W - 1
+			}
+			var rgb [3]float64
+			for c := 0; c < 3; c++ {
+				tl := float64(im.Pix[(y0*im.W+x0)*3+c])
+				tr := float64(im.Pix[(y0*im.W+x1)*3+c])
+				bl := float64(im.Pix[(y1*im.W+x0)*3+c])
+				br := float64(im.Pix[(y1*im.W+x1)*3+c])
+				top := tl + (tr-tl)*fx
+				bot := bl + (br-bl)*fx
+				rgb[c] = top + (bot-top)*fy
+			}
+			dst.Set(x, y, clampU8(rgb[0]), clampU8(rgb[1]), clampU8(rgb[2]))
+		}
+	}
+	return nil
+}
+
+// ToTensorInto casts the image to a float32 CHW tensor in dst, reusing
+// dst's Data capacity, with the same normalization as ToTensor.
+func ToTensorInto(dst *Tensor, im *Image, mean, std []float64) error {
+	if mean == nil {
+		mean = []float64{0, 0, 0}
+	}
+	if std == nil {
+		std = []float64{1, 1, 1}
+	}
+	if len(mean) != 3 || len(std) != 3 {
+		return fmt.Errorf("imgproc: mean/std must have 3 channels, got %d/%d", len(mean), len(std))
+	}
+	for c, s := range std {
+		if s <= 0 {
+			return fmt.Errorf("imgproc: std[%d] = %v must be positive", c, s)
+		}
+	}
+	dst.Reset(3, im.H, im.W)
+	plane := im.H * im.W
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			i := (y*im.W + x) * 3
+			for c := 0; c < 3; c++ {
+				v := (float64(im.Pix[i+c])/255 - mean[c]) / std[c]
+				dst.Data[c*plane+y*im.W+x] = float32(v)
+			}
+		}
+	}
+	return nil
+}

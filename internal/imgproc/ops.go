@@ -1,21 +1,16 @@
 package imgproc
 
 import (
-	"fmt"
 	"math/rand"
 )
 
 // Crop extracts the w×h window whose top-left corner is (x, y) — the
-// "Crop" engine of Table II.
+// "Crop" engine of Table II. Shim over CropInto with a fresh
+// destination.
 func Crop(im *Image, x, y, w, h int) (*Image, error) {
-	if w <= 0 || h <= 0 || x < 0 || y < 0 || x+w > im.W || y+h > im.H {
-		return nil, fmt.Errorf("imgproc: crop %dx%d@(%d,%d) outside %dx%d", w, h, x, y, im.W, im.H)
-	}
-	out := NewImage(w, h)
-	for row := 0; row < h; row++ {
-		srcOff := ((y+row)*im.W + x) * 3
-		dstOff := row * w * 3
-		copy(out.Pix[dstOff:dstOff+w*3], im.Pix[srcOff:srcOff+w*3])
+	out := &Image{}
+	if err := CropInto(out, im, x, y, w, h); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -30,12 +25,11 @@ func CenterCrop(im *Image, w, h int) (*Image, error) {
 // crops, which is why static pre-augmentation needs ~2.2 PB (Section
 // III-D).
 func RandomCrop(im *Image, w, h int, rng *rand.Rand) (*Image, error) {
-	if w > im.W || h > im.H {
-		return nil, fmt.Errorf("imgproc: random crop %dx%d larger than %dx%d", w, h, im.W, im.H)
+	out := &Image{}
+	if err := RandomCropInto(out, im, w, h, rng); err != nil {
+		return nil, err
 	}
-	x := rng.Intn(im.W - w + 1)
-	y := rng.Intn(im.H - h + 1)
-	return Crop(im, x, y, w, h)
+	return out, nil
 }
 
 // NumDistinctCrops returns how many distinct w×h crop positions an
@@ -48,30 +42,20 @@ func NumDistinctCrops(imW, imH, w, h int) int {
 }
 
 // Mirror returns the horizontally flipped image — the "Mirror" engine of
-// Table II.
+// Table II. Shim over MirrorInto with a fresh destination.
 func Mirror(im *Image) *Image {
-	out := NewImage(im.W, im.H)
-	for y := 0; y < im.H; y++ {
-		for x := 0; x < im.W; x++ {
-			r, g, b := im.At(x, y)
-			out.Set(im.W-1-x, y, r, g, b)
-		}
-	}
+	out := &Image{}
+	MirrorInto(out, im)
 	return out
 }
 
 // GaussianNoise adds clamped zero-mean Gaussian noise with the given
 // standard deviation (in 8-bit counts) to every channel — the "Gaussian
 // noise" engine of Table II. A nil rng or non-positive stddev returns an
-// unmodified copy.
+// unmodified copy. Shim over GaussianNoiseInto with a fresh destination.
 func GaussianNoise(im *Image, stddev float64, rng *rand.Rand) *Image {
-	out := im.Clone()
-	if rng == nil || stddev <= 0 {
-		return out
-	}
-	for i, v := range out.Pix {
-		out.Pix[i] = clampU8(float64(v) + rng.NormFloat64()*stddev)
-	}
+	out := &Image{}
+	GaussianNoiseInto(out, im, stddev, rng)
 	return out
 }
 
@@ -92,32 +76,12 @@ func (t *Tensor) At(c, y, x int) float32 { return t.Data[c*t.H*t.W+y*t.W+x] }
 
 // ToTensor casts the image to a float32 CHW tensor — the "Cast" engine
 // of Table II — normalizing each channel as (v/255 − mean[c]) / std[c].
-// Nil mean/std default to 0 and 1 (plain [0,1] scaling).
+// Nil mean/std default to 0 and 1 (plain [0,1] scaling). Shim over
+// ToTensorInto with a fresh destination.
 func ToTensor(im *Image, mean, std []float64) (*Tensor, error) {
-	if mean == nil {
-		mean = []float64{0, 0, 0}
-	}
-	if std == nil {
-		std = []float64{1, 1, 1}
-	}
-	if len(mean) != 3 || len(std) != 3 {
-		return nil, fmt.Errorf("imgproc: mean/std must have 3 channels, got %d/%d", len(mean), len(std))
-	}
-	for c, s := range std {
-		if s <= 0 {
-			return nil, fmt.Errorf("imgproc: std[%d] = %v must be positive", c, s)
-		}
-	}
-	t := &Tensor{C: 3, H: im.H, W: im.W, Data: make([]float32, 3*im.H*im.W)}
-	plane := im.H * im.W
-	for y := 0; y < im.H; y++ {
-		for x := 0; x < im.W; x++ {
-			i := (y*im.W + x) * 3
-			for c := 0; c < 3; c++ {
-				v := (float64(im.Pix[i+c])/255 - mean[c]) / std[c]
-				t.Data[c*plane+y*im.W+x] = float32(v)
-			}
-		}
+	t := &Tensor{}
+	if err := ToTensorInto(t, im, mean, std); err != nil {
+		return nil, err
 	}
 	return t, nil
 }

@@ -55,34 +55,50 @@ func EncodeMJPEG(v *Video, quality int) ([]byte, error) {
 	return out, nil
 }
 
-// DecodeMJPEG unpacks and decodes an EncodeMJPEG container.
+// DecodeMJPEG unpacks and decodes an EncodeMJPEG container. Shim over
+// DecodeMJPEGInto with a fresh destination.
 func DecodeMJPEG(data []byte) (*Video, error) {
+	v := &Video{}
+	if err := DecodeMJPEGInto(v, data); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// DecodeMJPEGInto unpacks an EncodeMJPEG container into dst, reusing
+// dst's frame images (and their pixel buffers) across calls.
+func DecodeMJPEGInto(dst *Video, data []byte) error {
 	if len(data) < 8 || [4]byte(data[:4]) != videoMagic {
-		return nil, fmt.Errorf("imgproc: not a tbv1 clip")
+		return fmt.Errorf("imgproc: not a tbv1 clip")
 	}
 	count := binary.LittleEndian.Uint32(data[4:8])
 	if count == 0 || count > 1<<16 {
-		return nil, fmt.Errorf("imgproc: implausible frame count %d", count)
+		return fmt.Errorf("imgproc: implausible frame count %d", count)
 	}
 	off := 8
-	v := &Video{Frames: make([]*Image, 0, count)}
 	for i := uint32(0); i < count; i++ {
 		if off+4 > len(data) {
-			return nil, fmt.Errorf("imgproc: truncated clip header at frame %d", i)
+			return fmt.Errorf("imgproc: truncated clip header at frame %d", i)
 		}
 		l := int(binary.LittleEndian.Uint32(data[off : off+4]))
 		off += 4
 		if off+l > len(data) {
-			return nil, fmt.Errorf("imgproc: truncated clip payload at frame %d", i)
+			return fmt.Errorf("imgproc: truncated clip payload at frame %d", i)
 		}
-		frame, err := DecodeJPEG(data[off : off+l])
-		if err != nil {
-			return nil, fmt.Errorf("imgproc: frame %d: %w", i, err)
+		if int(i) < len(dst.Frames) && dst.Frames[i] != nil {
+			// reuse the frame's pixel buffer
+		} else if int(i) < len(dst.Frames) {
+			dst.Frames[i] = &Image{}
+		} else {
+			dst.Frames = append(dst.Frames, &Image{})
+		}
+		if err := DecodeJPEGInto(dst.Frames[i], data[off:off+l]); err != nil {
+			return fmt.Errorf("imgproc: frame %d: %w", i, err)
 		}
 		off += l
-		v.Frames = append(v.Frames, frame)
 	}
-	return v, nil
+	dst.Frames = dst.Frames[:count]
+	return nil
 }
 
 // SynthesizeVideo generates a deterministic clip: the class-colored base

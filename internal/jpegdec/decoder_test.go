@@ -1,0 +1,136 @@
+package jpegdec
+
+import (
+	"bytes"
+	"image"
+	"image/jpeg"
+	"testing"
+
+	"trainbox/internal/imgproc"
+)
+
+// testJPEGs builds a varied corpus: color/grayscale, multiple qualities,
+// MCU-aligned and odd sizes, with enough pixels to exercise restarts.
+func testJPEGs(t *testing.T) map[string][]byte {
+	t.Helper()
+	out := map[string][]byte{}
+	sizes := []struct {
+		name string
+		w, h int
+	}{{"64x64", 64, 64}, {"96x48", 96, 48}, {"70x34", 70, 34}}
+	for _, sz := range sizes {
+		for _, q := range []int{60, 85, 95} {
+			img := imgproc.NewImage(sz.w, sz.h)
+			for i := range img.Pix {
+				img.Pix[i] = uint8((i*7 + i/3) % 256)
+			}
+			data, err := imgproc.EncodeJPEG(img, q)
+			if err != nil {
+				t.Fatalf("encode %s q%d: %v", sz.name, q, err)
+			}
+			out[sz.name+"-q"+string(rune('0'+q/10))+string(rune('0'+q%10))] = data
+		}
+	}
+	// Grayscale via the stdlib encoder.
+	gray := image.NewGray(image.Rect(0, 0, 48, 48))
+	for i := range gray.Pix {
+		gray.Pix[i] = uint8(i * 5 % 256)
+	}
+	var buf bytes.Buffer
+	if err := jpeg.Encode(&buf, gray, &jpeg.Options{Quality: 90}); err != nil {
+		t.Fatalf("encode gray: %v", err)
+	}
+	out["gray-48x48"] = buf.Bytes()
+	return out
+}
+
+// TestDecoderReuseBitIdentical drives one Decoder across the whole
+// corpus twice, interleaved, and requires every decode to be
+// byte-for-byte identical to a fresh package-level Decode.
+func TestDecoderReuseBitIdentical(t *testing.T) {
+	corpus := testJPEGs(t)
+	dec := NewDecoder()
+	for pass := 0; pass < 2; pass++ {
+		for name, data := range corpus {
+			want, _, err := Decode(data)
+			if err != nil {
+				t.Fatalf("%s: fresh Decode: %v", name, err)
+			}
+			got, _, err := dec.Decode(data)
+			if err != nil {
+				t.Fatalf("%s: reused Decode: %v", name, err)
+			}
+			if got.W != want.W || got.H != want.H {
+				t.Fatalf("%s: size %dx%d, want %dx%d", name, got.W, got.H, want.W, want.H)
+			}
+			if !bytes.Equal(got.Pix, want.Pix) {
+				t.Errorf("%s pass %d: reused Decoder output differs from fresh Decode", name, pass)
+			}
+		}
+	}
+}
+
+// TestDecoderRecoversAfterError checks that a failed decode does not
+// poison the scratch for the next good one.
+func TestDecoderRecoversAfterError(t *testing.T) {
+	corpus := testJPEGs(t)
+	data := corpus["64x64-q85"]
+	dec := NewDecoder()
+	if _, _, err := dec.Decode([]byte{0xFF, 0xD8, 0x00}); err == nil {
+		t.Fatal("garbage should fail")
+	}
+	truncated := data[:len(data)/2]
+	if _, _, err := dec.Decode(truncated); err == nil {
+		t.Fatal("truncated stream should fail")
+	}
+	want, _, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := dec.Decode(data)
+	if err != nil {
+		t.Fatalf("decode after errors: %v", err)
+	}
+	if !bytes.Equal(got.Pix, want.Pix) {
+		t.Error("decode after errors differs from fresh decode")
+	}
+}
+
+// TestDecoderSteadyStateAllocFree is the satellite's before/after
+// assertion: the per-scan buffers that used to be allocated every call
+// (dcPred, planes, strides, coefficient storage, output pixels) now
+// live on the Decoder, so a warmed Decoder allocates nothing.
+func TestDecoderSteadyStateAllocFree(t *testing.T) {
+	img := imgproc.NewImage(96, 96)
+	for i := range img.Pix {
+		img.Pix[i] = uint8(i % 251)
+	}
+	data, err := imgproc.EncodeJPEG(img, 85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := NewDecoder()
+	if _, _, err := dec.Decode(data); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, _, err := dec.Decode(data); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm Decoder.Decode allocates %.1f objects/decode, want 0", allocs)
+	}
+
+	// The one-shot shim still allocates (it builds a fresh working set),
+	// but the per-scan fixes bound it well below the pre-refactor count
+	// of 23 allocations per decode.
+	fresh := testing.AllocsPerRun(20, func() {
+		if _, _, err := Decode(data); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if fresh >= 23 {
+		t.Errorf("fresh Decode allocates %.1f objects/decode, want < 23 (pre-refactor baseline)", fresh)
+	}
+}

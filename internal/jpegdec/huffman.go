@@ -13,8 +13,12 @@ type huffTable struct {
 	symbols []byte
 }
 
-func newHuffTable(counts [16]int, symbols []byte) (*huffTable, error) {
-	t := &huffTable{symbols: append([]byte(nil), symbols...)}
+// init (re)builds the table in place, reusing the symbols buffer's
+// capacity so a reusable Decoder parses DHT segments allocation-free in
+// steady state.
+func (t *huffTable) init(counts [16]int, symbols []byte) error {
+	t.valPtr = [17]int32{}
+	t.symbols = append(t.symbols[:0], symbols...)
 	code := int32(0)
 	k := int32(0)
 	for l := 1; l <= 16; l++ {
@@ -31,7 +35,15 @@ func newHuffTable(counts [16]int, symbols []byte) (*huffTable, error) {
 		code <<= 1
 	}
 	if int(k) != len(symbols) {
-		return nil, fmt.Errorf("jpegdec: huffman counts/symbols mismatch: %d vs %d", k, len(symbols))
+		return fmt.Errorf("jpegdec: huffman counts/symbols mismatch: %d vs %d", k, len(symbols))
+	}
+	return nil
+}
+
+func newHuffTable(counts [16]int, symbols []byte) (*huffTable, error) {
+	t := &huffTable{}
+	if err := t.init(counts, symbols); err != nil {
+		return nil, err
 	}
 	return t, nil
 }

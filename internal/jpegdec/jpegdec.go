@@ -35,24 +35,56 @@ type component struct {
 	blocksPerMCU int
 }
 
-// decoder holds parse state.
+// decoder holds parse state plus the scratch buffers a reusable Decoder
+// carries across calls. Every slice field is backed by storage that is
+// grown in place and recycled on the next decode; a fresh decoder (the
+// package-level Decode shim) simply starts with empty scratch.
 type decoder struct {
 	data []byte
 	pos  int
 
 	width, height int
-	comps         []component
+	comps         []component // backed by compsBuf
+	compsBuf      [4]component
 	quant         [4][64]int32
-	huffDC        [4]*huffTable
+	huffDC        [4]*huffTable // nil or pointing into dcTables/acTables
 	huffAC        [4]*huffTable
+	dcTables      [4]huffTable
+	acTables      [4]huffTable
 	restart       int // restart interval in MCUs (0 = none)
 
 	maxH, maxV int
 
-	// coefficient storage: per component, per block row-major.
-	coeffs [][]int32 // len = comps; each: blocksWide*blocksHigh*64
-	bWide  []int     // blocks per row, per component
-	bHigh  []int
+	// coefficient storage: per component, per block row-major
+	// (blocksWide*blocksHigh*64 each), reused across decodes.
+	coeffs [4][]int32
+	bWide  [4]int // blocks per row, per component
+	bHigh  [4]int
+
+	// Scan/transform scratch that is loop-invariant across restarts and
+	// across decodes: DC predictors, the entropy bit reader, and the
+	// per-component sample planes.
+	dcPred  [4]int32
+	br      bitReader
+	planes  [4][]uint8
+	strides [4]int
+
+	// img backs the returned Image so its pixel buffer is recycled too.
+	img Image
+}
+
+// reset prepares the decoder for a new bitstream, clearing all parse
+// state while keeping the scratch buffers' capacity.
+func (d *decoder) reset(data []byte) {
+	d.data, d.pos = data, 0
+	d.width, d.height = 0, 0
+	d.comps = nil
+	d.quant = [4][64]int32{}
+	for i := range d.huffDC {
+		d.huffDC[i], d.huffAC[i] = nil, nil
+	}
+	d.restart = 0
+	d.maxH, d.maxV = 0, 0
 }
 
 // DecodeStats reports where decode time went.
@@ -78,9 +110,24 @@ type Image struct {
 	Pix  []uint8
 }
 
-// Decode decodes a baseline JPEG and reports phase statistics.
-func Decode(data []byte) (*Image, DecodeStats, error) {
-	d := &decoder{data: data}
+// Decoder is a reusable JPEG decoder. It carries coefficient, plane,
+// Huffman, and output-pixel scratch across calls so that steady-state
+// decoding is allocation-free once the buffers have grown to the
+// working set's size. A Decoder is not safe for concurrent use.
+type Decoder struct {
+	d decoder
+}
+
+// NewDecoder returns an empty Decoder; scratch grows on first use.
+func NewDecoder() *Decoder { return &Decoder{} }
+
+// Decode decodes a baseline JPEG and reports phase statistics. The
+// returned Image (including its Pix buffer) is owned by the Decoder and
+// only valid until the next Decode call; callers that need the pixels
+// longer must copy them out.
+func (dec *Decoder) Decode(data []byte) (*Image, DecodeStats, error) {
+	d := &dec.d
+	d.reset(data)
 	var stats DecodeStats
 
 	if err := d.parseHeaders(); err != nil {
@@ -97,6 +144,14 @@ func Decode(data []byte) (*Image, DecodeStats, error) {
 	img := d.transform()
 	stats.TransformNanos = time.Since(t1).Nanoseconds()
 	return img, stats, nil
+}
+
+// Decode decodes a baseline JPEG and reports phase statistics. It is a
+// thin shim over a throwaway Decoder, so the caller owns the returned
+// Image; hot paths that decode repeatedly should hold a Decoder and
+// reuse its scratch instead.
+func Decode(data []byte) (*Image, DecodeStats, error) {
+	return NewDecoder().Decode(data)
 }
 
 // --- marker parsing ---------------------------------------------------
@@ -200,7 +255,10 @@ func (d *decoder) parseSOF0() error {
 	if nc != 1 && nc != 3 {
 		return fmt.Errorf("jpegdec: %d components not supported", nc)
 	}
-	d.comps = make([]component, nc)
+	d.comps = d.compsBuf[:nc]
+	for i := range d.comps {
+		d.comps[i] = component{}
+	}
 	for i := range d.comps {
 		c := &d.comps[i]
 		if c.id, err = d.u8(); err != nil {
@@ -291,8 +349,11 @@ func (d *decoder) parseDHT() error {
 		}
 		symbols := d.data[d.pos : d.pos+total]
 		d.pos += total
-		table, err := newHuffTable(counts, symbols)
-		if err != nil {
+		table := &d.dcTables[id]
+		if class == 1 {
+			table = &d.acTables[id]
+		}
+		if err := table.init(counts, symbols); err != nil {
 			return err
 		}
 		if class == 0 {

@@ -25,19 +25,28 @@ func (d *decoder) entropyDecode() error {
 	mcusX := (d.width + mcuW - 1) / mcuW
 	mcusY := (d.height + mcuH - 1) / mcuH
 
-	d.coeffs = make([][]int32, len(d.comps))
-	d.bWide = make([]int, len(d.comps))
-	d.bHigh = make([]int, len(d.comps))
 	for i := range d.comps {
 		c := &d.comps[i]
 		c.blocksPerMCU = c.h * c.v
 		d.bWide[i] = mcusX * c.h
 		d.bHigh[i] = mcusY * c.v
-		d.coeffs[i] = make([]int32, d.bWide[i]*d.bHigh[i]*64)
+		// decodeBlock only writes non-zero coefficients (EOB leaves the
+		// tail untouched), so recycled coefficient blocks must be zeroed.
+		n := d.bWide[i] * d.bHigh[i] * 64
+		if cap(d.coeffs[i]) < n {
+			d.coeffs[i] = make([]int32, n)
+		} else {
+			d.coeffs[i] = d.coeffs[i][:n]
+			clear(d.coeffs[i])
+		}
 	}
 
-	r := &bitReader{data: d.data, pos: d.pos}
-	dcPred := make([]int32, len(d.comps))
+	d.br = bitReader{data: d.data, pos: d.pos}
+	r := &d.br
+	dcPred := d.dcPred[:len(d.comps)]
+	for i := range dcPred {
+		dcPred[i] = 0
+	}
 	mcu := 0
 	for my := 0; my < mcusY; my++ {
 		for mx := 0; mx < mcusX; mx++ {
@@ -185,13 +194,23 @@ func idct8x8(block []int32, dst []uint8, stride int) {
 // transform runs the parallelizable phase: dequantize, IDCT, upsample,
 // and color-convert into interleaved RGB.
 func (d *decoder) transform() *Image {
-	// Per-component planes at full block resolution.
-	planes := make([][]uint8, len(d.comps))
-	strides := make([]int, len(d.comps))
+	// Per-component planes at full block resolution. The plane and
+	// stride scratch lives on the decoder (loop-invariant across
+	// restarts and reused across decodes); idct8x8 overwrites every
+	// sample, so recycled planes need no clearing.
+	planes := d.planes[:len(d.comps)]
+	strides := d.strides[:len(d.comps)]
 	for ci := range d.comps {
 		c := &d.comps[ci]
 		strides[ci] = d.bWide[ci] * 8
-		planes[ci] = make([]uint8, strides[ci]*d.bHigh[ci]*8)
+		n := strides[ci] * d.bHigh[ci] * 8
+		if cap(planes[ci]) < n {
+			planes[ci] = make([]uint8, n)
+			d.planes[ci] = planes[ci]
+		} else {
+			planes[ci] = planes[ci][:n]
+			d.planes[ci] = planes[ci]
+		}
 		q := &d.quant[c.quantID]
 		var block [64]int32
 		for bRow := 0; bRow < d.bHigh[ci]; bRow++ {
@@ -206,7 +225,14 @@ func (d *decoder) transform() *Image {
 		}
 	}
 
-	img := &Image{W: d.width, H: d.height, Pix: make([]uint8, d.width*d.height*3)}
+	npix := d.width * d.height * 3
+	d.img.W, d.img.H = d.width, d.height
+	if cap(d.img.Pix) < npix {
+		d.img.Pix = make([]uint8, npix)
+	} else {
+		d.img.Pix = d.img.Pix[:npix]
+	}
+	img := &d.img
 	if len(d.comps) == 1 {
 		for y := 0; y < d.height; y++ {
 			for x := 0; x < d.width; x++ {

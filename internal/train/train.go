@@ -149,6 +149,12 @@ type runOptions struct {
 	prepare EpochPreparer
 	numKeys int
 	feature FeatureFn
+	// recycle, when set, receives each epoch's prepared samples after
+	// the extract stage has converted them to model inputs, returning
+	// their buffers to the data source's pools. Requires that the
+	// feature function copies out of the prepared sample (all of the
+	// repo's feature functions do — they build fresh []float64 inputs).
+	recycle func([]dataprep.Prepared)
 }
 
 // WithDataset serves the run from the host data-preparation path: each
@@ -166,6 +172,9 @@ func WithDataset(exec *dataprep.Executor, store *storage.Store, keys []string) O
 			return exec.PrepareBatchContext(ctx, store, keysCopy, epoch)
 		}
 		o.numKeys = len(keysCopy)
+		// The executor owns the prepared buffers; hand each epoch back
+		// after extraction so steady-state training recycles them.
+		o.recycle = func(ps []dataprep.Prepared) { exec.Recycle(ps...) }
 		return nil
 	}
 }
@@ -225,7 +234,7 @@ func Run(ctx context.Context, cfg Config, opts ...Option) (Result, error) {
 	if o.feature == nil {
 		return Result{}, fmt.Errorf("train: no feature function (use WithFeature)")
 	}
-	return run(ctx, cfg, o.prepare, o.numKeys, o.feature)
+	return run(ctx, cfg, o)
 }
 
 // RunWithPreparer trains with the data-preparation path abstracted
@@ -247,7 +256,8 @@ func RunDataset(cfg Config, exec *dataprep.Executor, store *storage.Store, keys 
 }
 
 // run is the driver pipeline shared by every entry point.
-func run(ctx context.Context, cfg Config, prepare EpochPreparer, numKeys int, feature FeatureFn) (Result, error) {
+func run(ctx context.Context, cfg Config, o runOptions) (Result, error) {
+	prepare, numKeys, feature := o.prepare, o.numKeys, o.feature
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -283,6 +293,11 @@ func run(ctx context.Context, cfg Config, prepare EpochPreparer, numKeys int, fe
 			samples, err := extract(eb.samples, feature, samplePool.Get())
 			if err != nil {
 				return epochSamples{}, err
+			}
+			if o.recycle != nil {
+				// The feature function has copied everything it needs;
+				// the prepared buffers can go back to the source's pools.
+				o.recycle(eb.samples)
 			}
 			return epochSamples{epoch: eb.epoch, samples: samples}, nil
 		})
