@@ -32,6 +32,7 @@ import (
 	"trainbox/internal/metrics"
 	"trainbox/internal/nvme"
 	"trainbox/internal/report"
+	"trainbox/internal/serve"
 	"trainbox/internal/storage"
 	"trainbox/internal/train"
 )
@@ -442,6 +443,35 @@ func stepLiveThroughput(h *harness) error {
 	trainRate := float64(res.SamplesProcessed) / res.Elapsed.Seconds()
 	h.rep.Throughput["train_samples_per_sec"] = trainRate
 	t.AddRowf("train_samples_per_sec", trainRate)
+
+	// Serving front-end: admissions/s through the full submit path
+	// (validation, quota and queue checks, tenant namespace, fair-share
+	// enqueue) with an instant runner so the measurement isolates the
+	// front-end, not training.
+	srv, err := serve.NewServer(
+		serve.WithRunner(serve.RunnerFunc(func(context.Context, string, serve.JobSpec) (serve.Outcome, error) {
+			return serve.Outcome{}, nil
+		})),
+		serve.WithMaxRunning(runtime.NumCPU()),
+		serve.WithQueueLimit(1<<20),
+		serve.WithTenantQuota(1<<20),
+	)
+	if err != nil {
+		return err
+	}
+	const submits = 4096
+	start = time.Now()
+	for i := 0; i < submits; i++ {
+		if _, err := srv.Submit(serve.JobSpec{Tenant: fmt.Sprintf("t%d", i%16)}); err != nil {
+			return err
+		}
+	}
+	submitRate := submits / time.Since(start).Seconds()
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	h.rep.Throughput["serve_submit_per_sec"] = submitRate
+	t.AddRowf("serve_submit_per_sec", submitRate)
 
 	h.rep.Metrics = reg.Snapshot()
 	h.print(t)

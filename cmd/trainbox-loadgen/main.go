@@ -1,0 +1,62 @@
+// Command trainbox-loadgen fires synthetic multi-tenant load at a
+// running trainbox-serve and verifies the server's fairness and
+// shedding invariants, exiting non-zero on any violation — the CI
+// serving gate's teeth.
+//
+//	trainbox-loadgen -url http://127.0.0.1:8080 -tenants 50 -jobs 3
+//
+// -demo runs a self-contained burst sized for CI: enough tenants to
+// force shedding, retry-until-admitted so fairness doubles as a
+// no-starvation check.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"trainbox/internal/serve"
+	"trainbox/internal/serve/loadtest"
+)
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8080", "trainbox-serve base URL")
+	tenants := flag.Int("tenants", 20, "concurrent tenants")
+	jobs := flag.Int("jobs", 2, "jobs per tenant")
+	items := flag.Int("items", 8, "dataset items per job")
+	epochs := flag.Int("epochs", 1, "epochs per job")
+	rate := flag.Float64("rate", 0, "required prep rate per job (samples/s; 0 = host path)")
+	cancelEvery := flag.Int("cancel-every", 0, "cancel every n-th admitted job (0 = never)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "whole-run deadline")
+	minFairness := flag.Float64("min-fairness", 1, "min/max admitted-per-tenant floor")
+	wantShed := flag.Bool("want-shed", false, "fail unless the server shed at least once")
+	demo := flag.Bool("demo", false, "CI-sized overload burst (overrides tenants/jobs/want-shed)")
+	flag.Parse()
+
+	cfg := loadtest.Config{
+		Tenants:       *tenants,
+		JobsPerTenant: *jobs,
+		Spec:          serve.JobSpec{Items: *items, Epochs: *epochs, RequiredRate: *rate},
+		CancelEvery:   *cancelEvery,
+		Retries:       -1,
+		Timeout:       *timeout,
+	}
+	inv := loadtest.Invariants{WantShed: *wantShed, MinFairness: *minFairness}
+	if *demo {
+		cfg.Tenants, cfg.JobsPerTenant = 40, 2
+		cfg.CancelEvery = 2 // every tenant's second job gets a cancel attempt
+		inv.WantShed = true
+	}
+
+	rep := loadtest.Run(context.Background(), loadtest.HTTP{BaseURL: *url}, cfg)
+	fmt.Print(rep.String())
+	if violations := rep.Verify(inv); len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "loadgen: VIOLATION:", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("loadgen: all invariants hold")
+}

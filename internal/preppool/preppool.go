@@ -166,6 +166,12 @@ type JobSpec struct {
 	// throughput — the part of the demand the pool does not need to
 	// cover.
 	InBoxRate units.SamplesPerSec
+	// Priority places the job in a strict rebalancing tier: the
+	// rebalancer satisfies higher-priority tiers' deficits first, and
+	// lower tiers split only the devices left over. Within a tier the
+	// SchedulePool max-min fairness is unchanged. 0 is the default tier;
+	// negative priorities rank below it.
+	Priority int
 	// Exec and Store are the job's host preparation path, serving both
 	// the in-box share of every epoch and degraded samples. Exec's
 	// dataset seed must equal DatasetSeed — that is what keeps the
@@ -406,51 +412,87 @@ func (j *Job) sync() error {
 }
 
 // rebalanceLocked recomputes every job's device target from current
-// demand with the SchedulePool max-min fair math, then integerizes the
-// fractional grants by largest remainder (ties broken by registration
-// order, keeping the assignment deterministic).
+// demand. Jobs are grouped into strict priority tiers (highest first);
+// each tier runs the SchedulePool max-min fair math over the devices
+// the higher tiers left unclaimed, so a high-priority job's deficit is
+// always covered before a lower tier sees a single device. Fractional
+// grants are integerized per tier by largest remainder (ties broken by
+// registration order, keeping the assignment deterministic).
 func (p *Pool) rebalanceLocked() error {
 	total := len(p.free)
-	reqs := make([]fpga.JobRequest, len(p.jobs))
-	for i, j := range p.jobs {
+	for _, j := range p.jobs {
 		total += len(j.leases)
-		reqs[i] = fpga.JobRequest{
-			Name:         j.spec.Name,
-			Type:         j.spec.Type,
-			RequiredRate: j.required,
-			InBoxRate:    j.spec.InBoxRate,
-		}
-	}
-	allocs, err := fpga.SchedulePool(reqs, total)
-	if err != nil {
-		return err
 	}
 
+	// Distinct priorities, highest tier first.
+	var prios []int
+	seen := map[int]bool{}
+	for _, j := range p.jobs {
+		if !seen[j.spec.Priority] {
+			seen[j.spec.Priority] = true
+			prios = append(prios, j.spec.Priority)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(prios)))
+
+	remaining := total
+	for _, prio := range prios {
+		var tier []*Job
+		for _, j := range p.jobs {
+			if j.spec.Priority == prio {
+				tier = append(tier, j)
+			}
+		}
+		reqs := make([]fpga.JobRequest, len(tier))
+		for i, j := range tier {
+			reqs[i] = fpga.JobRequest{
+				Name:         j.spec.Name,
+				Type:         j.spec.Type,
+				RequiredRate: j.required,
+				InBoxRate:    j.spec.InBoxRate,
+			}
+		}
+		allocs, err := fpga.SchedulePool(reqs, remaining)
+		if err != nil {
+			return err
+		}
+		remaining -= integerizeGrants(tier, allocs, remaining)
+	}
+	p.dirty = false
+	p.mRebalances.Inc()
+	return nil
+}
+
+// integerizeGrants turns one tier's fractional SchedulePool grants into
+// whole-device targets by largest remainder, never exceeding avail
+// devices, and returns how many devices the tier consumed.
+func integerizeGrants(tier []*Job, allocs []fpga.JobAllocation, avail int) int {
 	type grant struct {
 		idx  int
 		frac float64
 	}
-	devicesLeft := total
+	used := 0
 	grants := make([]grant, len(allocs))
 	for i, a := range allocs {
 		whole := int(math.Floor(a.GrantedFPGAs + 1e-9))
-		p.jobs[i].target = whole
-		devicesLeft -= whole
-		grants[i] = grant{idx: i, frac: a.GrantedFPGAs - float64(whole)}
+		if whole > avail-used {
+			whole = avail - used
+		}
+		tier[i].target = whole
+		used += whole
+		grants[i] = grant{idx: i, frac: a.GrantedFPGAs - math.Floor(a.GrantedFPGAs+1e-9)}
 	}
 	// A fractional FPGA of demand still needs a whole device: hand the
 	// remaining devices to the largest fractional remainders.
 	sort.SliceStable(grants, func(a, b int) bool { return grants[a].frac > grants[b].frac })
 	for _, g := range grants {
-		if devicesLeft == 0 || g.frac <= 1e-9 {
+		if used == avail || g.frac <= 1e-9 {
 			break
 		}
-		p.jobs[g.idx].target++
-		devicesLeft--
+		tier[g.idx].target++
+		used++
 	}
-	p.dirty = false
-	p.mRebalances.Inc()
-	return nil
+	return used
 }
 
 // settleLocked moves this job's lease count to its target: surplus

@@ -372,3 +372,73 @@ func TestClosedJobRefusesEpochs(t *testing.T) {
 		t.Error("closed job prepared an epoch")
 	}
 }
+
+// TestPriorityTiersStarveLowerTierUnderContention: with the pool too
+// small for both jobs, a higher-priority job's deficit must be fully
+// covered before the lower tier sees a single device; when the
+// high-priority job's demand cools, the freed devices flow down.
+func TestPriorityTiersStarveLowerTierUnderContention(t *testing.T) {
+	handlers, store, cfg := fixture(t, 3)
+	pool, err := NewPool(handlers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hiSpec := spec("hi", cfg, store, 3, 24000, 0) // 3 devices of need
+	hiSpec.Priority = 1
+	hi, err := pool.Register(hiSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := pool.Register(spec("lo", cfg, store, 7, 24000, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := store.Keys()
+	ctx := context.Background()
+	for _, j := range []*Job{hi, lo} {
+		if _, err := j.PrepareEpoch(ctx, keys, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h, l := hi.Leases(), lo.Leases(); h != 3 || l != 0 {
+		t.Fatalf("contended leases hi=%d lo=%d, want 3/0 (strict tiers)", h, l)
+	}
+
+	// The high tier cools to one device of need; the lower tier must
+	// pick up the two freed devices at the next boundaries.
+	if err := hi.SetRequiredRate(8000); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range []*Job{hi, lo} {
+		if _, err := j.PrepareEpoch(ctx, keys, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h, l := hi.Leases(), lo.Leases(); h != 1 || l != 2 {
+		t.Fatalf("post-cooldown leases hi=%d lo=%d, want 1/2", h, l)
+	}
+
+	// Equal tiers split the same contention max-min instead.
+	if err := hi.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := lo.Close(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := pool.Register(spec("eq-a", cfg, store, 3, 24000, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pool.Register(spec("eq-b", cfg, store, 7, 24000, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range []*Job{a, b} {
+		if _, err := j.PrepareEpoch(ctx, keys, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if x, y := a.Leases(), b.Leases(); x+y != 3 || x == 0 || y == 0 {
+		t.Fatalf("equal-tier leases a=%d b=%d, want a 2/1-ish split of 3", x, y)
+	}
+}

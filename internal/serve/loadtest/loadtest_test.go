@@ -1,0 +1,170 @@
+package loadtest
+
+import (
+	"context"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"trainbox/internal/serve"
+)
+
+// fastRunner finishes in about a millisecond but still honours
+// cancellation, so hundreds of tenants churn through quickly.
+func fastRunner() serve.Runner {
+	return serve.RunnerFunc(func(ctx context.Context, id string, spec serve.JobSpec) (serve.Outcome, error) {
+		select {
+		case <-time.After(time.Millisecond):
+			return serve.Outcome{FinalLoss: 1, Samples: spec.Items * spec.Epochs}, nil
+		case <-ctx.Done():
+			return serve.Outcome{}, ctx.Err()
+		}
+	})
+}
+
+// TestHundredsOfTenantsFairAndConserving is the headline invariant run:
+// ≥ 200 concurrent tenants against a deliberately narrow server. Every
+// submission must be admitted or shed (never lost), every admitted job
+// must terminate, no job may fail, shedding must engage, admission must
+// stay fair across tenants, and shutdown must reclaim every goroutine.
+func TestHundredsOfTenantsFairAndConserving(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s, err := serve.NewServer(
+		serve.WithRunner(fastRunner()),
+		serve.WithMaxRunning(8),
+		serve.WithQueueLimit(32),
+		serve.WithTenantQuota(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep := Run(context.Background(), Direct{Server: s}, Config{
+		Tenants:       200,
+		JobsPerTenant: 4,
+		CancelEvery:   3,
+		Retries:       -1, // retry until admitted: turns fairness into a no-starvation check
+		Timeout:       90 * time.Second,
+	})
+	t.Log(rep.String())
+
+	// 800 wanted jobs against a 32-deep queue must shed heavily, yet
+	// with retries every tenant must land all 4 jobs — overload may slow
+	// tenants down but never starve one out.
+	if v := rep.Verify(Invariants{WantShed: true, MinFairness: 1}); len(v) > 0 {
+		for _, violation := range v {
+			t.Error(violation)
+		}
+	}
+	if rep.Admitted != 800 {
+		t.Errorf("admitted %d, want all 800 (200 tenants × 4 jobs)", rep.Admitted)
+	}
+	if rep.Shed == 0 || rep.Submitted != rep.Admitted+rep.Shed {
+		t.Errorf("submitted %d, admitted %d, shed %d: overload accounting broken", rep.Submitted, rep.Admitted, rep.Shed)
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines %d → %d after close: leak", before, after)
+	}
+}
+
+// TestHTTPClientAgainstLiveServer runs the same generator through the
+// HTTP client, which also exercises 429 → ShedError conversion and the
+// Retry-After requirement.
+func TestHTTPClientAgainstLiveServer(t *testing.T) {
+	s, err := serve.NewServer(
+		serve.WithRunner(fastRunner()),
+		serve.WithMaxRunning(4),
+		serve.WithQueueLimit(8),
+		serve.WithTenantQuota(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	rep := Run(context.Background(), HTTP{BaseURL: ts.URL}, Config{
+		Tenants:       24,
+		JobsPerTenant: 3,
+		Retries:       -1,
+		Timeout:       60 * time.Second,
+	})
+	t.Log(rep.String())
+	if v := rep.Verify(Invariants{MinFairness: 1}); len(v) > 0 {
+		for _, violation := range v {
+			t.Error(violation)
+		}
+	}
+	if rep.Admitted == 0 {
+		t.Error("no job admitted over HTTP")
+	}
+}
+
+// TestVerifyCatchesViolations: the checker itself must flag cooked
+// reports, or CI would pass on garbage.
+func TestVerifyCatchesViolations(t *testing.T) {
+	bad := Report{
+		Tenants:   []TenantReport{{Tenant: "a", Admitted: 10}, {Tenant: "b", Admitted: 0}},
+		Submitted: 12, Admitted: 10, Shed: 1, // conservation broken
+		Done: 8, Failed: 1, // one unaccounted, one failed
+	}
+	v := bad.Verify(Invariants{WantShed: true, MinFairness: 0.5})
+	if len(v) < 4 {
+		t.Fatalf("got %d violations %v, want conservation + terminal + failed + fairness", len(v), v)
+	}
+	clean := Report{
+		Tenants:   []TenantReport{{Tenant: "a", Admitted: 2}, {Tenant: "b", Admitted: 2}},
+		Submitted: 5, Admitted: 4, Shed: 1, Done: 4,
+	}
+	if v := clean.Verify(Invariants{WantShed: true, MinFairness: 0.5}); len(v) != 0 {
+		t.Fatalf("clean report flagged: %v", v)
+	}
+}
+
+// TestRunAgainstRealTrainingBackend drives a small load through the
+// full stack: pooled devices, preppool registration, real train loops.
+func TestRunAgainstRealTrainingBackend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real training backend is slow under -short")
+	}
+	runner, pool, err := serve.NewTrainBackend(2, 8, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := serve.NewServer(
+		serve.WithRunner(runner),
+		serve.WithPool(pool),
+		serve.WithMaxRunning(2),
+		serve.WithTenantQuota(4),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	rep := Run(context.Background(), Direct{Server: s}, Config{
+		Tenants:       4,
+		JobsPerTenant: 2,
+		Spec:          serve.JobSpec{Items: 8, Epochs: 1, RequiredRate: 8000},
+		Timeout:       90 * time.Second,
+	})
+	t.Log(rep.String())
+	if v := rep.Verify(Invariants{MinFairness: 1}); len(v) > 0 {
+		for _, violation := range v {
+			t.Error(violation)
+		}
+	}
+	if rep.Done != 8 {
+		t.Errorf("done = %d, want all 8 real training jobs to finish", rep.Done)
+	}
+}

@@ -1,0 +1,123 @@
+package serve
+
+import "sort"
+
+// queue is the admission queue: strict priority classes, and within a
+// class max-min fair-share across tenants on *running* jobs — the
+// front-end analogue of the prep-pool's max-min rebalancer. The pool
+// divides devices max-min across registered jobs; this queue decides
+// which tenant's job registers next, picking the tenant that currently
+// holds the fewest running slots (ties broken round-robin by least
+// recent dispatch), so no tenant can hold N+2 slots while another
+// waits at N.
+//
+// queue is not self-locking: the Server calls it under its own mutex.
+type queue struct {
+	buckets map[int]map[string][]*job // priority → tenant → FIFO
+	size    int
+	seq     int64 // dispatch clock for round-robin tie-breaks
+}
+
+func newQueue() *queue {
+	return &queue{buckets: map[int]map[string][]*job{}}
+}
+
+func (q *queue) len() int { return q.size }
+
+// push appends the job to its tenant's FIFO in its priority class.
+func (q *queue) push(j *job) {
+	b := q.buckets[j.spec.Priority]
+	if b == nil {
+		b = map[string][]*job{}
+		q.buckets[j.spec.Priority] = b
+	}
+	b[j.spec.Tenant] = append(b[j.spec.Tenant], j)
+	q.size++
+}
+
+// pop removes and returns the next job to dispatch: the highest
+// non-empty priority class, and within it the tenant with the fewest
+// running jobs (per running), tie-broken by least-recently-dispatched.
+// Returns nil when empty.
+func (q *queue) pop(running func(tenant string) (active int, lastDispatch int64)) *job {
+	if q.size == 0 {
+		return nil
+	}
+	prios := make([]int, 0, len(q.buckets))
+	for p, b := range q.buckets {
+		if len(b) > 0 {
+			prios = append(prios, p)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(prios)))
+	for _, p := range prios {
+		b := q.buckets[p]
+		best := ""
+		bestActive, bestLast := 0, int64(0)
+		for tenant, fifo := range b {
+			if len(fifo) == 0 {
+				continue
+			}
+			active, last := running(tenant)
+			if best == "" || active < bestActive ||
+				(active == bestActive && last < bestLast) ||
+				(active == bestActive && last == bestLast && tenant < best) {
+				best, bestActive, bestLast = tenant, active, last
+			}
+		}
+		if best == "" {
+			continue
+		}
+		fifo := b[best]
+		j := fifo[0]
+		if len(fifo) == 1 {
+			delete(b, best)
+		} else {
+			b[best] = fifo[1:]
+		}
+		if len(b) == 0 {
+			delete(q.buckets, p)
+		}
+		q.size--
+		q.seq++
+		j.dispatchSeq = q.seq
+		return j
+	}
+	return nil
+}
+
+// remove deletes a specific queued job (cancellation) and reports
+// whether it was present.
+func (q *queue) remove(target *job) bool {
+	b := q.buckets[target.spec.Priority]
+	fifo := b[target.spec.Tenant]
+	for i, j := range fifo {
+		if j == target {
+			fifo = append(fifo[:i], fifo[i+1:]...)
+			if len(fifo) == 0 {
+				delete(b, target.spec.Tenant)
+				if len(b) == 0 {
+					delete(q.buckets, target.spec.Priority)
+				}
+			} else {
+				b[target.spec.Tenant] = fifo
+			}
+			q.size--
+			return true
+		}
+	}
+	return false
+}
+
+// drain removes and returns every queued job (server shutdown).
+func (q *queue) drain() []*job {
+	var out []*job
+	for _, b := range q.buckets {
+		for _, fifo := range b {
+			out = append(out, fifo...)
+		}
+	}
+	q.buckets = map[int]map[string][]*job{}
+	q.size = 0
+	return out
+}

@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+func qjob(tenant string, prio int) *job {
+	return &job{spec: JobSpec{Tenant: tenant, Priority: prio}}
+}
+
+// drainOrder pops everything with the given running counts and returns
+// tenant order.
+func drainOrder(q *queue, running map[string]int, last map[string]int64) []string {
+	var out []string
+	for {
+		j := q.pop(func(t string) (int, int64) { return running[t], last[t] })
+		if j == nil {
+			return out
+		}
+		last[j.spec.Tenant] = j.dispatchSeq
+		out = append(out, j.spec.Tenant)
+	}
+}
+
+// TestQueuePriorityStrict: a higher priority class always empties
+// before a lower one sees a dispatch.
+func TestQueuePriorityStrict(t *testing.T) {
+	q := newQueue()
+	q.push(qjob("lo", 0))
+	q.push(qjob("lo", 0))
+	q.push(qjob("hi", 5))
+	got := drainOrder(q, map[string]int{}, map[string]int64{})
+	want := []string{"hi", "lo", "lo"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dispatch order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestQueueFairShareRoundRobin: equal running counts round-robin across
+// tenants instead of draining one tenant's FIFO first.
+func TestQueueFairShareRoundRobin(t *testing.T) {
+	q := newQueue()
+	for i := 0; i < 3; i++ {
+		q.push(qjob("a", 0))
+	}
+	for i := 0; i < 3; i++ {
+		q.push(qjob("b", 0))
+	}
+	for i := 0; i < 3; i++ {
+		q.push(qjob("c", 0))
+	}
+	got := drainOrder(q, map[string]int{}, map[string]int64{})
+	want := []string{"a", "b", "c", "a", "b", "c", "a", "b", "c"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("dispatch order %v, want round-robin %v", got, want)
+	}
+}
+
+// TestQueueFavoursTenantWithFewestRunning: max-min on running slots —
+// the tenant already holding slots waits for the tenant holding none.
+func TestQueueFavoursTenantWithFewestRunning(t *testing.T) {
+	q := newQueue()
+	q.push(qjob("greedy", 0))
+	q.push(qjob("starved", 0))
+	j := q.pop(func(t string) (int, int64) {
+		if t == "greedy" {
+			return 3, 0
+		}
+		return 0, 0
+	})
+	if j.spec.Tenant != "starved" {
+		t.Fatalf("dispatched %q, want the tenant with no running slots", j.spec.Tenant)
+	}
+}
+
+// TestQueueRemove: cancelling a queued job removes exactly it and keeps
+// the bookkeeping consistent.
+func TestQueueRemove(t *testing.T) {
+	q := newQueue()
+	a1, a2 := qjob("a", 0), qjob("a", 0)
+	q.push(a1)
+	q.push(a2)
+	if !q.remove(a1) {
+		t.Fatal("queued job not found for removal")
+	}
+	if q.remove(a1) {
+		t.Fatal("removed the same job twice")
+	}
+	if q.len() != 1 {
+		t.Fatalf("queue len = %d after removal, want 1", q.len())
+	}
+	if j := q.pop(func(string) (int, int64) { return 0, 0 }); j != a2 {
+		t.Fatal("wrong job left in queue")
+	}
+	if q.len() != 0 || q.pop(func(string) (int, int64) { return 0, 0 }) != nil {
+		t.Fatal("queue not empty after draining")
+	}
+}
+
+// TestQueueDrain: shutdown returns every queued job across classes.
+func TestQueueDrain(t *testing.T) {
+	q := newQueue()
+	q.push(qjob("a", 0))
+	q.push(qjob("b", 3))
+	q.push(qjob("c", 9))
+	if got := q.drain(); len(got) != 3 {
+		t.Fatalf("drained %d jobs, want 3", len(got))
+	}
+	if q.len() != 0 {
+		t.Fatalf("queue len = %d after drain", q.len())
+	}
+}

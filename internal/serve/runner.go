@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+
+	"trainbox/internal/dataprep"
+	"trainbox/internal/fpga"
+	"trainbox/internal/metrics"
+	"trainbox/internal/nvme"
+	"trainbox/internal/preppool"
+	"trainbox/internal/storage"
+	"trainbox/internal/train"
+	"trainbox/internal/units"
+	"trainbox/internal/workload"
+)
+
+// Runner is the server's training backend: it executes one admitted job
+// to completion (or cancellation via ctx). id is the server-assigned
+// job ID — unique per server, valid as a preppool job name.
+type Runner interface {
+	Run(ctx context.Context, id string, spec JobSpec) (Outcome, error)
+}
+
+// RunnerFunc adapts a function to Runner.
+type RunnerFunc func(ctx context.Context, id string, spec JobSpec) (Outcome, error)
+
+// Run implements Runner.
+func (f RunnerFunc) Run(ctx context.Context, id string, spec JobSpec) (Outcome, error) {
+	return f(ctx, id, spec)
+}
+
+// Training-workload shape every submitted job runs: jobs share one
+// synthetic 4-class image corpus (each re-augmenting it under its own
+// dataset seed, as tenants sharing a dataset would), cropped small
+// enough that a job is milliseconds of real decode→augment→train work.
+const (
+	runnerCrop     = 16
+	runnerClasses  = 4
+	featureBlock   = 4
+	runnerLR       = 0.05
+	runnerPrefetch = 1
+)
+
+// TrainRunner is the real backend: every job trains on the shared
+// corpus with its own executor and seed, registered with the shared
+// prep-pool (when one is wired) under the job's RequiredRate and
+// Priority, and driven through train.RunJobs so driver telemetry and
+// error attribution carry the job's ID.
+//
+// Build it with NewTrainRunner (host-only) or NewTrainBackend (with a
+// device pool). The pooled devices MUST be constructed over this
+// runner's Store(), or pooled preparation would read a different
+// corpus than the host half of each epoch.
+type TrainRunner struct {
+	// Pool, when set, serves each job's preparation through
+	// internal/preppool.
+	Pool *preppool.Pool
+	// Workers is the per-job host executor's worker count (default 1).
+	Workers int
+
+	store  *storage.Store
+	keys   []string
+	imgCfg dataprep.ImageConfig
+}
+
+// NewTrainRunner builds the backend's shared corpus: corpusItems
+// synthetic JPEG samples under the given seed. Jobs address the first
+// JobSpec.Items of them per epoch.
+func NewTrainRunner(corpusItems int, seed int64) (*TrainRunner, error) {
+	if corpusItems < 1 {
+		return nil, fmt.Errorf("serve: corpus needs ≥ 1 item, got %d", corpusItems)
+	}
+	store := storage.NewStore(storage.DefaultSSDSpec())
+	if err := dataprep.BuildImageDataset(store, corpusItems, runnerClasses, seed); err != nil {
+		return nil, err
+	}
+	imgCfg := dataprep.DefaultImageConfig()
+	imgCfg.CropW, imgCfg.CropH = runnerCrop, runnerCrop
+	return &TrainRunner{store: store, keys: store.Keys(), imgCfg: imgCfg}, nil
+}
+
+// Store returns the shared corpus store (for building pooled devices
+// or wiring storage metrics).
+func (r *TrainRunner) Store() *storage.Store { return r.store }
+
+// ImageConfig returns the preparation config pooled device emulators
+// must match for bit-identical host/pool epochs.
+func (r *TrainRunner) ImageConfig() dataprep.ImageConfig { return r.imgCfg }
+
+// NewTrainBackend builds the whole real training backend in one call:
+// the shared corpus, `devices` pooled FPGA handlers over it, and the
+// prep-pool (metered into reg, with any extra pool options applied).
+// With devices == 0 the runner stays host-only and the pool is nil.
+func NewTrainBackend(devices, corpusItems int, seed int64, reg *metrics.Registry, poolOpts ...preppool.Option) (*TrainRunner, *preppool.Pool, error) {
+	r, err := NewTrainRunner(corpusItems, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	if devices == 0 {
+		return r, nil, nil
+	}
+	ns, err := nvme.LoadStore(r.store)
+	if err != nil {
+		return nil, nil, err
+	}
+	handlers := make([]*fpga.P2PHandler, devices)
+	for i := range handlers {
+		h, err := fpga.NewP2PHandler(ns, fpga.NewImageEmulator(r.imgCfg), 8, fpga.WithMetrics(reg))
+		if err != nil {
+			return nil, nil, err
+		}
+		handlers[i] = h
+	}
+	opts := append([]preppool.Option{preppool.WithMetrics(reg)}, poolOpts...)
+	pool, err := preppool.NewPool(handlers, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	r.Pool = pool
+	return r, pool, nil
+}
+
+// Run implements Runner with a real training run.
+func (r *TrainRunner) Run(ctx context.Context, id string, spec JobSpec) (out Outcome, retErr error) {
+	items := spec.Items
+	if items > len(r.keys) {
+		items = len(r.keys)
+	}
+	if items < spec.Replicas {
+		return Outcome{}, fmt.Errorf("%w: corpus of %d items cannot feed %d replicas", ErrBadSpec, len(r.keys), spec.Replicas)
+	}
+	keys := r.keys[:items]
+	workers := r.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	exec := dataprep.NewExecutor(dataprep.ImagePreparer{Config: r.imgCfg}, workers, spec.Seed)
+
+	opts := []train.Option{train.WithFeature(blockFeature)}
+	if r.Pool != nil {
+		pj, err := r.Pool.Register(preppool.JobSpec{
+			Name:         id,
+			Type:         workload.Image,
+			RequiredRate: units.SamplesPerSec(spec.RequiredRate),
+			Priority:     spec.Priority,
+			Exec:         exec,
+			Store:        r.store,
+			DatasetSeed:  spec.Seed,
+		})
+		if err != nil {
+			return Outcome{}, err
+		}
+		defer func() {
+			if cerr := pj.Close(); cerr != nil && retErr == nil {
+				retErr = cerr
+			}
+		}()
+		opts = append(opts, train.WithPreparer(pj.Preparer(keys), len(keys)))
+	} else {
+		opts = append(opts, train.WithDataset(exec, r.store, keys))
+	}
+
+	side := runnerCrop / featureBlock
+	cfg := train.Config{
+		Replicas:      spec.Replicas,
+		Widths:        []int{side * side, 8, runnerClasses},
+		Epochs:        spec.Epochs,
+		LearningRate:  runnerLR,
+		PrefetchDepth: runnerPrefetch,
+		Seed:          spec.Seed,
+	}
+	results, err := train.RunJobs(ctx, []train.Job{{Name: id, Config: cfg, Options: opts}})
+	if err != nil {
+		return Outcome{}, err
+	}
+	res := results[0].Result
+	return Outcome{
+		FinalLoss: res.FinalLoss(),
+		Samples:   res.SamplesProcessed,
+		Steps:     len(res.Steps),
+		ElapsedMs: float64(res.Elapsed.Nanoseconds()) / 1e6,
+	}, nil
+}
+
+// blockFeature pools the prepared tensor's first channel into coarse
+// block averages — the same featurization the bench harness and the
+// training CLI use.
+func blockFeature(p dataprep.Prepared) ([]float64, int, error) {
+	ten := p.Image
+	side := ten.W / featureBlock
+	feat := make([]float64, side*side)
+	for by := 0; by < side; by++ {
+		for bx := 0; bx < side; bx++ {
+			var sum float64
+			for y := by * featureBlock; y < (by+1)*featureBlock; y++ {
+				for x := bx * featureBlock; x < (bx+1)*featureBlock; x++ {
+					sum += float64(ten.At(0, y, x))
+				}
+			}
+			feat[by*side+bx] = sum / (featureBlock * featureBlock)
+		}
+	}
+	return feat, p.Label, nil
+}

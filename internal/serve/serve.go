@@ -1,0 +1,739 @@
+// Package serve is the multi-tenant training front-end: a long-running
+// submission service that turns the prep-pool from an in-process
+// library into a schedulable shared resource. Tenants submit training
+// jobs over a small HTTP API (see Handler); the server admits them
+// under per-tenant quotas, queues them priority-first with max-min
+// fair-share across tenants, dispatches up to a fixed number of
+// concurrent runs onto internal/preppool + train.RunJobs, and sheds
+// load with 429 + Retry-After once queue depth or free-device pressure
+// crosses its thresholds.
+//
+// The layering mirrors the paper's Section V-D split: the prep-pool's
+// rebalancer divides *devices* max-min across the jobs that are
+// running, while this package's queue divides *run slots* max-min
+// across the tenants that are waiting — so fairness holds at both the
+// device and the job granularity.
+//
+// Every tenant gets its own metric namespace, serve.tenant.<name>.*,
+// under the repo-wide subsystem.object.metric scheme (metrics.ValidName
+// accepts every name the server registers; the tenant-name grammar is
+// restricted exactly so that this holds).
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"regexp"
+	"sync"
+	"time"
+
+	"trainbox/internal/metrics"
+	"trainbox/internal/preppool"
+)
+
+// State is one job's position in the lifecycle state machine:
+//
+//	queued → running → done
+//	   │        ├───→ failed
+//	   └────────┴───→ cancelled
+//
+// queued and running are the live states; done, failed, and cancelled
+// are terminal.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// nameRE restricts tenant and job names so that every derived metric
+// name ("serve.tenant.<tenant>.submitted", "preppool.job.<id>.leases")
+// stays valid under metrics.ValidName and preppool's job-name grammar.
+var nameRE = regexp.MustCompile(`^[a-z][a-z0-9_-]{0,31}$`)
+
+// MaxPriority bounds JobSpec.Priority (higher runs first).
+const MaxPriority = 9
+
+// JobSpec is one training-job submission.
+type JobSpec struct {
+	// Tenant attributes the job for quotas, fair-share, and telemetry.
+	// Must match ^[a-z][a-z0-9_-]{0,31}$.
+	Tenant string `json:"tenant"`
+	// Name is an optional tenant-side label (same grammar as Tenant);
+	// the server always addresses the job by its assigned ID.
+	Name string `json:"name,omitempty"`
+	// Priority in [0, MaxPriority]; higher-priority jobs dispatch first
+	// and register their prep-pool claim in a higher rebalancing tier.
+	Priority int `json:"priority,omitempty"`
+	// Items is the synthetic dataset size (defaults to 8, capped at 64;
+	// raised to Replicas when smaller).
+	Items int `json:"items,omitempty"`
+	// Epochs is the number of training passes (defaults to 2, capped at 16).
+	Epochs int `json:"epochs,omitempty"`
+	// Replicas is the data-parallel width (defaults to 1, capped at 8).
+	Replicas int `json:"replicas,omitempty"`
+	// RequiredRate is the job's claim on the shared prep-pool in
+	// samples/s; 0 keeps preparation on the host path.
+	RequiredRate float64 `json:"required_rate,omitempty"`
+	// Seed makes the job's dataset and training run deterministic
+	// (defaults to 1).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// ErrBadSpec marks submissions rejected by validation (HTTP 400).
+var ErrBadSpec = errors.New("serve: invalid job spec")
+
+// normalize validates the spec and fills defaults in place.
+func (sp *JobSpec) normalize() error {
+	if !nameRE.MatchString(sp.Tenant) {
+		return fmt.Errorf("%w: tenant %q must match %s", ErrBadSpec, sp.Tenant, nameRE)
+	}
+	if sp.Name != "" && !nameRE.MatchString(sp.Name) {
+		return fmt.Errorf("%w: name %q must match %s", ErrBadSpec, sp.Name, nameRE)
+	}
+	if sp.Priority < 0 || sp.Priority > MaxPriority {
+		return fmt.Errorf("%w: priority %d outside [0,%d]", ErrBadSpec, sp.Priority, MaxPriority)
+	}
+	if sp.Items < 0 || sp.Epochs < 0 || sp.Replicas < 0 || sp.RequiredRate < 0 {
+		return fmt.Errorf("%w: negative workload parameters", ErrBadSpec)
+	}
+	if sp.Items == 0 {
+		sp.Items = 8
+	}
+	if sp.Epochs == 0 {
+		sp.Epochs = 2
+	}
+	if sp.Replicas == 0 {
+		sp.Replicas = 1
+	}
+	if sp.Seed == 0 {
+		sp.Seed = 1
+	}
+	if sp.Items > 64 || sp.Epochs > 16 || sp.Replicas > 8 {
+		return fmt.Errorf("%w: workload too large (items ≤ 64, epochs ≤ 16, replicas ≤ 8)", ErrBadSpec)
+	}
+	if sp.Items < sp.Replicas {
+		sp.Items = sp.Replicas
+	}
+	return nil
+}
+
+// Outcome is a finished job's training summary.
+type Outcome struct {
+	FinalLoss float64 `json:"final_loss"`
+	Samples   int     `json:"samples"`
+	Steps     int     `json:"steps"`
+	ElapsedMs float64 `json:"elapsed_ms"`
+}
+
+// Info is a point-in-time snapshot of one job.
+type Info struct {
+	ID        string    `json:"id"`
+	Tenant    string    `json:"tenant"`
+	Name      string    `json:"name,omitempty"`
+	Priority  int       `json:"priority"`
+	State     State     `json:"state"`
+	Error     string    `json:"error,omitempty"`
+	Submitted time.Time `json:"submitted"`
+	Started   time.Time `json:"started,omitempty"`
+	Finished  time.Time `json:"finished,omitempty"`
+	Outcome   *Outcome  `json:"outcome,omitempty"`
+}
+
+// job is the server-side record; guarded by Server.mu.
+type job struct {
+	id              string
+	spec            JobSpec
+	state           State
+	err             string
+	submitted       time.Time
+	started         time.Time
+	finished        time.Time
+	outcome         *Outcome
+	cancel          context.CancelFunc // set while running
+	cancelRequested bool
+	dispatchSeq     int64
+}
+
+func (j *job) info() Info {
+	inf := Info{
+		ID: j.id, Tenant: j.spec.Tenant, Name: j.spec.Name,
+		Priority: j.spec.Priority, State: j.state, Error: j.err,
+		Submitted: j.submitted, Started: j.started, Finished: j.finished,
+	}
+	if j.outcome != nil {
+		o := *j.outcome
+		inf.Outcome = &o
+	}
+	return inf
+}
+
+// tenant is per-tenant accounting plus its metric namespace.
+type tenant struct {
+	name         string
+	queued       int
+	running      int
+	lastDispatch int64
+
+	cSubmitted *metrics.Counter // serve.tenant.<name>.submitted
+	cAdmitted  *metrics.Counter // serve.tenant.<name>.admitted
+	cShed      *metrics.Counter // serve.tenant.<name>.shed
+	cDone      *metrics.Counter // serve.tenant.<name>.done
+	cFailed    *metrics.Counter // serve.tenant.<name>.failed
+	cCancelled *metrics.Counter // serve.tenant.<name>.cancelled
+	gQueued    *metrics.Gauge   // serve.tenant.<name>.queued
+	gRunning   *metrics.Gauge   // serve.tenant.<name>.running
+}
+
+// ShedError is an admission rejection: the request was valid but the
+// server is not accepting it right now (HTTP 429 + Retry-After).
+type ShedError struct {
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("serve: overloaded (%s), retry after %v", e.Reason, e.RetryAfter)
+}
+
+// Lifecycle errors surfaced by the API layer.
+var (
+	ErrNotFound        = errors.New("serve: no such job")
+	ErrClosed          = errors.New("serve: server is shut down")
+	ErrNotFinished     = errors.New("serve: job has not finished")
+	ErrAlreadyFinished = errors.New("serve: job already finished")
+)
+
+// Option configures a Server at construction.
+type Option func(*Server) error
+
+// WithMaxRunning caps concurrently running training jobs (default 4).
+func WithMaxRunning(n int) Option {
+	return func(s *Server) error {
+		if n < 1 {
+			return fmt.Errorf("serve: max running must be ≥ 1, got %d", n)
+		}
+		s.cfg.maxRunning = n
+		return nil
+	}
+}
+
+// WithQueueLimit sets the queue depth above which every submission is
+// shed with 429 (default 64).
+func WithQueueLimit(n int) Option {
+	return func(s *Server) error {
+		if n < 1 {
+			return fmt.Errorf("serve: queue limit must be ≥ 1, got %d", n)
+		}
+		s.cfg.queueLimit = n
+		return nil
+	}
+}
+
+// WithPressureLimit sets the lower queue-depth threshold that applies
+// while the prep-pool has no free device — shedding starts earlier when
+// device pressure means queued jobs will not start soon (default
+// queueLimit/4, minimum 1).
+func WithPressureLimit(n int) Option {
+	return func(s *Server) error {
+		if n < 1 {
+			return fmt.Errorf("serve: pressure limit must be ≥ 1, got %d", n)
+		}
+		s.cfg.pressureLimit = n
+		return nil
+	}
+}
+
+// WithTenantQuota caps one tenant's live (queued + running) jobs
+// (default 8); submissions beyond it are shed with 429.
+func WithTenantQuota(n int) Option {
+	return func(s *Server) error {
+		if n < 1 {
+			return fmt.Errorf("serve: tenant quota must be ≥ 1, got %d", n)
+		}
+		s.cfg.tenantQuota = n
+		return nil
+	}
+}
+
+// WithRetryAfter sets the Retry-After hint attached to shed responses
+// (default 1s).
+func WithRetryAfter(d time.Duration) Option {
+	return func(s *Server) error {
+		if d <= 0 {
+			return fmt.Errorf("serve: retry-after must be positive")
+		}
+		s.cfg.retryAfter = d
+		return nil
+	}
+}
+
+// WithMetrics attaches the registry the server (and its default
+// TrainRunner's pool jobs, when they share it) reports into.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(s *Server) error {
+		if reg == nil {
+			return fmt.Errorf("serve: WithMetrics needs a registry")
+		}
+		s.reg = reg
+		return nil
+	}
+}
+
+// WithPool wires the shared prep-pool: the default TrainRunner
+// dispatches onto it, and its free-device count feeds the
+// pressure-shedding signal.
+func WithPool(pool *preppool.Pool) Option {
+	return func(s *Server) error {
+		if pool == nil {
+			return fmt.Errorf("serve: WithPool needs a pool")
+		}
+		s.pool = pool
+		s.cfg.pressure = func() bool { return pool.FreeDevices() == 0 }
+		return nil
+	}
+}
+
+// WithPressureSignal overrides the free-device pressure signal (tests
+// and non-pool integrations).
+func WithPressureSignal(f func() bool) Option {
+	return func(s *Server) error {
+		if f == nil {
+			return fmt.Errorf("serve: WithPressureSignal needs a function")
+		}
+		s.cfg.pressure = f
+		return nil
+	}
+}
+
+// WithRunner sets the training backend. Required — use the TrainRunner
+// from NewTrainBackend for real training, or any Runner for tests.
+func WithRunner(r Runner) Option {
+	return func(s *Server) error {
+		if r == nil {
+			return fmt.Errorf("serve: WithRunner needs a runner")
+		}
+		s.runner = r
+		return nil
+	}
+}
+
+type config struct {
+	maxRunning    int
+	queueLimit    int
+	pressureLimit int
+	tenantQuota   int
+	retryAfter    time.Duration
+	pressure      func() bool
+}
+
+// Server is the multi-tenant front-end. Construct with NewServer, serve
+// its Handler, and Close it to cancel every live job and reclaim every
+// goroutine.
+type Server struct {
+	cfg    config
+	runner Runner
+	reg    *metrics.Registry
+	pool   *preppool.Pool
+
+	mu      sync.Mutex
+	jobs    map[string]*job
+	order   []string // job IDs in submission order, for stable listings
+	q       *queue
+	tenants map[string]*tenant
+	running int
+	seq     int64
+	closed  bool
+
+	wake       chan struct{}
+	schedDone  chan struct{}
+	wg         sync.WaitGroup
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	cSubmitted *metrics.Counter   // serve.server.submitted
+	cAdmitted  *metrics.Counter   // serve.server.admitted
+	cShed      *metrics.Counter   // serve.server.shed
+	cDone      *metrics.Counter   // serve.server.done
+	cFailed    *metrics.Counter   // serve.server.failed
+	cCancelled *metrics.Counter   // serve.server.cancelled
+	gQueue     *metrics.Gauge     // serve.server.queue_depth
+	gRunning   *metrics.Gauge     // serve.server.running
+	hSubmitNs  *metrics.Histogram // serve.server.submit_ns
+}
+
+// NewServer builds and starts the front-end (its scheduler goroutine
+// runs until Close).
+func NewServer(opts ...Option) (*Server, error) {
+	s := &Server{
+		cfg: config{
+			maxRunning:  4,
+			queueLimit:  64,
+			tenantQuota: 8,
+			retryAfter:  time.Second,
+		},
+		jobs:      map[string]*job{},
+		q:         newQueue(),
+		tenants:   map[string]*tenant{},
+		wake:      make(chan struct{}, 1),
+		schedDone: make(chan struct{}),
+	}
+	for _, opt := range opts {
+		if err := opt(s); err != nil {
+			return nil, err
+		}
+	}
+	if s.cfg.pressureLimit == 0 {
+		s.cfg.pressureLimit = max(1, s.cfg.queueLimit/4)
+	}
+	if s.reg == nil {
+		s.reg = metrics.NewRegistry()
+	}
+	if s.runner == nil {
+		return nil, fmt.Errorf("serve: a training backend is required (WithRunner; see NewTrainBackend)")
+	}
+	s.cSubmitted = s.reg.Counter("serve.server.submitted")
+	s.cAdmitted = s.reg.Counter("serve.server.admitted")
+	s.cShed = s.reg.Counter("serve.server.shed")
+	s.cDone = s.reg.Counter("serve.server.done")
+	s.cFailed = s.reg.Counter("serve.server.failed")
+	s.cCancelled = s.reg.Counter("serve.server.cancelled")
+	s.gQueue = s.reg.Gauge("serve.server.queue_depth")
+	s.gRunning = s.reg.Gauge("serve.server.running")
+	s.hSubmitNs = s.reg.Histogram("serve.server.submit_ns")
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	go s.schedule()
+	return s, nil
+}
+
+// Metrics returns the server's registry.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// tenantLocked finds or creates the tenant record and its namespace.
+func (s *Server) tenantLocked(name string) *tenant {
+	t := s.tenants[name]
+	if t == nil {
+		prefix := "serve.tenant." + name + "."
+		t = &tenant{
+			name:       name,
+			cSubmitted: s.reg.Counter(prefix + "submitted"),
+			cAdmitted:  s.reg.Counter(prefix + "admitted"),
+			cShed:      s.reg.Counter(prefix + "shed"),
+			cDone:      s.reg.Counter(prefix + "done"),
+			cFailed:    s.reg.Counter(prefix + "failed"),
+			cCancelled: s.reg.Counter(prefix + "cancelled"),
+			gQueued:    s.reg.Gauge(prefix + "queued"),
+			gRunning:   s.reg.Gauge(prefix + "running"),
+		}
+		s.tenants[name] = t
+	}
+	return t
+}
+
+// Submit validates and admits one job, returning its queued snapshot.
+// Admission rejections return *ShedError; validation failures wrap
+// ErrBadSpec; a closed server returns ErrClosed.
+func (s *Server) Submit(spec JobSpec) (Info, error) {
+	start := time.Now()
+	if err := spec.normalize(); err != nil {
+		return Info{}, err
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Info{}, ErrClosed
+	}
+	t := s.tenantLocked(spec.Tenant)
+	t.cSubmitted.Inc()
+	s.cSubmitted.Inc()
+
+	if shed := s.shedReasonLocked(t); shed != "" {
+		t.cShed.Inc()
+		s.cShed.Inc()
+		retry := s.cfg.retryAfter
+		s.mu.Unlock()
+		return Info{}, &ShedError{Reason: shed, RetryAfter: retry}
+	}
+
+	s.seq++
+	j := &job{
+		id:        fmt.Sprintf("j-%d", s.seq),
+		spec:      spec,
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.q.push(j)
+	t.queued++
+	t.cAdmitted.Inc()
+	t.gQueued.SetInt(int64(t.queued))
+	s.cAdmitted.Inc()
+	s.gQueue.SetInt(int64(s.q.len()))
+	inf := j.info()
+	s.mu.Unlock()
+
+	s.kick()
+	s.hSubmitNs.ObserveDuration(time.Since(start))
+	return inf, nil
+}
+
+// shedReasonLocked evaluates the admission-control policy in order:
+// per-tenant quota, hard queue limit, then the earlier pressure limit
+// that applies while the prep-pool has no free device.
+func (s *Server) shedReasonLocked(t *tenant) string {
+	if t.queued+t.running >= s.cfg.tenantQuota {
+		return "tenant quota"
+	}
+	if s.q.len() >= s.cfg.queueLimit {
+		return "queue full"
+	}
+	if s.cfg.pressure != nil && s.q.len() >= s.cfg.pressureLimit && s.cfg.pressure() {
+		return "device pressure"
+	}
+	return ""
+}
+
+// kick wakes the scheduler without blocking.
+func (s *Server) kick() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// schedule is the dispatch loop: whenever woken it fills every free run
+// slot from the queue, fair-share order.
+func (s *Server) schedule() {
+	defer close(s.schedDone)
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-s.wake:
+		}
+		s.mu.Lock()
+		for !s.closed && s.running < s.cfg.maxRunning {
+			j := s.q.pop(func(name string) (int, int64) {
+				t := s.tenants[name]
+				return t.running, t.lastDispatch
+			})
+			if j == nil {
+				break
+			}
+			s.startLocked(j)
+		}
+		s.gQueue.SetInt(int64(s.q.len()))
+		s.mu.Unlock()
+	}
+}
+
+// startLocked moves a popped job to running and launches its runner.
+func (s *Server) startLocked(j *job) {
+	t := s.tenants[j.spec.Tenant]
+	t.queued--
+	t.running++
+	t.lastDispatch = j.dispatchSeq
+	t.gQueued.SetInt(int64(t.queued))
+	t.gRunning.SetInt(int64(t.running))
+	j.state = StateRunning
+	j.started = time.Now()
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j.cancel = cancel
+	s.running++
+	s.gRunning.SetInt(int64(s.running))
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer cancel()
+		out, err := s.runner.Run(ctx, j.id, j.spec)
+		s.finish(j, out, err)
+	}()
+}
+
+// finish records a runner's outcome and frees the slot.
+func (s *Server) finish(j *job, out Outcome, err error) {
+	s.mu.Lock()
+	t := s.tenants[j.spec.Tenant]
+	t.running--
+	t.gRunning.SetInt(int64(t.running))
+	s.running--
+	s.gRunning.SetInt(int64(s.running))
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.outcome = &out
+		t.cDone.Inc()
+		s.cDone.Inc()
+	case j.cancelRequested || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.state = StateCancelled
+		j.err = err.Error()
+		t.cCancelled.Inc()
+		s.cCancelled.Inc()
+	default:
+		j.state = StateFailed
+		j.err = err.Error()
+		t.cFailed.Inc()
+		s.cFailed.Inc()
+	}
+	s.mu.Unlock()
+	s.kick()
+}
+
+// Status returns a job snapshot.
+func (s *Server) Status(id string) (Info, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return Info{}, ErrNotFound
+	}
+	return j.info(), nil
+}
+
+// Result returns a done job's snapshot (including its Outcome).
+// Live jobs return ErrNotFinished; failed or cancelled jobs return
+// ErrAlreadyFinished with their terminal state in the message.
+func (s *Server) Result(id string) (Info, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return Info{}, ErrNotFound
+	}
+	switch {
+	case j.state == StateDone:
+		return j.info(), nil
+	case j.state.Terminal():
+		return j.info(), fmt.Errorf("%w: job %s is %s, not done", ErrAlreadyFinished, id, j.state)
+	default:
+		return j.info(), fmt.Errorf("%w: job %s is %s", ErrNotFinished, id, j.state)
+	}
+}
+
+// Cancel stops a queued or running job. Terminal jobs return
+// ErrAlreadyFinished; unknown IDs ErrNotFound. Cancellation of a
+// running job is asynchronous — poll Status for "cancelled".
+func (s *Server) Cancel(id string) error {
+	s.mu.Lock()
+	j := s.jobs[id]
+	if j == nil {
+		s.mu.Unlock()
+		return ErrNotFound
+	}
+	switch j.state {
+	case StateQueued:
+		s.q.remove(j)
+		t := s.tenants[j.spec.Tenant]
+		t.queued--
+		t.gQueued.SetInt(int64(t.queued))
+		s.gQueue.SetInt(int64(s.q.len()))
+		j.state = StateCancelled
+		j.finished = time.Now()
+		t.cCancelled.Inc()
+		s.cCancelled.Inc()
+		s.mu.Unlock()
+		return nil
+	case StateRunning:
+		j.cancelRequested = true
+		cancel := j.cancel
+		s.mu.Unlock()
+		cancel()
+		return nil
+	default:
+		s.mu.Unlock()
+		return fmt.Errorf("%w: job %s is %s", ErrAlreadyFinished, id, j.state)
+	}
+}
+
+// List returns snapshots in submission order, optionally filtered by
+// tenant ("" = all).
+func (s *Server) List(tenantName string) []Info {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Info, 0, len(s.order))
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if tenantName != "" && j.spec.Tenant != tenantName {
+			continue
+		}
+		out = append(out, j.info())
+	}
+	return out
+}
+
+// Stats is the health endpoint's summary.
+type Stats struct {
+	QueueDepth  int  `json:"queue_depth"`
+	Running     int  `json:"running"`
+	MaxRunning  int  `json:"max_running"`
+	Jobs        int  `json:"jobs"`
+	Tenants     int  `json:"tenants"`
+	Pool        bool `json:"pool"`
+	FreeDevices int  `json:"free_devices"`
+	Closed      bool `json:"closed"`
+}
+
+// Stats reports the server's live occupancy.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	st := Stats{
+		QueueDepth: s.q.len(),
+		Running:    s.running,
+		MaxRunning: s.cfg.maxRunning,
+		Jobs:       len(s.jobs),
+		Tenants:    len(s.tenants),
+		Pool:       s.pool != nil,
+		Closed:     s.closed,
+	}
+	s.mu.Unlock()
+	if s.pool != nil {
+		st.FreeDevices = s.pool.FreeDevices()
+	} else {
+		st.FreeDevices = -1
+	}
+	return st
+}
+
+// Close shuts the front-end down: queued jobs become cancelled, running
+// jobs are cancelled through their contexts, and Close blocks until the
+// scheduler and every runner goroutine have exited. Safe to call once;
+// a second Close returns ErrClosed.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.closed = true
+	now := time.Now()
+	for _, j := range s.q.drain() {
+		t := s.tenants[j.spec.Tenant]
+		t.queued--
+		t.gQueued.SetInt(int64(t.queued))
+		j.state = StateCancelled
+		j.err = "server shut down"
+		j.finished = now
+		t.cCancelled.Inc()
+		s.cCancelled.Inc()
+	}
+	s.gQueue.SetInt(0)
+	s.mu.Unlock()
+
+	s.baseCancel()
+	<-s.schedDone
+	s.wg.Wait()
+	return nil
+}

@@ -2,6 +2,7 @@ package train
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 )
@@ -15,18 +16,46 @@ type Job struct {
 	Options []Option
 }
 
-// JobResult pairs a finished job's name with its Result.
+// JobStatus is the terminal state of one job in a multi-job workload.
+type JobStatus string
+
+const (
+	// JobDone: the job trained to completion; Result is populated.
+	JobDone JobStatus = "done"
+	// JobFailed: the job's own pipeline surfaced an error (Err).
+	JobFailed JobStatus = "failed"
+	// JobCancelled: the job was stopped by cancellation — either the
+	// caller's context or the workload-wide cancel that a sibling's
+	// failure triggers.
+	JobCancelled JobStatus = "cancelled"
+)
+
+// JobResult is one finished job's slot in the workload: its name, how
+// it ended, its error when it did not finish, and its Result when it
+// did.
 type JobResult struct {
 	Name string
+	// Status distinguishes a job that trained to completion from one
+	// that failed on its own error and one that was cancelled (by the
+	// caller or as collateral of a sibling's failure).
+	Status JobStatus
+	// Err is the job's own error for failed/cancelled jobs, nil for done.
+	Err error
 	Result
 }
 
 // RunJobs trains the jobs concurrently — the multi-tenant shape of the
 // paper's Section V-D, where several training jobs share one prep-pool.
 // Each job runs its own driver pipeline in its own goroutine; the first
-// job error (or ctx being cancelled) cancels every other job. Results
-// are returned in job order. Job names must be non-empty and unique so
-// per-job telemetry and pool leases stay attributable.
+// job error (or ctx being cancelled) cancels every other job.
+//
+// Per-job outcomes are returned in job order even when the workload
+// fails: every slot carries a terminal Status (done / failed /
+// cancelled) and the job's own error, so callers can attribute the
+// root cause vs cancellation collateral. The returned error is nil only
+// when every job is done; otherwise it wraps the first root-cause
+// failure. Job names must be non-empty and unique so per-job telemetry
+// and pool leases stay attributable.
 func RunJobs(ctx context.Context, jobs []Job) ([]JobResult, error) {
 	if len(jobs) == 0 {
 		return nil, fmt.Errorf("train: no jobs")
@@ -56,21 +85,39 @@ func RunJobs(ctx context.Context, jobs []Job) ([]JobResult, error) {
 		go func(i int, j Job) {
 			defer wg.Done()
 			res, err := Run(ctx, j.Config, j.Options...)
-			if err != nil {
+			results[i] = JobResult{Name: j.Name, Err: err}
+			switch {
+			case err == nil:
+				results[i].Status = JobDone
+				results[i].Result = res
+			case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+				// Collateral of the workload-wide cancel (or the caller's
+				// own context): not a root cause.
+				results[i].Status = JobCancelled
+			default:
+				results[i].Status = JobFailed
 				// Record only the root cause: jobs failing afterwards with
-				// context.Canceled were collateral of this cancellation.
+				// context errors were collateral of this cancellation.
 				errOnce.Do(func() {
 					firstErr = fmt.Errorf("train: job %q: %w", j.Name, err)
 					cancel()
 				})
-				return
 			}
-			results[i] = JobResult{Name: j.Name, Result: res}
 		}(i, j)
 	}
 	wg.Wait()
+	if firstErr == nil {
+		// No root-cause failure, but the caller's context may have
+		// cancelled the workload; surface the first cancelled job then.
+		for _, r := range results {
+			if r.Status != JobDone {
+				firstErr = fmt.Errorf("train: job %q: %w", r.Name, r.Err)
+				break
+			}
+		}
+	}
 	if firstErr != nil {
-		return nil, firstErr
+		return results, firstErr
 	}
 	return results, nil
 }

@@ -2,8 +2,12 @@ package train
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"trainbox/internal/dataprep"
 )
@@ -113,5 +117,116 @@ func TestRunHonoursContext(t *testing.T) {
 	cfg.Epochs = 50
 	if _, err := Run(ctx, cfg, WithDataset(exec, store, keys), WithFeature(stripeFeature)); err == nil {
 		t.Error("cancelled run succeeded")
+	}
+}
+
+// fakeBatch synthesizes n prepared samples for preparer-driven tests
+// whose feature function never dereferences the payload.
+func fakeBatch(n int) []dataprep.Prepared {
+	out := make([]dataprep.Prepared, n)
+	for i := range out {
+		out[i] = dataprep.Prepared{Key: fmt.Sprintf("k%03d", i)}
+	}
+	return out
+}
+
+// flatFeature ignores the prepared payload entirely — it pairs with
+// fakeBatch so cancellation tests control the preparer's timing without
+// building real datasets.
+func flatFeature(p dataprep.Prepared) ([]float64, int, error) {
+	return []float64{1, 0, 1, 0}, 0, nil
+}
+
+// slowPreparer yields a fake batch per epoch after a small delay,
+// counting epochs and honouring cancellation.
+func slowPreparer(epochs *atomic.Int64) EpochPreparer {
+	return func(ctx context.Context, epoch int) ([]dataprep.Prepared, error) {
+		epochs.Add(1)
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(2 * time.Millisecond):
+		}
+		return fakeBatch(4), nil
+	}
+}
+
+// TestRunJobsFirstErrorStatusesAndEarlyStop: when one job fails on its
+// own error, the workload error names it, its slot reports JobFailed
+// with the root cause, and the healthy sibling is cancelled long before
+// finishing — its slot reporting JobCancelled with a context error.
+func TestRunJobsFirstErrorStatusesAndEarlyStop(t *testing.T) {
+	errBoom := errors.New("boom")
+	var healthyEpochs atomic.Int64
+	doomed := func(ctx context.Context, epoch int) ([]dataprep.Prepared, error) {
+		if epoch >= 3 {
+			return nil, errBoom
+		}
+		return fakeBatch(4), nil
+	}
+	cfg := Config{Replicas: 1, Widths: []int{4, 2}, Epochs: 1000,
+		LearningRate: 0.05, PrefetchDepth: 1, Seed: 1}
+
+	results, err := RunJobs(context.Background(), []Job{
+		{Name: "healthy", Config: cfg, Options: []Option{
+			WithPreparer(slowPreparer(&healthyEpochs), 4), WithFeature(flatFeature)}},
+		{Name: "doomed", Config: cfg, Options: []Option{
+			WithPreparer(doomed, 4), WithFeature(flatFeature)}},
+	})
+	if err == nil {
+		t.Fatal("workload with a doomed job succeeded")
+	}
+	if !strings.Contains(err.Error(), "doomed") || !errors.Is(err, errBoom) {
+		t.Errorf("workload error is not the doomed job's root cause: %v", err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results len = %d, want per-job outcomes even on failure", len(results))
+	}
+	if results[1].Status != JobFailed || !errors.Is(results[1].Err, errBoom) {
+		t.Errorf("doomed slot = %v/%v, want failed/boom", results[1].Status, results[1].Err)
+	}
+	if results[0].Status != JobCancelled {
+		t.Errorf("healthy slot status = %v, want cancelled", results[0].Status)
+	}
+	if !errors.Is(results[0].Err, context.Canceled) {
+		t.Errorf("healthy slot error = %v, want a context cancellation", results[0].Err)
+	}
+	if n := healthyEpochs.Load(); n >= 900 {
+		t.Errorf("healthy job prepared %d epochs — sibling failure did not cancel it early", n)
+	}
+}
+
+// TestRunJobsContextCancelStatuses: cancelling the caller's context
+// mid-run must stop every job, mark every slot JobCancelled, and
+// surface a context error from RunJobs itself.
+func TestRunJobsContextCancelStatuses(t *testing.T) {
+	var epochsA, epochsB atomic.Int64
+	cfg := Config{Replicas: 1, Widths: []int{4, 2}, Epochs: 1000,
+		LearningRate: 0.05, PrefetchDepth: 1, Seed: 1}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	results, err := RunJobs(ctx, []Job{
+		{Name: "a", Config: cfg, Options: []Option{
+			WithPreparer(slowPreparer(&epochsA), 4), WithFeature(flatFeature)}},
+		{Name: "b", Config: cfg, Options: []Option{
+			WithPreparer(slowPreparer(&epochsB), 4), WithFeature(flatFeature)}},
+	})
+	if err == nil {
+		t.Fatal("cancelled workload succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("workload error = %v, want a context cancellation", err)
+	}
+	for i, r := range results {
+		if r.Status != JobCancelled {
+			t.Errorf("job %d status = %v, want cancelled", i, r.Status)
+		}
+	}
+	if a, b := epochsA.Load(), epochsB.Load(); a >= 900 || b >= 900 {
+		t.Errorf("jobs prepared %d/%d epochs — context cancel did not stop them early", a, b)
 	}
 }
