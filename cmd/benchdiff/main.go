@@ -4,9 +4,9 @@
 // the committed BENCH_baseline.json and exits non-zero if any metric
 // regressed by more than the threshold.
 //
-//	benchdiff -baseline BENCH_baseline.json -current bench.json [-threshold 0.25] [-alloc-threshold 0.25]
+//	benchdiff -baseline BENCH_baseline.json -current bench.json [-threshold 0.25] [-alloc-threshold 0.25] [-latency-threshold 0.5]
 //
-// Two gates run:
+// Three gates run:
 //
 //   - throughput (lower is worse): a tracked metric fails when it drops
 //     more than -threshold below the baseline;
@@ -15,7 +15,13 @@
 //     the baseline. A zero-alloc baseline fails on any allocation at
 //     all (cur > 0.5): zero allocations is an invariant, not a level.
 //     Kernel ns/sample is reported but never gated — allocation counts
-//     are deterministic where CI wall-clock is not.
+//     are deterministic where CI wall-clock is not;
+//   - latency (higher is worse): a tracked latency metric — the
+//     elastic-jobs checkpoint_restore_ns round trip — fails when it
+//     grows more than -latency-threshold above the baseline. The wider
+//     default (50%) absorbs wall-clock noise on shared runners while
+//     still catching the recovery path getting an order of magnitude
+//     more expensive.
 //
 // Only metrics present in the baseline are gated — new ones start
 // being tracked once they land in a regenerated baseline, and
@@ -45,6 +51,7 @@ type benchFile struct {
 	GoVersion  string                `json:"go_version"`
 	Throughput map[string]float64    `json:"throughput"`
 	Kernels    map[string]kernelStat `json:"kernels"`
+	Latency    map[string]float64    `json:"latency"`
 }
 
 // kernelStat mirrors trainbox-bench's per-kernel entry.
@@ -69,19 +76,23 @@ func main() {
 	currentPath := flag.String("current", "bench.json", "freshly generated report")
 	threshold := flag.Float64("threshold", 0.25, "maximum tolerated fractional throughput drop (0.25 = 25%)")
 	allocThreshold := flag.Float64("alloc-threshold", 0.25, "maximum tolerated fractional allocs/sample growth per kernel (0.25 = 25%)")
+	latencyThreshold := flag.Float64("latency-threshold", 0.5, "maximum tolerated fractional latency growth (0.5 = 50%)")
 	flag.Parse()
 
-	code, out := run(*baselinePath, *currentPath, *threshold, *allocThreshold)
+	code, out := run(*baselinePath, *currentPath, *threshold, *allocThreshold, *latencyThreshold)
 	fmt.Print(out)
 	os.Exit(code)
 }
 
-func run(baselinePath, currentPath string, threshold, allocThreshold float64) (int, string) {
+func run(baselinePath, currentPath string, threshold, allocThreshold, latencyThreshold float64) (int, string) {
 	if threshold < 0 || threshold >= 1 {
 		return 2, fmt.Sprintf("benchdiff: threshold %v outside [0,1)\n", threshold)
 	}
 	if allocThreshold < 0 {
 		return 2, fmt.Sprintf("benchdiff: alloc-threshold %v negative\n", allocThreshold)
+	}
+	if latencyThreshold < 0 {
+		return 2, fmt.Sprintf("benchdiff: latency-threshold %v negative\n", latencyThreshold)
 	}
 	baseline, err := load(baselinePath)
 	if err != nil {
@@ -143,11 +154,36 @@ func run(baselinePath, currentPath string, threshold, allocThreshold float64) (i
 		sb.WriteString(kt.String())
 	}
 
+	// The latency gate: lower is better, growth past the threshold
+	// regresses.
+	ldeltas := compareLatency(baseline.Latency, current.Latency, latencyThreshold)
+	latencyRegressions := 0
+	if len(ldeltas) > 0 {
+		lt := report.NewTable(fmt.Sprintf("Latency vs baseline (gate: +%.0f%%)", latencyThreshold*100),
+			"metric", "baseline ns", "current ns", "change", "status")
+		for _, d := range ldeltas {
+			switch {
+			case d.Missing:
+				latencyRegressions++
+				lt.AddRowf(d.Name, d.Baseline, "—", "—", "MISSING")
+			case d.New:
+				untracked++
+				lt.AddRowf(d.Name, "—", d.Current, "—", "new (untracked)")
+			case d.Regressed:
+				latencyRegressions++
+				lt.AddRowf(d.Name, d.Baseline, d.Current, changeLabel(d.Change), "REGRESSED")
+			default:
+				lt.AddRowf(d.Name, d.Baseline, d.Current, changeLabel(d.Change), "ok")
+			}
+		}
+		sb.WriteString(lt.String())
+	}
+
 	if untracked > 0 {
 		fmt.Fprintf(&sb, "benchdiff: %d new metric(s) not in %s — informational only; regenerate the baseline to start gating them\n",
 			untracked, baselinePath)
 	}
-	if regressions+allocRegressions > 0 {
+	if regressions+allocRegressions+latencyRegressions > 0 {
 		if regressions > 0 {
 			fmt.Fprintf(&sb, "benchdiff: %d tracked throughput metric(s) regressed >%.0f%% vs %s\n",
 				regressions, threshold*100, baselinePath)
@@ -156,11 +192,57 @@ func run(baselinePath, currentPath string, threshold, allocThreshold float64) (i
 			fmt.Fprintf(&sb, "benchdiff: %d tracked kernel(s) grew allocs/sample >%.0f%% vs %s\n",
 				allocRegressions, allocThreshold*100, baselinePath)
 		}
+		if latencyRegressions > 0 {
+			fmt.Fprintf(&sb, "benchdiff: %d tracked latency metric(s) grew >%.0f%% vs %s\n",
+				latencyRegressions, latencyThreshold*100, baselinePath)
+		}
 		return 1, sb.String()
 	}
-	fmt.Fprintf(&sb, "benchdiff: all %d tracked throughput metrics and %d kernels within thresholds\n",
-		len(deltas)-countNew(deltas), len(kdeltas)-countNewKernels(kdeltas))
+	fmt.Fprintf(&sb, "benchdiff: all %d tracked throughput metrics, %d kernels, and %d latency metrics within thresholds\n",
+		len(deltas)-countNew(deltas), len(kdeltas)-countNewKernels(kdeltas), len(ldeltas)-countNew(ldeltas))
 	return 0, sb.String()
+}
+
+// compareLatency gates every baseline-tracked latency metric: lower is
+// better, so a metric regresses when current > baseline × (1 +
+// threshold). A non-positive baseline only gates on the current value
+// exceeding it. A metric missing from the current report regresses —
+// tracked coverage must not silently shrink; metrics only in the
+// current report are informational until a regenerated baseline tracks
+// them.
+func compareLatency(baseline, current map[string]float64, threshold float64) []delta {
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]delta, 0, len(names))
+	for _, name := range names {
+		base := baseline[name]
+		cur, ok := current[name]
+		d := delta{Name: name, Baseline: base, Current: cur}
+		switch {
+		case !ok:
+			d.Missing = true
+		case base <= 0:
+			d.Regressed = cur > base
+		default:
+			d.Change = (cur - base) / base
+			d.Regressed = cur > base*(1+threshold)
+		}
+		out = append(out, d)
+	}
+	fresh := make([]string, 0, 4)
+	for name := range current {
+		if _, tracked := baseline[name]; !tracked {
+			fresh = append(fresh, name)
+		}
+	}
+	sort.Strings(fresh)
+	for _, name := range fresh {
+		out = append(out, delta{Name: name, Current: current[name], New: true})
+	}
+	return out
 }
 
 func changeLabel(change float64) string { return fmt.Sprintf("%+.1f%%", 100*change) }

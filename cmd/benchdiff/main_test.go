@@ -88,13 +88,13 @@ func TestRunExitCodes(t *testing.T) {
 
 	ok := writeReport(t, dir, "ok.json", "trainbox-bench/v1",
 		map[string]float64{"prefetcher_samples_per_sec": 900})
-	if code, out := run(base, ok, 0.25, 0.25); code != 0 {
+	if code, out := run(base, ok, 0.25, 0.25, 0.5); code != 0 {
 		t.Errorf("10%% drop: exit %d, output:\n%s", code, out)
 	}
 
 	bad := writeReport(t, dir, "bad.json", "trainbox-bench/v1",
 		map[string]float64{"prefetcher_samples_per_sec": 500})
-	code, out := run(base, bad, 0.25, 0.25)
+	code, out := run(base, bad, 0.25, 0.25, 0.5)
 	if code != 1 {
 		t.Errorf("50%% drop: exit %d, want 1", code)
 	}
@@ -103,25 +103,25 @@ func TestRunExitCodes(t *testing.T) {
 	}
 
 	empty := writeReport(t, dir, "empty.json", "trainbox-bench/v1", map[string]float64{})
-	if code, _ := run(base, empty, 0.25, 0.25); code != 1 {
+	if code, _ := run(base, empty, 0.25, 0.25, 0.5); code != 1 {
 		t.Errorf("missing tracked metric: exit %d, want 1", code)
 	}
 
 	wrong := writeReport(t, dir, "wrong.json", "somethingelse/v9",
 		map[string]float64{"prefetcher_samples_per_sec": 1000})
-	if code, _ := run(base, wrong, 0.25, 0.25); code != 2 {
+	if code, _ := run(base, wrong, 0.25, 0.25, 0.5); code != 2 {
 		t.Errorf("schema mismatch: exit %d, want 2", code)
 	}
 
-	if code, _ := run(empty, ok, 0.25, 0.25); code != 2 {
+	if code, _ := run(empty, ok, 0.25, 0.25, 0.5); code != 2 {
 		t.Errorf("empty baseline: exit %d, want 2", code)
 	}
 
-	if code, _ := run(base, filepath.Join(dir, "nope.json"), 0.25, 0.25); code != 2 {
+	if code, _ := run(base, filepath.Join(dir, "nope.json"), 0.25, 0.25, 0.5); code != 2 {
 		t.Errorf("missing file: exit %d, want 2", code)
 	}
 
-	if code, _ := run(base, ok, 1.5, 0.25); code != 2 {
+	if code, _ := run(base, ok, 1.5, 0.25, 0.5); code != 2 {
 		t.Errorf("bad threshold: exit %d, want 2", code)
 	}
 
@@ -130,7 +130,7 @@ func TestRunExitCodes(t *testing.T) {
 	// obvious next step.
 	grown := writeReport(t, dir, "grown.json", "trainbox-bench/v1",
 		map[string]float64{"prefetcher_samples_per_sec": 950, "pool_degraded_samples_per_sec": 500})
-	code, out = run(base, grown, 0.25, 0.25)
+	code, out = run(base, grown, 0.25, 0.25, 0.5)
 	if code != 0 {
 		t.Errorf("new metric failed the gate: exit %d, output:\n%s", code, out)
 	}
@@ -142,7 +142,7 @@ func TestRunExitCodes(t *testing.T) {
 	// mask a regression.
 	grownBad := writeReport(t, dir, "grownbad.json", "trainbox-bench/v1",
 		map[string]float64{"prefetcher_samples_per_sec": 500, "pool_degraded_samples_per_sec": 500})
-	if code, _ := run(base, grownBad, 0.25, 0.25); code != 1 {
+	if code, _ := run(base, grownBad, 0.25, 0.25, 0.5); code != 1 {
 		t.Errorf("regression masked by new metric: exit %d, want 1", code)
 	}
 }
@@ -205,6 +205,101 @@ func TestCompareKernelsAllocGate(t *testing.T) {
 	}
 }
 
+// TestCompareLatencyGate covers the latency gate's arms: lower is
+// better, tolerated growth passes, growth past the threshold
+// regresses, improvement passes, and missing/new metrics are
+// classified like the other gates.
+func TestCompareLatencyGate(t *testing.T) {
+	base := map[string]float64{
+		"a":    1000,
+		"b":    1000,
+		"c":    1000,
+		"gone": 1000,
+	}
+	cur := map[string]float64{
+		"a":   1400, // +40% < 50% threshold
+		"b":   1600, // +60% > threshold
+		"c":   200,  // faster: never regresses
+		"new": 5,
+	}
+	byName := map[string]delta{}
+	for _, d := range compareLatency(base, cur, 0.5) {
+		byName[d.Name] = d
+	}
+	if byName["a"].Regressed {
+		t.Error("a grew 40% < threshold, must pass")
+	}
+	if !byName["b"].Regressed {
+		t.Error("b grew 60% > threshold, must regress")
+	}
+	if byName["c"].Regressed {
+		t.Error("c improved, must pass")
+	}
+	if !byName["gone"].Missing {
+		t.Error("dropped latency metric must be flagged missing")
+	}
+	if d := byName["new"]; !d.New || d.Regressed || d.Missing {
+		t.Errorf("new latency metric misclassified: %+v", d)
+	}
+}
+
+func writeReportL(t *testing.T, dir, name string, throughput, latency map[string]float64) string {
+	t.Helper()
+	data, err := json.Marshal(benchFile{Schema: "trainbox-bench/v1.2", Throughput: throughput, Latency: latency})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunLatencyGateEndToEnd drives the latency gate through real
+// files: checkpoint-restore growth past the threshold fails the run
+// even when throughput is healthy, and a pre-latency baseline gates
+// nothing until regenerated.
+func TestRunLatencyGateEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	tp := map[string]float64{"prefetcher_samples_per_sec": 1000}
+	base := writeReportL(t, dir, "base.json", tp,
+		map[string]float64{"checkpoint_restore_ns": 10000})
+
+	ok := writeReportL(t, dir, "ok.json", tp,
+		map[string]float64{"checkpoint_restore_ns": 12000})
+	if code, out := run(base, ok, 0.25, 0.25, 0.5); code != 0 {
+		t.Errorf("+20%% latency: exit %d, output:\n%s", code, out)
+	}
+
+	bad := writeReportL(t, dir, "bad.json", tp,
+		map[string]float64{"checkpoint_restore_ns": 40000})
+	code, out := run(base, bad, 0.25, 0.25, 0.5)
+	if code != 1 {
+		t.Errorf("4x latency: exit %d, want 1", code)
+	}
+	if !strings.Contains(out, "REGRESSED") || !strings.Contains(out, "checkpoint_restore_ns") {
+		t.Errorf("output does not flag the latency regression:\n%s", out)
+	}
+
+	// Dropping the tracked latency metric fails.
+	dropped := writeReportL(t, dir, "dropped.json", tp, map[string]float64{})
+	if code, _ := run(base, dropped, 0.25, 0.25, 0.5); code != 1 {
+		t.Errorf("dropped latency metric: exit %d, want 1", code)
+	}
+
+	// A v1.1 baseline with no latency map still gates throughput and
+	// kernels only; the new metric is informational.
+	v11 := writeReport(t, dir, "v11.json", "trainbox-bench/v1.1", tp)
+	if code, out := run(v11, bad, 0.25, 0.25, 0.5); code != 0 {
+		t.Errorf("v1.1 baseline must not gate latency: exit %d, output:\n%s", code, out)
+	}
+
+	if code, _ := run(base, ok, 0.25, 0.25, -0.1); code != 2 {
+		t.Errorf("negative latency-threshold: exit %d, want 2", code)
+	}
+}
+
 // TestRunKernelGateEndToEnd drives the allocation gate through real
 // files: growth past the threshold fails the run even when every
 // throughput metric is healthy.
@@ -216,13 +311,13 @@ func TestRunKernelGateEndToEnd(t *testing.T) {
 
 	ok := writeReportK(t, dir, "ok.json", tp,
 		map[string]kernelStat{"prepare_image": {NsPerSample: 9000, AllocsPerSample: 4}})
-	if code, out := run(base, ok, 0.25, 0.25); code != 0 {
+	if code, out := run(base, ok, 0.25, 0.25, 0.5); code != 0 {
 		t.Errorf("unchanged allocs: exit %d, output:\n%s", code, out)
 	}
 
 	bad := writeReportK(t, dir, "bad.json", tp,
 		map[string]kernelStat{"prepare_image": {NsPerSample: 5000, AllocsPerSample: 400}})
-	code, out := run(base, bad, 0.25, 0.25)
+	code, out := run(base, bad, 0.25, 0.25, 0.5)
 	if code != 1 {
 		t.Errorf("100× alloc growth: exit %d, want 1", code)
 	}
@@ -232,18 +327,18 @@ func TestRunKernelGateEndToEnd(t *testing.T) {
 
 	// Dropping a tracked kernel fails — coverage cannot silently shrink.
 	dropped := writeReportK(t, dir, "dropped.json", tp, map[string]kernelStat{})
-	if code, _ := run(base, dropped, 0.25, 0.25); code != 1 {
+	if code, _ := run(base, dropped, 0.25, 0.25, 0.5); code != 1 {
 		t.Errorf("dropped kernel: exit %d, want 1", code)
 	}
 
 	// A v1 baseline with no kernels still gates throughput only — the
 	// kernel gate activates once a regenerated baseline tracks kernels.
 	v1 := writeReport(t, dir, "v1.json", "trainbox-bench/v1", tp)
-	if code, out := run(v1, bad, 0.25, 0.25); code != 0 {
+	if code, out := run(v1, bad, 0.25, 0.25, 0.5); code != 0 {
 		t.Errorf("v1 baseline must not gate kernels: exit %d, output:\n%s", code, out)
 	}
 
-	if code, _ := run(base, ok, 0.25, -0.1); code != 2 {
+	if code, _ := run(base, ok, 0.25, -0.1, 0.5); code != 2 {
 		t.Errorf("negative alloc-threshold: exit %d, want 2", code)
 	}
 }

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"trainbox/internal/dataprep"
+	"trainbox/internal/nn"
+	"trainbox/internal/report"
+	"trainbox/internal/storage"
+	"trainbox/internal/train"
+)
+
+// stepCheckpoint measures the elastic-jobs recovery path: the cost of
+// reloading a captured train.Checkpoint into live replicas — the
+// defensive clone WithRestore takes plus the weight and optimizer
+// velocity reload every resumed run pays before its first epoch. The
+// checkpoint comes from a real short training run so the restored state
+// shapes match what suspend/resume moves in production; the measured
+// round trip lands in the report's latency map as checkpoint_restore_ns
+// (lower is better — cmd/benchdiff gates growth against the baseline).
+func stepCheckpoint(h *harness) error {
+	const (
+		items       = 8
+		datasetSeed = 1
+		crop        = 32
+	)
+	store := storage.NewStore(storage.DefaultSSDSpec())
+	if err := dataprep.BuildImageDataset(store, items, 4, datasetSeed); err != nil {
+		return err
+	}
+	imgCfg := dataprep.DefaultImageConfig()
+	imgCfg.CropW, imgCfg.CropH = crop, crop
+	exec := dataprep.NewExecutor(dataprep.ImagePreparer{Config: imgCfg}, 0, datasetSeed)
+
+	// A two-epoch run with momentum captures exactly one checkpoint
+	// (the final epoch is never checkpointed) carrying both weights and
+	// optimizer velocity.
+	cfg := train.Config{
+		Replicas: 2, Widths: []int{64, 16, 4}, Epochs: 2,
+		LearningRate: 0.05, Momentum: 0.9, PrefetchDepth: 1, Seed: datasetSeed,
+	}
+	var cp train.Checkpoint
+	captured := false
+	if _, err := train.Run(context.Background(), cfg,
+		train.WithDataset(exec, store, store.Keys()),
+		train.WithFeature(feature),
+		train.WithCheckpointEvery(1),
+		train.WithCheckpointSink(func(c train.Checkpoint) { cp, captured = c, true }),
+	); err != nil {
+		return err
+	}
+	if !captured {
+		return fmt.Errorf("checkpoint run captured nothing")
+	}
+
+	// The restore targets: replicas and optimizers shaped like the run
+	// that resumes from the checkpoint.
+	nets := make([]*nn.Network, cfg.Replicas)
+	opts := make([]*nn.SGD, cfg.Replicas)
+	for i := range nets {
+		nets[i] = nn.NewMLP(cfg.Widths, rand.New(rand.NewSource(cfg.Seed)))
+		opt, err := nn.NewSGD(cfg.LearningRate, cfg.Momentum, 0)
+		if err != nil {
+			return err
+		}
+		opts[i] = opt
+	}
+	st := measureKernel(func() {
+		c := cp.Clone()
+		for i := range nets {
+			if err := nets[i].SetWeights(c.Replicas[i]); err != nil {
+				panic(err)
+			}
+			if err := opts[i].SetVelocity(nets[i], c.Velocity[i]); err != nil {
+				panic(err)
+			}
+		}
+	})
+	h.rep.Latency["checkpoint_restore_ns"] = st.NsPerSample
+
+	t := report.NewTable("Checkpoint restore latency (tracked by the CI perf gate)",
+		"metric", "ns")
+	t.AddRowf("checkpoint_restore_ns", st.NsPerSample)
+	h.print(t)
+	return nil
+}

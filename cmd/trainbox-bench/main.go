@@ -40,8 +40,10 @@ import (
 // benchSchema versions the JSON report format. Bump on incompatible
 // changes; cmd/benchdiff refuses to compare mismatched major schemas.
 // v1.1 adds the per-kernel matrix (ns/sample and allocs/sample per
-// sample-path kernel) alongside v1's throughput metrics.
-const benchSchema = "trainbox-bench/v1.1"
+// sample-path kernel) alongside v1's throughput metrics; v1.2 adds the
+// latency map (lower is better — currently the elastic-jobs
+// checkpoint-restore round trip).
+const benchSchema = "trainbox-bench/v1.2"
 
 var (
 	markdown = flag.Bool("md", false, "emit the paper-vs-measured summary as a markdown table")
@@ -80,7 +82,10 @@ type benchReport struct {
 	// Kernels is the per-kernel sample-path matrix; allocs/sample is
 	// gated by cmd/benchdiff, ns/sample is informational.
 	Kernels map[string]kernelStat `json:"kernels"`
-	Metrics metrics.Snapshot      `json:"metrics"`
+	// Latency holds lower-is-better nanosecond measurements (the
+	// checkpoint-restore round trip); cmd/benchdiff gates growth.
+	Latency map[string]float64 `json:"latency"`
+	Metrics metrics.Snapshot   `json:"metrics"`
 }
 
 // harness accumulates all output in memory so a mid-run failure never
@@ -130,6 +135,7 @@ func run(md bool, jsonPath string) error {
 			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 			Throughput:  map[string]float64{},
 			Kernels:     map[string]kernelStat{},
+			Latency:     map[string]float64{},
 		},
 	}
 
@@ -152,6 +158,7 @@ func run(md bool, jsonPath string) error {
 	}
 	if jsonPath != "" {
 		steps = append(steps, step{"kernel matrix", stepKernels},
+			step{"checkpoint restore", stepCheckpoint},
 			step{"live throughput", stepLiveThroughput})
 	}
 	for _, s := range steps {
@@ -175,8 +182,8 @@ func run(md bool, jsonPath string) error {
 		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
 			return fmt.Errorf("write report: %w", err)
 		}
-		fmt.Printf("wrote %s (%s, %d experiments, %d tracked throughput metrics, %d kernels)\n",
-			jsonPath, benchSchema, len(h.rep.Experiments), len(h.rep.Throughput), len(h.rep.Kernels))
+		fmt.Printf("wrote %s (%s, %d experiments, %d tracked throughput metrics, %d kernels, %d latency metrics)\n",
+			jsonPath, benchSchema, len(h.rep.Experiments), len(h.rep.Throughput), len(h.rep.Kernels), len(h.rep.Latency))
 	}
 	return nil
 }

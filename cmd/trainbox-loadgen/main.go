@@ -29,6 +29,7 @@ func main() {
 	epochs := flag.Int("epochs", 1, "epochs per job")
 	rate := flag.Float64("rate", 0, "required prep rate per job (samples/s; 0 = host path)")
 	cancelEvery := flag.Int("cancel-every", 0, "cancel every n-th admitted job (0 = never)")
+	churn := flag.Float64("churn", 0, "fraction of tenants that suspend+resume every job mid-burst (0 = off; needs an elastic backend)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "whole-run deadline")
 	minFairness := flag.Float64("min-fairness", 1, "min/max admitted-per-tenant floor")
 	wantShed := flag.Bool("want-shed", false, "fail unless the server shed at least once")
@@ -40,13 +41,15 @@ func main() {
 		JobsPerTenant: *jobs,
 		Spec:          serve.JobSpec{Items: *items, Epochs: *epochs, RequiredRate: *rate},
 		CancelEvery:   *cancelEvery,
+		ChurnFraction: *churn,
 		Retries:       -1,
 		Timeout:       *timeout,
 	}
 	inv := loadtest.Invariants{WantShed: *wantShed, MinFairness: *minFairness}
 	if *demo {
 		cfg.Tenants, cfg.JobsPerTenant = 40, 2
-		cfg.CancelEvery = 2 // every tenant's second job gets a cancel attempt
+		cfg.CancelEvery = 2      // every tenant's second job gets a cancel attempt
+		cfg.ChurnFraction = 0.25 // a quarter of the tenants suspend/resume mid-burst
 		inv.WantShed = true
 	}
 

@@ -136,6 +136,10 @@ func main() {
 			t, err := experiments.DynamicPoolStudy()
 			return []*report.Table{t}, err
 		},
+		"autoscale": func() ([]*report.Table, error) {
+			r, err := experiments.AutoscaleStudy()
+			return []*report.Table{r.Table}, err
+		},
 	}
 
 	names := make([]string, 0, len(runners))

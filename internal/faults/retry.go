@@ -105,12 +105,17 @@ func (p RetryPolicy) Do(ctx context.Context, name, key string, fn func(ctx conte
 		}
 		b := p.backoff(a, name, key)
 		if b > 0 {
-			st.Backoff += b
+			// Account only time actually slept: an interrupted wait must
+			// not book the full nominal backoff (with hour-scale caps the
+			// overstatement would dwarf the real run).
+			start := time.Now()
 			t := time.NewTimer(b)
 			select {
 			case <-t.C:
+				st.Backoff += b
 			case <-ctx.Done():
 				t.Stop()
+				st.Backoff += time.Since(start)
 				return st, err
 			}
 		}

@@ -112,6 +112,40 @@ func TestRetryCancelledContextStopsPromptly(t *testing.T) {
 	}
 }
 
+// TestRetryInterruptedBackoffAccounting: a cancellation that interrupts
+// an hour-scale backoff must book only the time actually slept, not the
+// nominal wait — RetryStats.Backoff feeds latency metrics and an
+// hour-sized lie would drown them.
+func TestRetryInterruptedBackoffAccounting(t *testing.T) {
+	p := fastPolicy()
+	p.BaseBackoff = time.Hour
+	p.MaxBackoff = time.Hour
+	p.Jitter = 0
+	ctx, cancel := context.WithCancel(context.Background())
+	opErr := Transient(errors.New("flaky"))
+	go func() {
+		time.Sleep(10 * time.Millisecond) // land inside the backoff sleep
+		cancel()
+	}()
+	start := time.Now()
+	st, err := p.Do(ctx, "op", "k", func(context.Context, int) error { return opErr })
+	elapsed := time.Since(start)
+	if !errors.Is(err, opErr) {
+		t.Fatalf("err = %v, want the operation error", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("interrupted backoff took %v, cancellation did not abort promptly", elapsed)
+	}
+	if st.Attempts != 1 {
+		t.Errorf("attempts = %d, want 1", st.Attempts)
+	}
+	// The booked backoff must reflect the interrupted sleep, bounded by
+	// wall clock — nowhere near the nominal hour.
+	if st.Backoff <= 0 || st.Backoff > elapsed {
+		t.Errorf("booked backoff %v outside (0, %v]: nominal wait leaked into stats", st.Backoff, elapsed)
+	}
+}
+
 func TestRetryAttemptTimeoutRescuesStalls(t *testing.T) {
 	p := fastPolicy()
 	p.AttemptTimeout = 5 * time.Millisecond

@@ -244,6 +244,32 @@ func (n *Network) SetGradients(flat []float64) error {
 	return nil
 }
 
+// Weights flattens all learnable parameters into one vector using the
+// Gradients layout (layer0.W, layer0.B, layer1.W, …). The returned slice
+// is a copy; mutating it does not touch the network.
+func (n *Network) Weights() []float64 {
+	out := make([]float64, 0, n.NumParams())
+	for _, l := range n.Layers {
+		out = append(out, l.W...)
+		out = append(out, l.B...)
+	}
+	return out
+}
+
+// SetWeights overwrites all learnable parameters from a flat vector with
+// the Weights layout; it is how a checkpoint restores a network.
+func (n *Network) SetWeights(flat []float64) error {
+	if len(flat) != n.NumParams() {
+		return fmt.Errorf("nn: weight vector has %d entries, want %d", len(flat), n.NumParams())
+	}
+	off := 0
+	for _, l := range n.Layers {
+		off += copy(l.W, flat[off:off+len(l.W)])
+		off += copy(l.B, flat[off:off+len(l.B)])
+	}
+	return nil
+}
+
 // Sample is one training example.
 type Sample struct {
 	X     []float64

@@ -63,6 +63,49 @@ func (o *SGD) Step(n *Network, batch int) {
 	}
 }
 
+// Velocity flattens the momentum state into one vector with the
+// Weights layout (layer0.W, layer0.B, layer1.W, …). It returns nil when
+// the optimizer has not stepped yet (state is all zero). The returned
+// slice is a copy.
+func (o *SGD) Velocity() []float64 {
+	if o.velocity == nil {
+		return nil
+	}
+	total := 0
+	for _, v := range o.velocity {
+		total += len(v)
+	}
+	out := make([]float64, 0, total)
+	for _, v := range o.velocity {
+		out = append(out, v...)
+	}
+	return out
+}
+
+// SetVelocity overwrites the momentum state from a flat vector with the
+// Weights layout, sized for the given network. A nil or empty vector
+// resets the optimizer to the pre-first-step state. It is how a
+// checkpoint restores optimizer state.
+func (o *SGD) SetVelocity(n *Network, flat []float64) error {
+	if len(flat) == 0 {
+		o.velocity = nil
+		return nil
+	}
+	if len(flat) != n.NumParams() {
+		return fmt.Errorf("nn: velocity vector has %d entries, want %d", len(flat), n.NumParams())
+	}
+	v := make([][]float64, 2*len(n.Layers))
+	off := 0
+	for i, l := range n.Layers {
+		v[2*i] = append([]float64(nil), flat[off:off+len(l.W)]...)
+		off += len(l.W)
+		v[2*i+1] = append([]float64(nil), flat[off:off+len(l.B)]...)
+		off += len(l.B)
+	}
+	o.velocity = v
+	return nil
+}
+
 // VelocityNorm returns the L2 norm of the optimizer state (diagnostics).
 func (o *SGD) VelocityNorm() float64 {
 	var s float64

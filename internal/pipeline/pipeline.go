@@ -162,6 +162,20 @@ func IndexSource(n int) Source {
 	}
 }
 
+// RangeSource emits the integers from..to-1 — IndexSource with a
+// starting offset, the driver for resuming an epoch schedule after a
+// checkpoint restore.
+func RangeSource(from, to int) Source {
+	return func(ctx context.Context, emit func(v any) error) error {
+		for i := from; i < to; i++ {
+			if err := emit(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
 // SliceSource emits each element of items in order.
 func SliceSource[T any](items []T) Source {
 	return func(ctx context.Context, emit func(v any) error) error {

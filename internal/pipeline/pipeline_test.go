@@ -296,6 +296,28 @@ func TestSliceSource(t *testing.T) {
 	}
 }
 
+func TestRangeSource(t *testing.T) {
+	ident := NewStage("ident", 1, 1, func(_ context.Context, v int) (int, error) {
+		return v, nil
+	})
+	p, err := New("test", ident)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Drain[int](p.Run(context.Background(), RangeSource(3, 7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 4 || out[0] != 3 || out[3] != 6 {
+		t.Fatalf("out = %v, want [3 4 5 6]", out)
+	}
+	// Empty and inverted ranges emit nothing.
+	out, err = Drain[int](p.Run(context.Background(), RangeSource(5, 5)))
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty range: out=%v err=%v", out, err)
+	}
+}
+
 func TestForEach(t *testing.T) {
 	var sum atomic.Int64
 	if err := ForEach(context.Background(), 100, func(_ context.Context, i int) error {

@@ -190,13 +190,15 @@ type Job struct {
 	cluster *fpga.Cluster
 
 	// Guarded by pool.mu.
-	leases   map[*fpga.P2PHandler]*eth.Reservation
-	order    []*fpga.P2PHandler // lease order, for deterministic release
-	required units.SamplesPerSec
-	target   int // device count the last rebalance granted
-	epochs   int64
-	achieved float64
-	closed   bool
+	leases    map[*fpga.P2PHandler]*eth.Reservation
+	order     []*fpga.P2PHandler // lease order, for deterministic release
+	required  units.SamplesPerSec
+	target    int // device count the last rebalance granted
+	epochs    int64
+	achieved  float64
+	closed    bool
+	suspended bool
+	scaler    *autoscaler
 
 	mSamples  *metrics.Counter // preppool.job.<name>.samples
 	mPooled   *metrics.Counter // preppool.job.<name>.pooled_samples
@@ -308,6 +310,62 @@ func (j *Job) Close() error {
 	return nil
 }
 
+// Suspend parks the job: every lease (and its fabric reservation)
+// returns to the pool's spare capacity for other jobs to claim at their
+// next epoch boundary, and the job stops participating in rebalances
+// until Resume. Like Close, Suspend must only be called with no
+// PrepareEpoch in flight — the training run parks itself at an epoch
+// boundary first (train.Suspender), then the caller suspends the pool
+// job. Suspending a suspended or closed job is an error.
+func (j *Job) Suspend() error {
+	p := j.pool
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("preppool: job %q is closed", j.spec.Name)
+	}
+	if j.suspended {
+		return fmt.Errorf("preppool: job %q already suspended", j.spec.Name)
+	}
+	// Drain rather than range: releaseLeaseLocked mutates j.order.
+	for len(j.order) > 0 {
+		if err := j.releaseLeaseLocked(j.order[len(j.order)-1], true); err != nil {
+			return err
+		}
+	}
+	j.suspended = true
+	j.target = 0
+	p.dirty = true
+	return nil
+}
+
+// Resume re-admits a suspended job. No leases are granted here: the
+// job's next PrepareEpoch runs the owed rebalance and settles to
+// whatever the priority tiers grant it — with zero spare devices that
+// can be zero leases, in which case the job queues on its host path
+// until capacity frees up (resuming never fails for lack of devices).
+func (j *Job) Resume() error {
+	p := j.pool
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("preppool: job %q is closed", j.spec.Name)
+	}
+	if !j.suspended {
+		return fmt.Errorf("preppool: job %q is not suspended", j.spec.Name)
+	}
+	j.suspended = false
+	p.dirty = true
+	return nil
+}
+
+// Suspended reports whether the job is parked.
+func (j *Job) Suspended() bool {
+	j.pool.mu.Lock()
+	defer j.pool.mu.Unlock()
+	return j.suspended
+}
+
 // Preparer adapts the job to the training driver: the returned function
 // is a train.EpochPreparer closing over the job's keys.
 func (j *Job) Preparer(keys []string) func(ctx context.Context, epoch int) ([]dataprep.Prepared, error) {
@@ -376,6 +434,7 @@ func (j *Job) PrepareEpoch(ctx context.Context, keys []string, epoch int) ([]dat
 	if len(out) > 0 {
 		j.gShare.Set(float64(len(poolOut)) / float64(len(out)))
 	}
+	j.autoscaleLocked()
 	j.pool.mu.Unlock()
 	return out, nil
 }
@@ -388,6 +447,9 @@ func (j *Job) sync() error {
 	defer p.mu.Unlock()
 	if j.closed {
 		return fmt.Errorf("preppool: job %q is closed", j.spec.Name)
+	}
+	if j.suspended {
+		return fmt.Errorf("preppool: job %q is suspended", j.spec.Name)
 	}
 
 	// Retire devices the cluster's health layer ejected: they leave the
@@ -424,10 +486,16 @@ func (p *Pool) rebalanceLocked() error {
 		total += len(j.leases)
 	}
 
-	// Distinct priorities, highest tier first.
+	// Distinct priorities, highest tier first. Suspended jobs sit out
+	// entirely: they hold no leases, present no demand, and keep a zero
+	// target so a later settle cannot grab devices before Resume.
 	var prios []int
 	seen := map[int]bool{}
 	for _, j := range p.jobs {
+		if j.suspended {
+			j.target = 0
+			continue
+		}
 		if !seen[j.spec.Priority] {
 			seen[j.spec.Priority] = true
 			prios = append(prios, j.spec.Priority)
@@ -439,7 +507,7 @@ func (p *Pool) rebalanceLocked() error {
 	for _, prio := range prios {
 		var tier []*Job
 		for _, j := range p.jobs {
-			if j.spec.Priority == prio {
+			if j.spec.Priority == prio && !j.suspended {
 				tier = append(tier, j)
 			}
 		}
@@ -578,6 +646,7 @@ type JobStat struct {
 	RequiredRate units.SamplesPerSec
 	AchievedRate float64
 	PooledShare  float64
+	Suspended    bool
 }
 
 // Stats reports every registered job in registration order.
@@ -597,6 +666,7 @@ func (p *Pool) Stats() []JobStat {
 			RequiredRate: j.required,
 			AchievedRate: j.achieved,
 			PooledShare:  share,
+			Suspended:    j.suspended,
 		}
 	}
 	return out

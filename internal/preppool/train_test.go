@@ -2,6 +2,7 @@ package preppool
 
 import (
 	"context"
+	"errors"
 	"testing"
 
 	"trainbox/internal/dataprep"
@@ -130,6 +131,146 @@ func TestTrainingOnPoolSurvivesDeviceDeathBitIdentical(t *testing.T) {
 	}
 	if snap.Counters["preppool.job.chaos.pooled_samples"] == 0 {
 		t.Error("no samples prepared on the pooled path — test is vacuous")
+	}
+}
+
+// TestPreemptSuspendResumeTrainingOracleIdentical is the elastic-jobs
+// acceptance run: a low-priority training job holds the whole pool; a
+// high-priority job arrives, the victim parks at its next epoch
+// boundary (train.Suspender checkpoint + preppool lease revocation),
+// the vip acquires the revoked leases at its first boundary and trains
+// to completion — after which the victim resumes from its checkpoint
+// and finishes bit-identical to an uninterrupted host-path oracle.
+func TestPreemptSuspendResumeTrainingOracleIdentical(t *testing.T) {
+	const victimSeed, vipSeed = 5, 5
+	cfgT := train.Config{
+		Replicas: 2, Widths: []int{64, 16, 4}, Epochs: 6,
+		LearningRate: 0.05, Momentum: 0.9, PrefetchDepth: 1, Seed: 9,
+	}
+
+	// Oracles: pure host path, uninterrupted.
+	_, oracleStore, imgCfg := trainFixture(t, 0)
+	mkOracle := func(seed int64) train.Result {
+		t.Helper()
+		exec := dataprep.NewExecutor(dataprep.ImagePreparer{Config: imgCfg}, 2, seed)
+		res, err := train.Run(context.Background(), cfgT,
+			train.WithDataset(exec, oracleStore, oracleStore.Keys()),
+			train.WithFeature(stripeFeature))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	victimOracle := mkOracle(victimSeed)
+
+	handlers, store, imgCfg := trainFixture(t, 2)
+	pool, err := NewPool(handlers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkSpec := func(name string, seed int64, prio int) JobSpec {
+		s := spec(name, imgCfg, store, seed, 16000, 0)
+		s.Priority = prio
+		return s
+	}
+	victim, err := pool.Register(mkSpec("victim", victimSeed, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := store.Keys()
+
+	// Victim leg 1: trains with a Suspender; once epoch 2 is being
+	// prepared, the vip registers and the victim is asked to park.
+	susp := train.NewSuspender()
+	var vip *Job
+	victimPrep := func(ctx context.Context, epoch int) ([]dataprep.Prepared, error) {
+		if epoch == 2 && vip == nil {
+			var err error
+			if vip, err = pool.Register(mkSpec("vip", vipSeed, 1)); err != nil {
+				return nil, err
+			}
+			susp.Suspend()
+		}
+		return victim.PrepareEpoch(ctx, keys, epoch)
+	}
+	_, err = train.Run(context.Background(), cfgT,
+		train.WithPreparer(victimPrep, len(keys)),
+		train.WithFeature(stripeFeature),
+		train.WithSuspender(susp))
+	if !errors.Is(err, train.ErrSuspended) {
+		t.Fatalf("victim returned %v, want ErrSuspended", err)
+	}
+	cp, ok := susp.Checkpoint()
+	if !ok {
+		t.Fatal("victim parked without a checkpoint")
+	}
+	if err := victim.Suspend(); err != nil {
+		t.Fatal(err)
+	}
+	if pool.FreeDevices() != 2 {
+		t.Fatalf("free = %d after the victim parked, want 2 (leases revoked)", pool.FreeDevices())
+	}
+
+	// Vip leg: its first epoch boundary acquires the revoked leases and
+	// it trains to completion, itself oracle-identical.
+	leasesAfterFirstEpoch := -1
+	vipPrep := func(ctx context.Context, epoch int) ([]dataprep.Prepared, error) {
+		out, err := vip.PrepareEpoch(ctx, keys, epoch)
+		if epoch == 0 && err == nil {
+			leasesAfterFirstEpoch = vip.Leases()
+		}
+		return out, err
+	}
+	vipRes, err := train.Run(context.Background(), cfgT,
+		train.WithPreparer(vipPrep, len(keys)),
+		train.WithFeature(stripeFeature))
+	if err != nil {
+		t.Fatalf("vip training failed: %v", err)
+	}
+	if leasesAfterFirstEpoch != 2 {
+		t.Errorf("vip held %d leases at its first epoch boundary, want 2 (revoked grants acquired within one boundary)", leasesAfterFirstEpoch)
+	}
+	vipOracle := mkOracle(vipSeed)
+	assertNetworksBitIdentical(t, vipRes, vipOracle)
+	if err := vip.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Victim leg 2: resume the pool job and the training run from the
+	// checkpoint; the finished model must match the uninterrupted oracle
+	// bit for bit.
+	if err := victim.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := train.Run(context.Background(), cfgT,
+		train.WithPreparer(victim.Preparer(keys), len(keys)),
+		train.WithFeature(stripeFeature),
+		train.WithRestore(cp))
+	if err != nil {
+		t.Fatalf("victim resume failed: %v", err)
+	}
+	assertNetworksBitIdentical(t, res, victimOracle)
+	if victim.Leases() != 2 {
+		t.Errorf("victim leases = %d after resuming into the freed pool, want 2", victim.Leases())
+	}
+}
+
+// assertNetworksBitIdentical compares only the final weights (restored
+// runs replay fewer steps, so step stats are not comparable).
+func assertNetworksBitIdentical(t *testing.T, got, want train.Result) {
+	t.Helper()
+	a, b := got.Model(), want.Model()
+	for li := range a.Layers {
+		for i := range a.Layers[li].W {
+			if a.Layers[li].W[i] != b.Layers[li].W[i] {
+				t.Fatalf("layer %d weight %d diverged from oracle", li, i)
+			}
+		}
+		for i := range a.Layers[li].B {
+			if a.Layers[li].B[i] != b.Layers[li].B[i] {
+				t.Fatalf("layer %d bias %d diverged from oracle", li, i)
+			}
+		}
 	}
 }
 

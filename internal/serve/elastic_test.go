@@ -1,0 +1,456 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"trainbox/internal/metrics"
+	"trainbox/internal/train"
+)
+
+// elasticGate is the suspendable stand-in for real training: it blocks
+// like gateRunner, but polls its Suspender and parks — banking a fake
+// checkpoint through the sink — the way a train.Run epoch boundary
+// would. Each dispatch records the epoch it restored from (-1 = fresh).
+type elasticGate struct {
+	mu       sync.Mutex
+	restores map[string][]int // id → restore epoch per dispatch
+	started  chan string
+	release  chan error
+}
+
+func newElasticGate() *elasticGate {
+	return &elasticGate{
+		restores: map[string][]int{},
+		started:  make(chan string, 128),
+		release:  make(chan error, 128),
+	}
+}
+
+func (g *elasticGate) Run(ctx context.Context, id string, spec JobSpec) (Outcome, error) {
+	return g.RunElastic(ctx, id, spec, Elastic{})
+}
+
+func (g *elasticGate) RunElastic(ctx context.Context, id string, spec JobSpec, e Elastic) (Outcome, error) {
+	epoch := 0
+	restored := -1
+	if e.Restore != nil {
+		restored = e.Restore.Epoch
+		epoch = e.Restore.Epoch + 1
+	}
+	g.mu.Lock()
+	g.restores[id] = append(g.restores[id], restored)
+	g.mu.Unlock()
+	g.started <- id
+	for {
+		select {
+		case err := <-g.release:
+			if err != nil {
+				return Outcome{}, err
+			}
+			return Outcome{FinalLoss: 0.25, Samples: spec.Items * (spec.Epochs - epoch)}, nil
+		case <-ctx.Done():
+			return Outcome{}, ctx.Err()
+		case <-time.After(time.Millisecond):
+			if e.Suspender != nil && e.Suspender.Requested() {
+				if e.Checkpoint != nil {
+					e.Checkpoint(train.Checkpoint{Epoch: epoch, Seed: spec.Seed})
+				}
+				return Outcome{}, fmt.Errorf("elasticGate: parked after epoch %d: %w", epoch, train.ErrSuspended)
+			}
+		}
+	}
+}
+
+func (g *elasticGate) waitStarted(t *testing.T) string {
+	t.Helper()
+	select {
+	case id := <-g.started:
+		return id
+	case <-time.After(5 * time.Second):
+		t.Fatal("no job dispatched within 5s")
+		return ""
+	}
+}
+
+func (g *elasticGate) restoresOf(id string) []int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]int(nil), g.restores[id]...)
+}
+
+// TestSuspendResumeLifecycle: running → suspended (checkpoint banked) →
+// resumed (restored from that checkpoint) → done, with the suspension
+// counters attributed to tenant and server.
+func TestSuspendResumeLifecycle(t *testing.T) {
+	g := newElasticGate()
+	s := newTestServer(t, g, WithMaxRunning(1))
+	inf, err := s.Submit(JobSpec{Tenant: "alice", Items: 4, Epochs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.waitStarted(t)
+	if err := s.Suspend(inf.ID); err != nil {
+		t.Fatal(err)
+	}
+	sus := waitState(t, s, inf.ID, StateSuspended)
+	if sus.CheckpointEpochs != 1 {
+		t.Errorf("suspended checkpoint epochs = %d, want 1", sus.CheckpointEpochs)
+	}
+	if err := s.Suspend(inf.ID); !errors.Is(err, ErrAlreadySuspended) {
+		t.Errorf("double suspend: err = %v, want ErrAlreadySuspended", err)
+	}
+	if err := s.Resume(inf.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.waitStarted(t); got != inf.ID {
+		t.Fatalf("resumed dispatch = %s, want %s", got, inf.ID)
+	}
+	if err := s.Resume(inf.ID); !errors.Is(err, ErrNotSuspended) {
+		t.Errorf("resume of running job: err = %v, want ErrNotSuspended", err)
+	}
+	g.release <- nil
+	done := waitState(t, s, inf.ID, StateDone)
+	if done.Outcome == nil {
+		t.Fatal("resumed job finished without an outcome")
+	}
+	if got := g.restoresOf(inf.ID); len(got) != 2 || got[0] != -1 || got[1] != 0 {
+		t.Errorf("restore epochs per dispatch = %v, want [-1 0]", got)
+	}
+	snap := s.Metrics().Snapshot()
+	for name, want := range map[string]int64{
+		"serve.tenant.alice.suspensions": 1,
+		"serve.tenant.alice.resumes":     1,
+		"serve.server.suspensions":       1,
+		"serve.server.resumes":           1,
+	} {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+}
+
+// TestSuspendQueuedJobCountsTowardQuota: a queued job suspends
+// immediately (no checkpoint), still consumes its tenant's quota while
+// parked, and resumes fresh.
+func TestSuspendQueuedJobCountsTowardQuota(t *testing.T) {
+	g := newElasticGate()
+	s := newTestServer(t, g, WithMaxRunning(1), WithTenantQuota(2))
+	run, err := s.Submit(JobSpec{Tenant: "bob"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.waitStarted(t)
+	parked, err := s.Submit(JobSpec{Tenant: "bob"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Suspend(parked.ID); err != nil {
+		t.Fatal(err)
+	}
+	inf, _ := s.Status(parked.ID)
+	if inf.State != StateSuspended || inf.CheckpointEpochs != 0 {
+		t.Fatalf("suspended queued job = %+v, want suspended without a checkpoint", inf)
+	}
+	_, err = s.Submit(JobSpec{Tenant: "bob"})
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Reason != "tenant quota" {
+		t.Fatalf("suspended job must hold its quota claim: err = %v", err)
+	}
+	if err := s.Resume(parked.ID); err != nil {
+		t.Fatal(err)
+	}
+	g.release <- nil // finish the running job; parked dispatches next
+	waitState(t, s, run.ID, StateDone)
+	if got := g.waitStarted(t); got != parked.ID {
+		t.Fatalf("next dispatch = %s, want %s", got, parked.ID)
+	}
+	g.release <- nil
+	waitState(t, s, parked.ID, StateDone)
+	if got := g.restoresOf(parked.ID); len(got) != 1 || got[0] != -1 {
+		t.Errorf("restore epochs = %v, want [-1] (fresh start)", got)
+	}
+}
+
+// TestSuspendResumeTaxonomy: every rejected transition maps to its
+// sentinel — non-elastic backends, terminal jobs, unknown IDs — and a
+// suspended job can still be cancelled.
+func TestSuspendResumeTaxonomy(t *testing.T) {
+	plain := newGateRunner()
+	s := newTestServer(t, plain, WithMaxRunning(1))
+	run, err := s.Submit(JobSpec{Tenant: "carol"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain.waitStarted(t)
+	if err := s.Suspend(run.ID); !errors.Is(err, ErrNotElastic) {
+		t.Errorf("suspend on plain runner: err = %v, want ErrNotElastic", err)
+	}
+	if err := s.Suspend("j-404"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("suspend unknown: err = %v, want ErrNotFound", err)
+	}
+	if err := s.Resume("j-404"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("resume unknown: err = %v, want ErrNotFound", err)
+	}
+	queued, err := s.Submit(JobSpec{Tenant: "carol"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Resume(queued.ID); !errors.Is(err, ErrNotSuspended) {
+		t.Errorf("resume of queued job: err = %v, want ErrNotSuspended", err)
+	}
+	// A queued job suspends immediately even on a plain backend (there
+	// is no running state to checkpoint), and can be cancelled parked.
+	if err := s.Suspend(queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Cancel(queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	if inf, _ := s.Status(queued.ID); inf.State != StateCancelled {
+		t.Errorf("cancelled suspended job state = %s", inf.State)
+	}
+	if err := s.Resume(queued.ID); !errors.Is(err, ErrAlreadyFinished) {
+		t.Errorf("resume of cancelled job: err = %v, want ErrAlreadyFinished", err)
+	}
+	plain.release <- nil
+	waitState(t, s, run.ID, StateDone)
+	if err := s.Suspend(run.ID); !errors.Is(err, ErrAlreadyFinished) {
+		t.Errorf("suspend of done job: err = %v, want ErrAlreadyFinished", err)
+	}
+}
+
+// TestPreemptionUnderDevicePressure: a higher-priority submission that
+// would have been shed for device pressure instead preempts the
+// lowest-priority running elastic job; the victim parks a checkpoint,
+// requeues automatically, and later resumes from that checkpoint. An
+// equal-priority submission still sheds.
+func TestPreemptionUnderDevicePressure(t *testing.T) {
+	g := newElasticGate()
+	s := newTestServer(t, g, WithMaxRunning(1), WithQueueLimit(64), WithPressureLimit(1),
+		WithPressureSignal(func() bool { return true }))
+	victim, err := s.Submit(JobSpec{Tenant: "victim", Epochs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.waitStarted(t)
+	if _, err := s.Submit(JobSpec{Tenant: "filler"}); err != nil {
+		t.Fatal(err) // depth 0 → 1: admitted, now at the pressure limit
+	}
+	_, err = s.Submit(JobSpec{Tenant: "peer"})
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Reason != "device pressure" {
+		t.Fatalf("equal-priority submission: err = %v, want device-pressure shed", err)
+	}
+	vip, err := s.Submit(JobSpec{Tenant: "vip", Priority: 5})
+	if err != nil {
+		t.Fatalf("outranking submission was shed instead of preempting: %v", err)
+	}
+	// The victim parks at its next boundary and requeues; the freed slot
+	// goes to the vip (highest priority in queue).
+	if got := g.waitStarted(t); got != vip.ID {
+		t.Fatalf("post-preemption dispatch = %s, want vip %s", got, vip.ID)
+	}
+	vinf := waitState(t, s, victim.ID, StateQueued)
+	if vinf.Preemptions != 1 || vinf.CheckpointEpochs == 0 {
+		t.Errorf("preempted victim = %+v, want 1 preemption with a banked checkpoint", vinf)
+	}
+	// Drain: vip finishes, then filler and the victim in turn.
+	g.release <- nil
+	waitState(t, s, vip.ID, StateDone)
+	for i := 0; i < 2; i++ {
+		g.waitStarted(t)
+		g.release <- nil
+	}
+	waitState(t, s, victim.ID, StateDone)
+	if got := g.restoresOf(victim.ID); len(got) != 2 || got[0] != -1 || got[1] != 0 {
+		t.Errorf("victim restore epochs = %v, want [-1 0]", got)
+	}
+	snap := s.Metrics().Snapshot()
+	if got := snap.Counters["serve.server.preemptions"]; got != 1 {
+		t.Errorf("preemptions = %d, want 1", got)
+	}
+	if got := snap.Counters["serve.tenant.victim.suspensions"]; got != 1 {
+		t.Errorf("victim suspensions = %d, want 1", got)
+	}
+}
+
+// TestStatsNoLostJobsInvariant: across running, queued, suspended,
+// done, failed, and cancelled jobs, every admitted job is accounted for
+// in exactly one state tally — and Close converts the live ones to
+// cancelled without losing any.
+func TestStatsNoLostJobsInvariant(t *testing.T) {
+	check := func(t *testing.T, st Stats) {
+		t.Helper()
+		if sum := st.QueueDepth + st.Running + st.Suspended + st.Done + st.Failed + st.Cancelled; sum != st.Jobs {
+			t.Errorf("no-lost-jobs violated: states sum to %d, jobs = %d (%+v)", sum, st.Jobs, st)
+		}
+	}
+	g := newElasticGate()
+	s := newTestServer(t, g, WithMaxRunning(2))
+	var ids []string
+	for i := 0; i < 6; i++ {
+		inf, err := s.Submit(JobSpec{Tenant: fmt.Sprintf("t%d", i%3)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, inf.ID)
+	}
+	first := g.waitStarted(t)
+	g.waitStarted(t)
+	check(t, s.Stats())
+
+	if err := s.Suspend(first); err != nil { // park a running job
+		t.Fatal(err)
+	}
+	waitState(t, s, first, StateSuspended)
+	g.waitStarted(t) // a queued job takes the freed slot
+	// One running job finishes, one fails (the buffered channel makes
+	// which is which nondeterministic — only the tallies matter), and
+	// the freed slots pull two more off the queue.
+	g.release <- nil
+	g.release <- errors.New("divergence")
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := s.Stats()
+		check(t, st)
+		if st.Done == 1 && st.Failed == 1 && st.Running == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stats never settled: %+v", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	var queued string
+	for _, id := range ids {
+		if inf, _ := s.Status(id); inf.State == StateQueued {
+			queued = id
+			break
+		}
+	}
+	if queued == "" {
+		t.Fatal("expected a queued job left")
+	}
+	if err := s.Cancel(queued); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	check(t, st)
+	if st.Suspended != 1 || st.Failed != 1 || st.Done != 1 || st.Cancelled != 1 {
+		t.Errorf("stats = %+v, want 1 suspended / 1 failed / 1 done / 1 cancelled", st)
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st = s.Stats()
+	check(t, st)
+	if st.Suspended != 0 || st.Running != 0 || st.QueueDepth != 0 {
+		t.Errorf("stats after close = %+v, want no live jobs", st)
+	}
+	if inf, _ := s.Status(first); inf.State != StateCancelled {
+		t.Errorf("suspended job state after close = %s, want cancelled", inf.State)
+	}
+}
+
+// TestHTTPSuspendResume drives the suspend/resume endpoints over the
+// wire, including the 409 taxonomy.
+func TestHTTPSuspendResume(t *testing.T) {
+	g := newElasticGate()
+	_, ts := httpServer(t, g, WithMaxRunning(1))
+	resp, fields := doJSON(t, "POST", ts.URL+"/v1/jobs", JobSpec{Tenant: "alice", Epochs: 4})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	id := fieldString(t, fields, "id")
+	g.waitStarted(t)
+
+	resp, _ = doJSON(t, "POST", ts.URL+"/v1/jobs/"+id+"/resume", nil)
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("resume of running job: status = %d, want 409", resp.StatusCode)
+	}
+	resp, _ = doJSON(t, "POST", ts.URL+"/v1/jobs/"+id+"/suspend", nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("suspend status = %d, want 202", resp.StatusCode)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, fields = doJSON(t, "GET", ts.URL+"/v1/jobs/"+id, nil)
+		if fieldString(t, fields, "state") == string(StateSuspended) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never suspended; last body %v", fields)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	resp, _ = doJSON(t, "POST", ts.URL+"/v1/jobs/"+id+"/suspend", nil)
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("double suspend: status = %d, want 409", resp.StatusCode)
+	}
+	resp, _ = doJSON(t, "POST", ts.URL+"/v1/jobs/"+id+"/resume", nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("resume status = %d, want 202", resp.StatusCode)
+	}
+	g.waitStarted(t)
+	g.release <- nil
+	resp, _ = doJSON(t, "POST", ts.URL+"/v1/jobs/j-404/suspend", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("suspend unknown: status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestEndToEndSuspendResumeOracleIdentical: the real backend suspended
+// mid-run and resumed from its checkpoint converges to exactly the
+// final loss of an uninterrupted run of the same spec — the serve-level
+// face of the train package's bit-identical restore guarantee.
+func TestEndToEndSuspendResumeOracleIdentical(t *testing.T) {
+	reg := metrics.NewRegistry()
+	runner, err := NewTrainRunner(32, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, runner, WithMetrics(reg), WithMaxRunning(1))
+	spec := JobSpec{Tenant: "oracle", Items: 32, Epochs: 12, Replicas: 2, Seed: 5}
+	oracle, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	odone := waitState(t, s, oracle.ID, StateDone)
+
+	spec.Tenant = "elastic"
+	elastic, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, elastic.ID, StateRunning)
+	if err := s.Suspend(elastic.ID); err != nil {
+		t.Fatal(err)
+	}
+	sus := waitState(t, s, elastic.ID, StateSuspended)
+	if sus.CheckpointEpochs < 1 || sus.CheckpointEpochs >= spec.Epochs {
+		t.Fatalf("suspended with checkpoint epochs = %d, want mid-run", sus.CheckpointEpochs)
+	}
+	if err := s.Resume(elastic.ID); err != nil {
+		t.Fatal(err)
+	}
+	edone := waitState(t, s, elastic.ID, StateDone)
+	if odone.Outcome == nil || edone.Outcome == nil {
+		t.Fatalf("missing outcomes: oracle %+v, elastic %+v", odone.Outcome, edone.Outcome)
+	}
+	if edone.Outcome.FinalLoss != odone.Outcome.FinalLoss {
+		t.Fatalf("resumed final loss %v differs from uninterrupted oracle %v",
+			edone.Outcome.FinalLoss, odone.Outcome.FinalLoss)
+	}
+	// The resumed leg re-proves only the epochs after the checkpoint.
+	wantSamples := spec.Items * (spec.Epochs - sus.CheckpointEpochs)
+	if edone.Outcome.Samples != wantSamples {
+		t.Errorf("resumed leg processed %d samples, want %d", edone.Outcome.Samples, wantSamples)
+	}
+}

@@ -10,22 +10,28 @@ import (
 
 // Handler returns the server's HTTP API:
 //
-//	POST   /v1/jobs             submit a JobSpec        → 202 Info, 429 shed, 400 bad spec
-//	GET    /v1/jobs?tenant=x    list jobs               → 200 []Info
-//	GET    /v1/jobs/{id}        job status              → 200 Info, 404
-//	GET    /v1/jobs/{id}/result finished job's outcome  → 200 Info, 409 not done, 404
-//	DELETE /v1/jobs/{id}        cancel                  → 202 Info, 409 terminal, 404
-//	GET    /v1/metrics          metrics snapshot        → 200 metrics.Snapshot
-//	GET    /v1/healthz          occupancy summary       → 200 Stats
+//	POST   /v1/jobs              submit a JobSpec        → 202 Info, 429 shed, 400 bad spec
+//	GET    /v1/jobs?tenant=x     list jobs               → 200 []Info
+//	GET    /v1/jobs/{id}         job status              → 200 Info, 404
+//	GET    /v1/jobs/{id}/result  finished job's outcome  → 200 Info, 409 not done, 404
+//	POST   /v1/jobs/{id}/suspend park at epoch boundary  → 202 Info, 409 not suspendable, 404
+//	POST   /v1/jobs/{id}/resume  requeue a suspended job → 202 Info, 409 not suspended, 404
+//	DELETE /v1/jobs/{id}         cancel                  → 202 Info, 409 terminal, 404
+//	GET    /v1/metrics           metrics snapshot        → 200 metrics.Snapshot
+//	GET    /v1/healthz           occupancy summary       → 200 Stats
 //
 // Every error body is {"error": "..."}; 429 responses also carry a
-// Retry-After header in whole seconds.
+// Retry-After header in whole seconds. Suspension of a running job is
+// asynchronous: the 202 acknowledges the park request, and the job
+// reaches "suspended" at its next epoch boundary.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("POST /v1/jobs/{id}/suspend", s.handleSuspend)
+	mux.HandleFunc("POST /v1/jobs/{id}/resume", s.handleResume)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
@@ -56,7 +62,9 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusBadRequest
 	case errors.Is(err, ErrNotFound):
 		status = http.StatusNotFound
-	case errors.Is(err, ErrNotFinished), errors.Is(err, ErrAlreadyFinished):
+	case errors.Is(err, ErrNotFinished), errors.Is(err, ErrAlreadyFinished),
+		errors.Is(err, ErrNotElastic), errors.Is(err, ErrAlreadySuspended),
+		errors.Is(err, ErrNotSuspended):
 		status = http.StatusConflict
 	case errors.Is(err, ErrClosed):
 		status = http.StatusServiceUnavailable
@@ -102,9 +110,19 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, inf)
 }
 
-func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSuspend(w http.ResponseWriter, r *http.Request) {
+	s.handleLifecycle(w, r, s.Suspend)
+}
+
+func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
+	s.handleLifecycle(w, r, s.Resume)
+}
+
+// handleLifecycle applies a state-transition method and answers 202
+// with the job's fresh snapshot.
+func (s *Server) handleLifecycle(w http.ResponseWriter, r *http.Request, op func(string) error) {
 	id := r.PathValue("id")
-	if err := s.Cancel(id); err != nil {
+	if err := op(id); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -114,6 +132,10 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, inf)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	s.handleLifecycle(w, r, s.Cancel)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

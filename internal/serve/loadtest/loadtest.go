@@ -25,6 +25,8 @@ type Client interface {
 	Submit(spec serve.JobSpec) (serve.Info, error)
 	Status(id string) (serve.Info, error)
 	Cancel(id string) error
+	Suspend(id string) error
+	Resume(id string) error
 }
 
 // Direct adapts an in-process server.
@@ -33,6 +35,8 @@ type Direct struct{ Server *serve.Server }
 func (d Direct) Submit(spec serve.JobSpec) (serve.Info, error) { return d.Server.Submit(spec) }
 func (d Direct) Status(id string) (serve.Info, error)          { return d.Server.Status(id) }
 func (d Direct) Cancel(id string) error                        { return d.Server.Cancel(id) }
+func (d Direct) Suspend(id string) error                       { return d.Server.Suspend(id) }
+func (d Direct) Resume(id string) error                        { return d.Server.Resume(id) }
 
 // HTTP speaks to a remote front-end at BaseURL (e.g.
 // "http://127.0.0.1:8080"). Shed responses (429) are converted back
@@ -89,10 +93,20 @@ func (h HTTP) do(method, path string, body, out any) (*http.Response, error) {
 			return resp, &serve.ShedError{Reason: strings.TrimPrefix(e.Error, "serve: "), RetryAfter: retry}
 		}
 		err := fmt.Errorf("loadtest: %s %s → %d: %s", method, path, resp.StatusCode, e.Error)
-		if resp.StatusCode == http.StatusConflict && method == "DELETE" {
-			// Cancelling a job that just finished is a benign race;
-			// surface it as the same sentinel the in-process API uses.
-			err = fmt.Errorf("%w: %s", serve.ErrAlreadyFinished, e.Error)
+		if resp.StatusCode == http.StatusConflict {
+			// Map 409 bodies back onto the in-process sentinels so the
+			// generator classifies races (cancel/suspend/resume of a job
+			// that just moved on) uniformly across both clients.
+			switch {
+			case strings.Contains(e.Error, "does not support suspension"):
+				err = fmt.Errorf("%w: %s", serve.ErrNotElastic, e.Error)
+			case strings.Contains(e.Error, "already suspended"):
+				err = fmt.Errorf("%w: %s", serve.ErrAlreadySuspended, e.Error)
+			case strings.Contains(e.Error, "is not suspended"):
+				err = fmt.Errorf("%w: %s", serve.ErrNotSuspended, e.Error)
+			default:
+				err = fmt.Errorf("%w: %s", serve.ErrAlreadyFinished, e.Error)
+			}
 		}
 		return resp, err
 	}
@@ -121,6 +135,16 @@ func (h HTTP) Cancel(id string) error {
 	return err
 }
 
+func (h HTTP) Suspend(id string) error {
+	_, err := h.do("POST", "/v1/jobs/"+id+"/suspend", nil, nil)
+	return err
+}
+
+func (h HTTP) Resume(id string) error {
+	_, err := h.do("POST", "/v1/jobs/"+id+"/resume", nil, nil)
+	return err
+}
+
 // Config shapes one load run.
 type Config struct {
 	// Tenants is the number of concurrent tenants (each its own
@@ -134,6 +158,14 @@ type Config struct {
 	// CancelEvery cancels each tenant's n-th admitted job instead of
 	// waiting for it (0 = never cancel).
 	CancelEvery int
+	// ChurnFraction puts the first ⌈fraction·Tenants⌉ tenants in churn
+	// mode: every job they admit (and don't cancel) is suspended
+	// mid-burst, awaited into the suspended state, and resumed — the
+	// elastic-lifecycle stressor. 0 disables churn; values are clamped
+	// to [0, 1]. Churn requires the server's backend to be elastic
+	// (serve.ElasticRunner); a non-elastic backend surfaces
+	// serve.ErrNotElastic as a protocol error.
+	ChurnFraction float64
 	// Retries caps extra submission attempts after a shed: 0 gives up
 	// immediately, n retries at most n times, -1 retries until admitted
 	// or the run deadline. Every shed attempt still counts in the
@@ -165,9 +197,17 @@ func (c *Config) fill() {
 	if c.Timeout <= 0 {
 		c.Timeout = 2 * time.Minute
 	}
+	if c.ChurnFraction < 0 {
+		c.ChurnFraction = 0
+	}
+	if c.ChurnFraction > 1 {
+		c.ChurnFraction = 1
+	}
 }
 
-// TenantReport is one tenant's tally.
+// TenantReport is one tenant's tally. Suspends/Resumes count accepted
+// churn requests; Suspended/Running/Queued count jobs still live in
+// those states when the run gave up waiting (0 on a clean drain).
 type TenantReport struct {
 	Tenant    string `json:"tenant"`
 	Submitted int    `json:"submitted"`
@@ -176,6 +216,11 @@ type TenantReport struct {
 	Done      int    `json:"done"`
 	Failed    int    `json:"failed"`
 	Cancelled int    `json:"cancelled"`
+	Suspends  int    `json:"suspends,omitempty"`
+	Resumes   int    `json:"resumes,omitempty"`
+	Suspended int    `json:"suspended,omitempty"`
+	Running   int    `json:"running,omitempty"`
+	Queued    int    `json:"queued,omitempty"`
 }
 
 // Report is the aggregated outcome of a run.
@@ -187,6 +232,11 @@ type Report struct {
 	Done      int            `json:"done"`
 	Failed    int            `json:"failed"`
 	Cancelled int            `json:"cancelled"`
+	Suspends  int            `json:"suspends,omitempty"`
+	Resumes   int            `json:"resumes,omitempty"`
+	Suspended int            `json:"suspended,omitempty"`
+	Running   int            `json:"running,omitempty"`
+	Queued    int            `json:"queued,omitempty"`
 	Elapsed   time.Duration  `json:"elapsed"`
 	// Errors are hard protocol failures (non-shed submit errors, poll
 	// errors, malformed 429s) — any entry fails Verify.
@@ -221,6 +271,11 @@ func Run(ctx context.Context, c Client, cfg Config) Report {
 		rep.Done += reports[i].Done
 		rep.Failed += reports[i].Failed
 		rep.Cancelled += reports[i].Cancelled
+		rep.Suspends += reports[i].Suspends
+		rep.Resumes += reports[i].Resumes
+		rep.Suspended += reports[i].Suspended
+		rep.Running += reports[i].Running
+		rep.Queued += reports[i].Queued
 		rep.Errors = append(rep.Errors, errs[i]...)
 	}
 	if err := ctx.Err(); err != nil && errors.Is(err, context.DeadlineExceeded) {
@@ -231,6 +286,7 @@ func Run(ctx context.Context, c Client, cfg Config) Report {
 
 func runTenant(ctx context.Context, c Client, cfg Config, idx int) (TenantReport, []string) {
 	tr := TenantReport{Tenant: fmt.Sprintf("t%03d", idx)}
+	churner := float64(idx+1) <= cfg.ChurnFraction*float64(cfg.Tenants)
 	var errs []string
 	var admitted []serve.Info
 	for n := 0; n < cfg.JobsPerTenant && ctx.Err() == nil; n++ {
@@ -247,10 +303,17 @@ func runTenant(ctx context.Context, c Client, cfg Config, idx int) (TenantReport
 			continue
 		}
 		tr.Admitted++
+		cancelled := false
 		if cfg.CancelEvery > 0 && (n+1)%cfg.CancelEvery == 0 {
+			cancelled = true
 			// Cancellation of an already-terminal job is a benign race.
 			if err := c.Cancel(inf.ID); err != nil && !errors.Is(err, serve.ErrAlreadyFinished) {
 				errs = append(errs, fmt.Sprintf("%s cancel %s: %v", tr.Tenant, inf.ID, err))
+			}
+		}
+		if churner && !cancelled {
+			if err := churn(ctx, c, cfg, &tr, inf.ID); err != nil {
+				errs = append(errs, fmt.Sprintf("%s churn %s: %v", tr.Tenant, inf.ID, err))
 			}
 		}
 		admitted = append(admitted, inf)
@@ -259,8 +322,10 @@ func runTenant(ctx context.Context, c Client, cfg Config, idx int) (TenantReport
 		st, err := awaitTerminal(ctx, c, inf.ID, cfg.PollInterval)
 		if err != nil {
 			errs = append(errs, fmt.Sprintf("%s await %s: %v", tr.Tenant, inf.ID, err))
-			continue
 		}
+		// Terminal states tally normally; a job the run gave up on still
+		// lands in exactly one live-state bucket, so Verify's
+		// no-lost-jobs equation accounts for every admitted job.
 		switch st {
 		case serve.StateDone:
 			tr.Done++
@@ -268,9 +333,56 @@ func runTenant(ctx context.Context, c Client, cfg Config, idx int) (TenantReport
 			tr.Failed++
 		case serve.StateCancelled:
 			tr.Cancelled++
+		case serve.StateSuspended:
+			tr.Suspended++
+		case serve.StateRunning:
+			tr.Running++
+		case serve.StateQueued:
+			tr.Queued++
 		}
 	}
 	return tr, errs
+}
+
+// churn drives one suspend→park→resume cycle: ask the job to suspend,
+// wait for it to actually park (running jobs park asynchronously at
+// their next epoch boundary), then resume it. Races with the job's own
+// completion are benign and counted as neither a suspend nor a resume.
+func churn(ctx context.Context, c Client, cfg Config, tr *TenantReport, id string) error {
+	if err := c.Suspend(id); err != nil {
+		if errors.Is(err, serve.ErrAlreadyFinished) || errors.Is(err, serve.ErrAlreadySuspended) {
+			return nil
+		}
+		return err
+	}
+	tr.Suspends++
+	tick := time.NewTicker(cfg.PollInterval)
+	defer tick.Stop()
+	for {
+		inf, err := c.Status(id)
+		if err != nil {
+			return err
+		}
+		if inf.State == serve.StateSuspended {
+			break
+		}
+		if inf.State.Terminal() {
+			return nil // the run finished before its park boundary
+		}
+		select {
+		case <-tick.C:
+		case <-ctx.Done():
+			return fmt.Errorf("job %s never parked (still %s): %w", id, inf.State, ctx.Err())
+		}
+	}
+	if err := c.Resume(id); err != nil {
+		if errors.Is(err, serve.ErrAlreadyFinished) || errors.Is(err, serve.ErrNotSuspended) {
+			return nil
+		}
+		return err
+	}
+	tr.Resumes++
+	return nil
 }
 
 // submitOnce submits one job, retrying after sheds per cfg.Retries.
@@ -295,6 +407,9 @@ func submitOnce(ctx context.Context, c Client, spec serve.JobSpec, cfg Config, t
 	}
 }
 
+// awaitTerminal polls until the job reaches a terminal state. On
+// timeout it returns the last observed live state alongside the error,
+// so the caller can still account for the job.
 func awaitTerminal(ctx context.Context, c Client, id string, poll time.Duration) (serve.State, error) {
 	tick := time.NewTicker(poll)
 	defer tick.Stop()
@@ -309,7 +424,7 @@ func awaitTerminal(ctx context.Context, c Client, id string, poll time.Duration)
 		select {
 		case <-tick.C:
 		case <-ctx.Done():
-			return "", fmt.Errorf("job %s still %s: %w", id, inf.State, ctx.Err())
+			return inf.State, fmt.Errorf("job %s still %s: %w", id, inf.State, ctx.Err())
 		}
 	}
 }
@@ -337,8 +452,16 @@ func (r Report) Verify(inv Invariants) []string {
 	if r.Submitted != r.Admitted+r.Shed {
 		v = append(v, fmt.Sprintf("conservation broken: submitted %d != admitted %d + shed %d", r.Submitted, r.Admitted, r.Shed))
 	}
-	if got := r.Done + r.Failed + r.Cancelled; got != r.Admitted {
-		v = append(v, fmt.Sprintf("%d of %d admitted jobs never reached a terminal state", r.Admitted-got, r.Admitted))
+	// No-lost-jobs: every admitted job is in exactly one bucket —
+	// terminal (done/failed/cancelled) or still live (suspended/
+	// running/queued) when the run gave up waiting. A clean drain has
+	// all three live buckets at zero.
+	if got := r.Done + r.Failed + r.Cancelled + r.Suspended + r.Running + r.Queued; got != r.Admitted {
+		v = append(v, fmt.Sprintf("no-lost-jobs broken: %d admitted but %d accounted (done %d + failed %d + cancelled %d + suspended %d + running %d + queued %d)",
+			r.Admitted, got, r.Done, r.Failed, r.Cancelled, r.Suspended, r.Running, r.Queued))
+	}
+	if got := r.Suspended + r.Running + r.Queued; got > 0 {
+		v = append(v, fmt.Sprintf("%d admitted jobs never reached a terminal state (suspended %d, running %d, queued %d)", got, r.Suspended, r.Running, r.Queued))
 	}
 	if !inv.AllowFailed && r.Failed > 0 {
 		v = append(v, fmt.Sprintf("%d jobs failed", r.Failed))
@@ -387,6 +510,12 @@ func (r Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "loadtest: %d tenants, %d submitted in %v\n", len(r.Tenants), r.Submitted, r.Elapsed.Round(time.Millisecond))
 	fmt.Fprintf(&b, "  admitted %d, shed %d, done %d, failed %d, cancelled %d\n", r.Admitted, r.Shed, r.Done, r.Failed, r.Cancelled)
+	if r.Suspends > 0 || r.Resumes > 0 {
+		fmt.Fprintf(&b, "  churn: %d suspends, %d resumes\n", r.Suspends, r.Resumes)
+	}
+	if live := r.Suspended + r.Running + r.Queued; live > 0 {
+		fmt.Fprintf(&b, "  stuck live: %d suspended, %d running, %d queued\n", r.Suspended, r.Running, r.Queued)
+	}
 	f, minT, maxT := r.Fairness()
 	fmt.Fprintf(&b, "  fairness %.2f (min %s, max %s)\n", f, minT, maxT)
 	if len(r.Errors) > 0 {

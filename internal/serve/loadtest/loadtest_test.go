@@ -2,12 +2,14 @@ package loadtest
 
 import (
 	"context"
+	"fmt"
 	"net/http/httptest"
 	"runtime"
 	"testing"
 	"time"
 
 	"trainbox/internal/serve"
+	"trainbox/internal/train"
 )
 
 // fastRunner finishes in about a millisecond but still honours
@@ -166,5 +168,77 @@ func TestRunAgainstRealTrainingBackend(t *testing.T) {
 	}
 	if rep.Done != 8 {
 		t.Errorf("done = %d, want all 8 real training jobs to finish", rep.Done)
+	}
+}
+
+// elasticFastRunner is a millisecond-scale ElasticRunner: each run is
+// a series of 1ms "epochs" that honours park requests at epoch
+// boundaries and banks trivially small checkpoints, so churn runs have
+// a real window to suspend jobs mid-flight.
+type elasticFastRunner struct{ epochs int }
+
+func (r elasticFastRunner) Run(ctx context.Context, id string, spec serve.JobSpec) (serve.Outcome, error) {
+	return r.RunElastic(ctx, id, spec, serve.Elastic{})
+}
+
+func (r elasticFastRunner) RunElastic(ctx context.Context, id string, spec serve.JobSpec, e serve.Elastic) (serve.Outcome, error) {
+	start := 0
+	if e.Restore != nil {
+		start = e.Restore.Epoch + 1
+	}
+	for epoch := start; epoch < r.epochs; epoch++ {
+		if e.Suspender != nil && e.Suspender.Requested() {
+			return serve.Outcome{}, fmt.Errorf("run %s parked at epoch %d: %w", id, epoch, train.ErrSuspended)
+		}
+		select {
+		case <-time.After(time.Millisecond):
+		case <-ctx.Done():
+			return serve.Outcome{}, ctx.Err()
+		}
+		if e.Checkpoint != nil && epoch < r.epochs-1 {
+			e.Checkpoint(train.Checkpoint{Epoch: epoch, Seed: spec.Seed})
+		}
+	}
+	return serve.Outcome{FinalLoss: 1, Samples: spec.Items * spec.Epochs}, nil
+}
+
+// TestChurnSuspendResumeConserves is the elastic-lifecycle stressor:
+// half the tenants suspend and resume every job they admit, mid-burst,
+// and the run must still drain cleanly — every admitted job terminal,
+// nothing failed, and the no-lost-jobs equation intact.
+func TestChurnSuspendResumeConserves(t *testing.T) {
+	s, err := serve.NewServer(
+		serve.WithRunner(elasticFastRunner{epochs: 12}),
+		serve.WithMaxRunning(4),
+		serve.WithQueueLimit(64),
+		serve.WithTenantQuota(4),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	rep := Run(context.Background(), Direct{Server: s}, Config{
+		Tenants:       12,
+		JobsPerTenant: 3,
+		ChurnFraction: 0.5,
+		Retries:       -1,
+		Timeout:       60 * time.Second,
+	})
+	t.Log(rep.String())
+
+	if v := rep.Verify(Invariants{MinFairness: 1}); len(v) > 0 {
+		for _, violation := range v {
+			t.Error(violation)
+		}
+	}
+	if rep.Suspends == 0 {
+		t.Error("churn run never suspended a job")
+	}
+	if rep.Resumes == 0 {
+		t.Error("churn run never resumed a job")
+	}
+	if rep.Done != 36 {
+		t.Errorf("done = %d, want all 36 churned jobs to finish after resume", rep.Done)
 	}
 }

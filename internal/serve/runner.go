@@ -30,6 +30,32 @@ func (f RunnerFunc) Run(ctx context.Context, id string, spec JobSpec) (Outcome, 
 	return f(ctx, id, spec)
 }
 
+// Elastic is the server-side harness an ElasticRunner threads through
+// one suspendable run:
+//
+//   - Restore, when non-nil, is the epoch-boundary checkpoint the run
+//     must resume from (the job was suspended or preempted earlier).
+//   - Suspender carries the server's park requests; the run must honor
+//     them at epoch boundaries and return an error wrapping
+//     train.ErrSuspended once parked.
+//   - Checkpoint, when non-nil, must be called with every banked
+//     epoch-boundary checkpoint (newest last) — the server keeps the
+//     latest so a crash mid-epoch loses at most the open epoch.
+type Elastic struct {
+	Restore    *train.Checkpoint
+	Suspender  *train.Suspender
+	Checkpoint func(train.Checkpoint)
+}
+
+// ElasticRunner is a Runner whose runs can be suspended at epoch
+// boundaries and resumed from checkpoints. Servers detect it by type
+// assertion; backends without it still run, but their jobs cannot be
+// suspended while running or preempted under device pressure.
+type ElasticRunner interface {
+	Runner
+	RunElastic(ctx context.Context, id string, spec JobSpec, e Elastic) (Outcome, error)
+}
+
 // Training-workload shape every submitted job runs: jobs share one
 // synthetic 4-class image corpus (each re-augmenting it under its own
 // dataset seed, as tenants sharing a dataset would), cropped small
@@ -122,7 +148,22 @@ func NewTrainBackend(devices, corpusItems int, seed int64, reg *metrics.Registry
 }
 
 // Run implements Runner with a real training run.
-func (r *TrainRunner) Run(ctx context.Context, id string, spec JobSpec) (out Outcome, retErr error) {
+func (r *TrainRunner) Run(ctx context.Context, id string, spec JobSpec) (Outcome, error) {
+	return r.run(ctx, id, spec, Elastic{})
+}
+
+// RunElastic implements ElasticRunner: the same training run wired for
+// suspension — every epoch boundary banks a checkpoint through
+// e.Checkpoint, park requests on e.Suspender are honored at the next
+// boundary, and a non-nil e.Restore resumes bit-identically from a
+// prior checkpoint. A resumed run's Outcome counts only the resumed
+// leg's samples and steps; the restored epochs were counted by the leg
+// that banked them.
+func (r *TrainRunner) RunElastic(ctx context.Context, id string, spec JobSpec, e Elastic) (Outcome, error) {
+	return r.run(ctx, id, spec, e)
+}
+
+func (r *TrainRunner) run(ctx context.Context, id string, spec JobSpec, e Elastic) (out Outcome, retErr error) {
 	items := spec.Items
 	if items > len(r.keys) {
 		items = len(r.keys)
@@ -138,6 +179,15 @@ func (r *TrainRunner) Run(ctx context.Context, id string, spec JobSpec) (out Out
 	exec := dataprep.NewExecutor(dataprep.ImagePreparer{Config: r.imgCfg}, workers, spec.Seed)
 
 	opts := []train.Option{train.WithFeature(blockFeature)}
+	if e.Suspender != nil {
+		opts = append(opts, train.WithSuspender(e.Suspender))
+	}
+	if e.Checkpoint != nil {
+		opts = append(opts, train.WithCheckpointEvery(1), train.WithCheckpointSink(e.Checkpoint))
+	}
+	if e.Restore != nil {
+		opts = append(opts, train.WithRestore(*e.Restore))
+	}
 	if r.Pool != nil {
 		pj, err := r.Pool.Register(preppool.JobSpec{
 			Name:         id,

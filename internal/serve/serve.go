@@ -30,21 +30,32 @@ import (
 
 	"trainbox/internal/metrics"
 	"trainbox/internal/preppool"
+	"trainbox/internal/train"
 )
 
 // State is one job's position in the lifecycle state machine:
 //
-//	queued → running → done
-//	   │        ├───→ failed
-//	   └────────┴───→ cancelled
+//	queued ←──────────┐
+//	   │   (resume)   │
+//	   ├──────→ suspended
+//	   │  (suspend)   ↑
+//	   ↓   (suspend/preempt)
+//	running ──────────┘
+//	   ├───→ done
+//	   ├───→ failed
+//	   └───→ cancelled   (queued and suspended jobs can also be cancelled)
 //
-// queued and running are the live states; done, failed, and cancelled
-// are terminal.
+// queued, running, and suspended are the live states; done, failed,
+// and cancelled are terminal. A suspended job holds its latest
+// epoch-boundary checkpoint (when its backend is elastic) and resumes
+// bit-identically from it; preempted jobs pass through suspended and
+// requeue automatically.
 type State string
 
 const (
 	StateQueued    State = "queued"
 	StateRunning   State = "running"
+	StateSuspended State = "suspended"
 	StateDone      State = "done"
 	StateFailed    State = "failed"
 	StateCancelled State = "cancelled"
@@ -147,6 +158,12 @@ type Info struct {
 	Started   time.Time `json:"started,omitempty"`
 	Finished  time.Time `json:"finished,omitempty"`
 	Outcome   *Outcome  `json:"outcome,omitempty"`
+	// Preemptions counts how many times the server suspended this job
+	// to free capacity for a higher-priority submission.
+	Preemptions int `json:"preemptions,omitempty"`
+	// CheckpointEpochs is how many training epochs the job's banked
+	// checkpoint covers (0 = no checkpoint; a resume replays nothing).
+	CheckpointEpochs int `json:"checkpoint_epochs,omitempty"`
 }
 
 // job is the server-side record; guarded by Server.mu.
@@ -162,6 +179,16 @@ type job struct {
 	cancel          context.CancelFunc // set while running
 	cancelRequested bool
 	dispatchSeq     int64
+
+	// Elastic lifecycle (only populated when the runner is an
+	// ElasticRunner): the live run's suspender, the latest
+	// epoch-boundary checkpoint banked by the run's sink, and whether a
+	// park/requeue is pending.
+	suspender        *train.Suspender
+	checkpoint       *train.Checkpoint
+	suspendRequested bool
+	preempted        bool // suspendRequested by the server: requeue on park
+	preemptions      int
 }
 
 func (j *job) info() Info {
@@ -169,10 +196,14 @@ func (j *job) info() Info {
 		ID: j.id, Tenant: j.spec.Tenant, Name: j.spec.Name,
 		Priority: j.spec.Priority, State: j.state, Error: j.err,
 		Submitted: j.submitted, Started: j.started, Finished: j.finished,
+		Preemptions: j.preemptions,
 	}
 	if j.outcome != nil {
 		o := *j.outcome
 		inf.Outcome = &o
+	}
+	if j.checkpoint != nil {
+		inf.CheckpointEpochs = j.checkpoint.Epoch + 1
 	}
 	return inf
 }
@@ -182,16 +213,20 @@ type tenant struct {
 	name         string
 	queued       int
 	running      int
+	suspended    int
 	lastDispatch int64
 
-	cSubmitted *metrics.Counter // serve.tenant.<name>.submitted
-	cAdmitted  *metrics.Counter // serve.tenant.<name>.admitted
-	cShed      *metrics.Counter // serve.tenant.<name>.shed
-	cDone      *metrics.Counter // serve.tenant.<name>.done
-	cFailed    *metrics.Counter // serve.tenant.<name>.failed
-	cCancelled *metrics.Counter // serve.tenant.<name>.cancelled
-	gQueued    *metrics.Gauge   // serve.tenant.<name>.queued
-	gRunning   *metrics.Gauge   // serve.tenant.<name>.running
+	cSubmitted   *metrics.Counter // serve.tenant.<name>.submitted
+	cAdmitted    *metrics.Counter // serve.tenant.<name>.admitted
+	cShed        *metrics.Counter // serve.tenant.<name>.shed
+	cDone        *metrics.Counter // serve.tenant.<name>.done
+	cFailed      *metrics.Counter // serve.tenant.<name>.failed
+	cCancelled   *metrics.Counter // serve.tenant.<name>.cancelled
+	cSuspensions *metrics.Counter // serve.tenant.<name>.suspensions
+	cResumes     *metrics.Counter // serve.tenant.<name>.resumes
+	gQueued      *metrics.Gauge   // serve.tenant.<name>.queued
+	gRunning     *metrics.Gauge   // serve.tenant.<name>.running
+	gSuspended   *metrics.Gauge   // serve.tenant.<name>.suspended
 }
 
 // ShedError is an admission rejection: the request was valid but the
@@ -211,6 +246,13 @@ var (
 	ErrClosed          = errors.New("serve: server is shut down")
 	ErrNotFinished     = errors.New("serve: job has not finished")
 	ErrAlreadyFinished = errors.New("serve: job already finished")
+	// ErrNotElastic: the job is running on a backend without
+	// suspend/resume support (the Runner is not an ElasticRunner).
+	ErrNotElastic = errors.New("serve: job backend does not support suspension")
+	// ErrAlreadySuspended: suspend of a job already suspended.
+	ErrAlreadySuspended = errors.New("serve: job already suspended")
+	// ErrNotSuspended: resume of a job that is not suspended.
+	ErrNotSuspended = errors.New("serve: job is not suspended")
 )
 
 // Option configures a Server at construction.
@@ -345,14 +387,15 @@ type Server struct {
 	reg    *metrics.Registry
 	pool   *preppool.Pool
 
-	mu      sync.Mutex
-	jobs    map[string]*job
-	order   []string // job IDs in submission order, for stable listings
-	q       *queue
-	tenants map[string]*tenant
-	running int
-	seq     int64
-	closed  bool
+	mu        sync.Mutex
+	jobs      map[string]*job
+	order     []string // job IDs in submission order, for stable listings
+	q         *queue
+	tenants   map[string]*tenant
+	running   int
+	suspended int
+	seq       int64
+	closed    bool
 
 	wake       chan struct{}
 	schedDone  chan struct{}
@@ -360,15 +403,19 @@ type Server struct {
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
-	cSubmitted *metrics.Counter   // serve.server.submitted
-	cAdmitted  *metrics.Counter   // serve.server.admitted
-	cShed      *metrics.Counter   // serve.server.shed
-	cDone      *metrics.Counter   // serve.server.done
-	cFailed    *metrics.Counter   // serve.server.failed
-	cCancelled *metrics.Counter   // serve.server.cancelled
-	gQueue     *metrics.Gauge     // serve.server.queue_depth
-	gRunning   *metrics.Gauge     // serve.server.running
-	hSubmitNs  *metrics.Histogram // serve.server.submit_ns
+	cSubmitted   *metrics.Counter   // serve.server.submitted
+	cAdmitted    *metrics.Counter   // serve.server.admitted
+	cShed        *metrics.Counter   // serve.server.shed
+	cDone        *metrics.Counter   // serve.server.done
+	cFailed      *metrics.Counter   // serve.server.failed
+	cCancelled   *metrics.Counter   // serve.server.cancelled
+	cSuspensions *metrics.Counter   // serve.server.suspensions
+	cResumes     *metrics.Counter   // serve.server.resumes
+	cPreemptions *metrics.Counter   // serve.server.preemptions
+	gQueue       *metrics.Gauge     // serve.server.queue_depth
+	gRunning     *metrics.Gauge     // serve.server.running
+	gSuspended   *metrics.Gauge     // serve.server.suspended
+	hSubmitNs    *metrics.Histogram // serve.server.submit_ns
 }
 
 // NewServer builds and starts the front-end (its scheduler goroutine
@@ -407,8 +454,12 @@ func NewServer(opts ...Option) (*Server, error) {
 	s.cDone = s.reg.Counter("serve.server.done")
 	s.cFailed = s.reg.Counter("serve.server.failed")
 	s.cCancelled = s.reg.Counter("serve.server.cancelled")
+	s.cSuspensions = s.reg.Counter("serve.server.suspensions")
+	s.cResumes = s.reg.Counter("serve.server.resumes")
+	s.cPreemptions = s.reg.Counter("serve.server.preemptions")
 	s.gQueue = s.reg.Gauge("serve.server.queue_depth")
 	s.gRunning = s.reg.Gauge("serve.server.running")
+	s.gSuspended = s.reg.Gauge("serve.server.suspended")
 	s.hSubmitNs = s.reg.Histogram("serve.server.submit_ns")
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	go s.schedule()
@@ -424,15 +475,18 @@ func (s *Server) tenantLocked(name string) *tenant {
 	if t == nil {
 		prefix := "serve.tenant." + name + "."
 		t = &tenant{
-			name:       name,
-			cSubmitted: s.reg.Counter(prefix + "submitted"),
-			cAdmitted:  s.reg.Counter(prefix + "admitted"),
-			cShed:      s.reg.Counter(prefix + "shed"),
-			cDone:      s.reg.Counter(prefix + "done"),
-			cFailed:    s.reg.Counter(prefix + "failed"),
-			cCancelled: s.reg.Counter(prefix + "cancelled"),
-			gQueued:    s.reg.Gauge(prefix + "queued"),
-			gRunning:   s.reg.Gauge(prefix + "running"),
+			name:         name,
+			cSubmitted:   s.reg.Counter(prefix + "submitted"),
+			cAdmitted:    s.reg.Counter(prefix + "admitted"),
+			cShed:        s.reg.Counter(prefix + "shed"),
+			cDone:        s.reg.Counter(prefix + "done"),
+			cFailed:      s.reg.Counter(prefix + "failed"),
+			cCancelled:   s.reg.Counter(prefix + "cancelled"),
+			cSuspensions: s.reg.Counter(prefix + "suspensions"),
+			cResumes:     s.reg.Counter(prefix + "resumes"),
+			gQueued:      s.reg.Gauge(prefix + "queued"),
+			gRunning:     s.reg.Gauge(prefix + "running"),
+			gSuspended:   s.reg.Gauge(prefix + "suspended"),
 		}
 		s.tenants[name] = t
 	}
@@ -458,11 +512,18 @@ func (s *Server) Submit(spec JobSpec) (Info, error) {
 	s.cSubmitted.Inc()
 
 	if shed := s.shedReasonLocked(t); shed != "" {
-		t.cShed.Inc()
-		s.cShed.Inc()
-		retry := s.cfg.retryAfter
-		s.mu.Unlock()
-		return Info{}, &ShedError{Reason: shed, RetryAfter: retry}
+		// Device pressure is the one admission failure the server can
+		// relieve itself: instead of only shedding the new work, preempt
+		// the lowest-priority running elastic job when the submission
+		// outranks it — the victim parks a checkpoint at its next epoch
+		// boundary, requeues, and resumes once capacity frees.
+		if shed != "device pressure" || !s.preemptLocked(spec.Priority) {
+			t.cShed.Inc()
+			s.cShed.Inc()
+			retry := s.cfg.retryAfter
+			s.mu.Unlock()
+			return Info{}, &ShedError{Reason: shed, RetryAfter: retry}
+		}
 	}
 
 	s.seq++
@@ -489,10 +550,11 @@ func (s *Server) Submit(spec JobSpec) (Info, error) {
 }
 
 // shedReasonLocked evaluates the admission-control policy in order:
-// per-tenant quota, hard queue limit, then the earlier pressure limit
+// per-tenant quota (suspended jobs still count — a parked job holds its
+// tenant's claim), hard queue limit, then the earlier pressure limit
 // that applies while the prep-pool has no free device.
 func (s *Server) shedReasonLocked(t *tenant) string {
-	if t.queued+t.running >= s.cfg.tenantQuota {
+	if t.queued+t.running+t.suspended >= s.cfg.tenantQuota {
 		return "tenant quota"
 	}
 	if s.q.len() >= s.cfg.queueLimit {
@@ -502,6 +564,37 @@ func (s *Server) shedReasonLocked(t *tenant) string {
 		return "device pressure"
 	}
 	return ""
+}
+
+// preemptLocked picks the lowest-priority running elastic job strictly
+// below prio and asks it to park at its next epoch boundary. The victim
+// frees its run slot and pool leases when it parks; finish() requeues
+// it automatically (state suspended → queued) so it resumes — from its
+// checkpoint, bit-identically — once capacity frees. Returns whether a
+// victim was found.
+func (s *Server) preemptLocked(prio int) bool {
+	var victim *job
+	for _, j := range s.jobs {
+		if j.state != StateRunning || j.suspender == nil ||
+			j.suspendRequested || j.cancelRequested || j.spec.Priority >= prio {
+			continue
+		}
+		// Lowest priority first; among equals prefer the youngest run —
+		// per-epoch checkpoints mean the least banked work is re-proven.
+		if victim == nil || j.spec.Priority < victim.spec.Priority ||
+			(j.spec.Priority == victim.spec.Priority && j.started.After(victim.started)) {
+			victim = j
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	victim.suspendRequested = true
+	victim.preempted = true
+	victim.preemptions++
+	victim.suspender.Suspend()
+	s.cPreemptions.Inc()
+	return true
 }
 
 // kick wakes the scheduler without blocking.
@@ -539,6 +632,10 @@ func (s *Server) schedule() {
 }
 
 // startLocked moves a popped job to running and launches its runner.
+// On an elastic backend the run is suspendable: it gets a fresh
+// Suspender, a checkpoint sink banking every epoch boundary into the
+// job record (crash-safe: the newest checkpoint survives the runner
+// goroutine), and — when resuming — the banked checkpoint to restore.
 func (s *Server) startLocked(j *job) {
 	t := s.tenants[j.spec.Tenant]
 	t.queued--
@@ -547,22 +644,53 @@ func (s *Server) startLocked(j *job) {
 	t.gQueued.SetInt(int64(t.queued))
 	t.gRunning.SetInt(int64(t.running))
 	j.state = StateRunning
-	j.started = time.Now()
+	j.suspendRequested = false
+	j.preempted = false
+	if j.started.IsZero() {
+		j.started = time.Now()
+	}
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	j.cancel = cancel
 	s.running++
 	s.gRunning.SetInt(int64(s.running))
 
+	run := func(ctx context.Context) (Outcome, error) {
+		return s.runner.Run(ctx, j.id, j.spec)
+	}
+	if er, ok := s.runner.(ElasticRunner); ok {
+		e := Elastic{Suspender: train.NewSuspender()}
+		j.suspender = e.Suspender
+		if j.checkpoint != nil {
+			cp := j.checkpoint.Clone()
+			e.Restore = &cp
+		}
+		e.Checkpoint = func(cp train.Checkpoint) {
+			s.mu.Lock()
+			j.checkpoint = &cp
+			s.mu.Unlock()
+		}
+		run = func(ctx context.Context) (Outcome, error) {
+			return er.RunElastic(ctx, j.id, j.spec, e)
+		}
+	}
+
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
 		defer cancel()
-		out, err := s.runner.Run(ctx, j.id, j.spec)
+		out, err := run(ctx)
 		s.finish(j, out, err)
 	}()
 }
 
 // finish records a runner's outcome and frees the slot.
+//
+// Suspension classification is deliberately two-tiered. A clean park
+// surfaces train.ErrSuspended. But a preempted or suspend-requested run
+// that instead crashes mid-epoch is still recoverable whenever an
+// epoch-boundary checkpoint was banked: the job parks on that checkpoint
+// rather than failing — nothing admitted is lost to a racy shutdown.
+// A cancel request always outranks a pending suspension.
 func (s *Server) finish(j *job, out Outcome, err error) {
 	s.mu.Lock()
 	t := s.tenants[j.spec.Tenant]
@@ -570,24 +698,51 @@ func (s *Server) finish(j *job, out Outcome, err error) {
 	t.gRunning.SetInt(int64(t.running))
 	s.running--
 	s.gRunning.SetInt(int64(s.running))
-	j.finished = time.Now()
+	j.suspender = nil
+	// A park that races Close classifies as cancelled, like everything
+	// else still live at shutdown — nothing may re-enter a live state.
+	suspended := !s.closed && !j.cancelRequested && err != nil &&
+		(errors.Is(err, train.ErrSuspended) ||
+			(j.suspendRequested && j.checkpoint != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)))
 	switch {
+	case suspended:
+		j.state = StateSuspended
+		j.err = ""
+		t.suspended++
+		t.gSuspended.SetInt(int64(t.suspended))
+		t.cSuspensions.Inc()
+		s.suspended++
+		s.gSuspended.SetInt(int64(s.suspended))
+		s.cSuspensions.Inc()
+		if j.preempted {
+			// Preemption requeues automatically: the job resumes from
+			// its checkpoint as soon as a slot (and devices) free up.
+			s.resumeLocked(j)
+		}
 	case err == nil:
 		j.state = StateDone
+		j.finished = time.Now()
 		j.outcome = &out
+		j.checkpoint = nil
 		t.cDone.Inc()
 		s.cDone.Inc()
-	case j.cancelRequested || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+	case j.cancelRequested || errors.Is(err, train.ErrSuspended) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		j.state = StateCancelled
+		j.finished = time.Now()
 		j.err = err.Error()
+		j.checkpoint = nil
 		t.cCancelled.Inc()
 		s.cCancelled.Inc()
 	default:
 		j.state = StateFailed
+		j.finished = time.Now()
 		j.err = err.Error()
+		j.checkpoint = nil
 		t.cFailed.Inc()
 		s.cFailed.Inc()
 	}
+	s.gQueue.SetInt(int64(s.q.len()))
 	s.mu.Unlock()
 	s.kick()
 }
@@ -652,10 +807,120 @@ func (s *Server) Cancel(id string) error {
 		s.mu.Unlock()
 		cancel()
 		return nil
+	case StateSuspended:
+		t := s.tenants[j.spec.Tenant]
+		t.suspended--
+		t.gSuspended.SetInt(int64(t.suspended))
+		s.suspended--
+		s.gSuspended.SetInt(int64(s.suspended))
+		j.state = StateCancelled
+		j.checkpoint = nil
+		j.finished = time.Now()
+		t.cCancelled.Inc()
+		s.cCancelled.Inc()
+		s.mu.Unlock()
+		return nil
 	default:
 		s.mu.Unlock()
 		return fmt.Errorf("%w: job %s is %s", ErrAlreadyFinished, id, j.state)
 	}
+}
+
+// Suspend parks a live job. A queued job is suspended immediately (it
+// has no state to checkpoint); a running job is asked to park at its
+// next epoch boundary — asynchronous, poll Status for "suspended" —
+// which requires an elastic backend (ErrNotElastic otherwise). The
+// suspended job keeps counting toward its tenant's quota, and resumes
+// only via Resume. Suspended jobs return ErrAlreadySuspended, terminal
+// jobs ErrAlreadyFinished.
+func (s *Server) Suspend(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	j := s.jobs[id]
+	if j == nil {
+		return ErrNotFound
+	}
+	switch j.state {
+	case StateQueued:
+		s.q.remove(j)
+		t := s.tenants[j.spec.Tenant]
+		t.queued--
+		t.gQueued.SetInt(int64(t.queued))
+		t.suspended++
+		t.gSuspended.SetInt(int64(t.suspended))
+		t.cSuspensions.Inc()
+		s.gQueue.SetInt(int64(s.q.len()))
+		s.suspended++
+		s.gSuspended.SetInt(int64(s.suspended))
+		s.cSuspensions.Inc()
+		j.state = StateSuspended
+		return nil
+	case StateRunning:
+		if j.suspender == nil {
+			return fmt.Errorf("%w: job %s", ErrNotElastic, id)
+		}
+		if j.cancelRequested {
+			return fmt.Errorf("%w: job %s is being cancelled", ErrAlreadyFinished, id)
+		}
+		// Idempotent while the park is in flight; the epoch boundary
+		// that honors it delivers the checkpoint through the sink.
+		j.suspendRequested = true
+		j.suspender.Suspend()
+		return nil
+	case StateSuspended:
+		return fmt.Errorf("%w: job %s", ErrAlreadySuspended, id)
+	default:
+		return fmt.Errorf("%w: job %s is %s", ErrAlreadyFinished, id, j.state)
+	}
+}
+
+// Resume requeues a suspended job; it re-enters dispatch at its
+// priority and — when its backend banked a checkpoint — restores from
+// it, continuing bit-identically with the uninterrupted run. Jobs in
+// any other live state return ErrNotSuspended, terminal jobs
+// ErrAlreadyFinished.
+func (s *Server) Resume(id string) error {
+	s.mu.Lock()
+	j := s.jobs[id]
+	switch {
+	case s.closed:
+		s.mu.Unlock()
+		return ErrClosed
+	case j == nil:
+		s.mu.Unlock()
+		return ErrNotFound
+	case j.state.Terminal():
+		s.mu.Unlock()
+		return fmt.Errorf("%w: job %s is %s", ErrAlreadyFinished, id, j.state)
+	case j.state != StateSuspended:
+		s.mu.Unlock()
+		return fmt.Errorf("%w: job %s is %s", ErrNotSuspended, id, j.state)
+	}
+	s.resumeLocked(j)
+	s.gQueue.SetInt(int64(s.q.len()))
+	s.mu.Unlock()
+	s.kick()
+	return nil
+}
+
+// resumeLocked moves a suspended job back into the dispatch queue.
+func (s *Server) resumeLocked(j *job) {
+	t := s.tenants[j.spec.Tenant]
+	t.suspended--
+	t.gSuspended.SetInt(int64(t.suspended))
+	t.queued++
+	t.gQueued.SetInt(int64(t.queued))
+	t.cResumes.Inc()
+	s.suspended--
+	s.gSuspended.SetInt(int64(s.suspended))
+	s.cResumes.Inc()
+	j.state = StateQueued
+	j.suspendRequested = false
+	j.preempted = false
+	s.q.push(j)
 }
 
 // List returns snapshots in submission order, optionally filtered by
@@ -674,10 +939,17 @@ func (s *Server) List(tenantName string) []Info {
 	return out
 }
 
-// Stats is the health endpoint's summary.
+// Stats is the health endpoint's summary. The per-state tallies carry
+// the no-lost-jobs invariant every admitted job satisfies at all times:
+//
+//	Jobs == QueueDepth + Running + Suspended + Done + Failed + Cancelled
 type Stats struct {
 	QueueDepth  int  `json:"queue_depth"`
 	Running     int  `json:"running"`
+	Suspended   int  `json:"suspended"`
+	Done        int  `json:"done"`
+	Failed      int  `json:"failed"`
+	Cancelled   int  `json:"cancelled"`
 	MaxRunning  int  `json:"max_running"`
 	Jobs        int  `json:"jobs"`
 	Tenants     int  `json:"tenants"`
@@ -692,11 +964,22 @@ func (s *Server) Stats() Stats {
 	st := Stats{
 		QueueDepth: s.q.len(),
 		Running:    s.running,
+		Suspended:  s.suspended,
 		MaxRunning: s.cfg.maxRunning,
 		Jobs:       len(s.jobs),
 		Tenants:    len(s.tenants),
 		Pool:       s.pool != nil,
 		Closed:     s.closed,
+	}
+	for _, j := range s.jobs {
+		switch j.state {
+		case StateDone:
+			st.Done++
+		case StateFailed:
+			st.Failed++
+		case StateCancelled:
+			st.Cancelled++
+		}
 	}
 	s.mu.Unlock()
 	if s.pool != nil {
@@ -707,10 +990,10 @@ func (s *Server) Stats() Stats {
 	return st
 }
 
-// Close shuts the front-end down: queued jobs become cancelled, running
-// jobs are cancelled through their contexts, and Close blocks until the
-// scheduler and every runner goroutine have exited. Safe to call once;
-// a second Close returns ErrClosed.
+// Close shuts the front-end down: queued and suspended jobs become
+// cancelled, running jobs are cancelled through their contexts, and
+// Close blocks until the scheduler and every runner goroutine have
+// exited. Safe to call once; a second Close returns ErrClosed.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -729,7 +1012,23 @@ func (s *Server) Close() error {
 		t.cCancelled.Inc()
 		s.cCancelled.Inc()
 	}
+	for _, j := range s.jobs {
+		if j.state != StateSuspended {
+			continue
+		}
+		t := s.tenants[j.spec.Tenant]
+		t.suspended--
+		t.gSuspended.SetInt(int64(t.suspended))
+		s.suspended--
+		j.state = StateCancelled
+		j.checkpoint = nil
+		j.err = "server shut down"
+		j.finished = now
+		t.cCancelled.Inc()
+		s.cCancelled.Inc()
+	}
 	s.gQueue.SetInt(0)
+	s.gSuspended.SetInt(0)
 	s.mu.Unlock()
 
 	s.baseCancel()

@@ -28,6 +28,11 @@ const (
 	// caller's context or the workload-wide cancel that a sibling's
 	// failure triggers.
 	JobCancelled JobStatus = "cancelled"
+	// JobSuspended: the job parked itself at an epoch boundary via a
+	// Suspender (errors.Is(Err, ErrSuspended)); its checkpoint is in the
+	// Suspender and it can be resumed with WithRestore. Not a root
+	// cause: a suspended job does not cancel its siblings.
+	JobSuspended JobStatus = "suspended"
 )
 
 // JobResult is one finished job's slot in the workload: its name, how
@@ -51,10 +56,11 @@ type JobResult struct {
 //
 // Per-job outcomes are returned in job order even when the workload
 // fails: every slot carries a terminal Status (done / failed /
-// cancelled) and the job's own error, so callers can attribute the
-// root cause vs cancellation collateral. The returned error is nil only
-// when every job is done; otherwise it wraps the first root-cause
-// failure. Job names must be non-empty and unique so per-job telemetry
+// cancelled / suspended) and the job's own error, so callers can
+// attribute the root cause vs cancellation collateral. The returned
+// error is nil only when every job is done; otherwise it wraps the
+// first root-cause failure (or, with none, the first job that did not
+// finish — a suspended job counts as unfinished). Job names must be non-empty and unique so per-job telemetry
 // and pool leases stay attributable.
 func RunJobs(ctx context.Context, jobs []Job) ([]JobResult, error) {
 	if len(jobs) == 0 {
@@ -90,6 +96,10 @@ func RunJobs(ctx context.Context, jobs []Job) ([]JobResult, error) {
 			case err == nil:
 				results[i].Status = JobDone
 				results[i].Result = res
+			case errors.Is(err, ErrSuspended):
+				// Voluntary epoch-boundary park: the checkpoint lives in
+				// the job's Suspender; siblings keep running.
+				results[i].Status = JobSuspended
 			case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 				// Collateral of the workload-wide cancel (or the caller's
 				// own context): not a root cause.

@@ -21,6 +21,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"trainbox/internal/collective"
@@ -155,6 +156,11 @@ type runOptions struct {
 	// feature function copies out of the prepared sample (all of the
 	// repo's feature functions do — they build fresh []float64 inputs).
 	recycle func([]dataprep.Prepared)
+	// checkpoint/restore and suspension (see checkpoint.go).
+	checkpointEvery int
+	checkpointSink  func(Checkpoint)
+	restore         *Checkpoint
+	suspender       *Suspender
 }
 
 // WithDataset serves the run from the host data-preparation path: each
@@ -234,6 +240,9 @@ func Run(ctx context.Context, cfg Config, opts ...Option) (Result, error) {
 	if o.feature == nil {
 		return Result{}, fmt.Errorf("train: no feature function (use WithFeature)")
 	}
+	if o.checkpointEvery > 0 && o.checkpointSink == nil {
+		return Result{}, fmt.Errorf("train: WithCheckpointEvery needs WithCheckpointSink")
+	}
 	return run(ctx, cfg, o)
 }
 
@@ -276,13 +285,43 @@ func run(ctx context.Context, cfg Config, o runOptions) (Result, error) {
 		opts[i] = opt
 	}
 
+	// Restoring a checkpoint overwrites the fresh initialization and
+	// resumes the epoch schedule where the snapshot left off. Replica
+	// init consumed its RNG entirely above and augmentation depends only
+	// on (seed, key, epoch), so the remaining epochs are bit-identical
+	// to an uninterrupted run.
+	startEpoch := 0
+	if o.restore != nil {
+		cp := *o.restore
+		if err := cp.validateFor(cfg); err != nil {
+			return Result{}, err
+		}
+		for i := range replicas {
+			if err := replicas[i].SetWeights(cp.Replicas[i]); err != nil {
+				return Result{}, fmt.Errorf("train: restore replica %d: %w", i, err)
+			}
+			if err := opts[i].SetVelocity(replicas[i], cp.Velocity[i]); err != nil {
+				return Result{}, fmt.Errorf("train: restore replica %d velocity: %w", i, err)
+			}
+		}
+		startEpoch = cp.Epoch + 1
+	}
+
 	// Epoch sample buffers cycle between the extract stage and the end of
 	// the step stage instead of being reallocated every epoch.
 	samplePool := pipeline.NewPool(func() []nn.Sample { return make([]nn.Sample, 0, numKeys) })
 
+	// prepBusyNs/stepBusyNs accumulate live stage busy time so the
+	// overlap gauge updates every epoch (autoscalers read it mid-run);
+	// the end-of-run pass below overwrites it with the pipeline's own
+	// authoritative stats.
+	var prepBusyNs, stepBusyNs atomic.Int64
+
 	prepStage := pipeline.NewStage("prepare", 1, cfg.PrefetchDepth,
 		func(ctx context.Context, epoch int) (epochBatch, error) {
+			t0 := time.Now()
 			batch, err := prepare(ctx, epoch)
+			prepBusyNs.Add(time.Since(t0).Nanoseconds())
 			if err != nil {
 				return epochBatch{}, err
 			}
@@ -311,12 +350,37 @@ func run(ctx context.Context, cfg Config, o runOptions) (Result, error) {
 		samples: reg.Counter("train.driver.samples"),
 		rate:    reg.Meter("train.driver.samples_rate"),
 	}
+	overlap := reg.Gauge("train.driver.prep_step_overlap")
 
 	step := pipeline.NewStage("step", 1, 0,
 		func(ctx context.Context, es epochSamples) ([]StepStat, error) {
+			t0 := time.Now()
 			stats, err := trainEpoch(ctx, cfg, replicas, opts, es.samples, es.epoch, tm)
+			stepBusyNs.Add(time.Since(t0).Nanoseconds())
 			samplePool.Put(es.samples[:0])
-			return stats, err
+			if err != nil {
+				return nil, err
+			}
+			if sb := stepBusyNs.Load(); sb > 0 {
+				overlap.Set(float64(prepBusyNs.Load()) / float64(sb))
+			}
+			// Epoch boundary: the step stage is the sole weight mutator,
+			// so snapshots taken here are consistent. Periodic
+			// checkpoints feed the sink; a pending Suspend parks the run
+			// unless this was already the final epoch.
+			final := es.epoch == cfg.Epochs-1
+			if o.checkpointEvery > 0 && !final && (es.epoch+1)%o.checkpointEvery == 0 {
+				o.checkpointSink(capture(cfg, replicas, opts, es.epoch))
+			}
+			if o.suspender != nil && !final && o.suspender.Requested() {
+				cp := capture(cfg, replicas, opts, es.epoch)
+				o.suspender.deliver(cp)
+				if o.checkpointSink != nil {
+					o.checkpointSink(cp)
+				}
+				return nil, fmt.Errorf("train: parked after epoch %d of %d: %w", es.epoch, cfg.Epochs, ErrSuspended)
+			}
+			return stats, nil
 		})
 	pl, err := pipeline.New("train", prepStage, extractStage, step)
 	if err != nil {
@@ -325,7 +389,7 @@ func run(ctx context.Context, cfg Config, o runOptions) (Result, error) {
 
 	res := Result{Replicas: replicas}
 	start := time.Now()
-	run := pl.WithMetrics(reg).Run(ctx, pipeline.IndexSource(cfg.Epochs))
+	run := pl.WithMetrics(reg).Run(ctx, pipeline.RangeSource(startEpoch, cfg.Epochs))
 	epochStats, err := pipeline.Drain[[]StepStat](run)
 	if err != nil {
 		return Result{}, err
@@ -353,7 +417,7 @@ func run(ctx context.Context, cfg Config, o runOptions) (Result, error) {
 		}
 	}
 	if stepBusy > 0 {
-		reg.Gauge("train.driver.prep_step_overlap").Set(float64(prepBusy) / float64(stepBusy))
+		overlap.Set(float64(prepBusy) / float64(stepBusy))
 	}
 	res.Metrics = reg.Snapshot()
 	return res, nil
