@@ -4,9 +4,9 @@
 // the committed BENCH_baseline.json and exits non-zero if any metric
 // regressed by more than the threshold.
 //
-//	benchdiff -baseline BENCH_baseline.json -current bench.json [-threshold 0.25] [-alloc-threshold 0.25] [-latency-threshold 0.5]
+//	benchdiff -baseline BENCH_baseline.json -current bench.json [-threshold 0.25] [-alloc-threshold 0.25] [-latency-threshold 0.5] [-cache-threshold 0.25]
 //
-// Three gates run:
+// Four gates run:
 //
 //   - throughput (lower is worse): a tracked metric fails when it drops
 //     more than -threshold below the baseline;
@@ -21,7 +21,13 @@
 //     grows more than -latency-threshold above the baseline. The wider
 //     default (50%) absorbs wall-clock noise on shared runners while
 //     still catching the recovery path getting an order of magnitude
-//     more expensive.
+//     more expensive;
+//   - cache (direction per row): a tracked dscache row fails when it
+//     moves more than -cache-threshold in its own bad direction — hit
+//     rate and decode amortization dropping, decode counts growing. The
+//     rows are exact counts (single-flight makes decodes-per-key
+//     deterministic), so the threshold guards real behaviour changes,
+//     not runner noise.
 //
 // Only metrics present in the baseline are gated — new ones start
 // being tracked once they land in a regenerated baseline, and
@@ -52,12 +58,20 @@ type benchFile struct {
 	Throughput map[string]float64    `json:"throughput"`
 	Kernels    map[string]kernelStat `json:"kernels"`
 	Latency    map[string]float64    `json:"latency"`
+	DSCache    map[string]cacheRow   `json:"dscache"`
 }
 
 // kernelStat mirrors trainbox-bench's per-kernel entry.
 type kernelStat struct {
 	NsPerSample     float64 `json:"ns_per_sample"`
 	AllocsPerSample float64 `json:"allocs_per_sample"`
+}
+
+// cacheRow mirrors trainbox-bench's per-row dscache entry; the row
+// carries its own gate direction.
+type cacheRow struct {
+	Value          float64 `json:"value"`
+	HigherIsBetter bool    `json:"higher_is_better"`
 }
 
 // delta is one metric's comparison.
@@ -77,14 +91,15 @@ func main() {
 	threshold := flag.Float64("threshold", 0.25, "maximum tolerated fractional throughput drop (0.25 = 25%)")
 	allocThreshold := flag.Float64("alloc-threshold", 0.25, "maximum tolerated fractional allocs/sample growth per kernel (0.25 = 25%)")
 	latencyThreshold := flag.Float64("latency-threshold", 0.5, "maximum tolerated fractional latency growth (0.5 = 50%)")
+	cacheThreshold := flag.Float64("cache-threshold", 0.25, "maximum tolerated fractional move of a dscache row in its bad direction (0.25 = 25%)")
 	flag.Parse()
 
-	code, out := run(*baselinePath, *currentPath, *threshold, *allocThreshold, *latencyThreshold)
+	code, out := run(*baselinePath, *currentPath, *threshold, *allocThreshold, *latencyThreshold, *cacheThreshold)
 	fmt.Print(out)
 	os.Exit(code)
 }
 
-func run(baselinePath, currentPath string, threshold, allocThreshold, latencyThreshold float64) (int, string) {
+func run(baselinePath, currentPath string, threshold, allocThreshold, latencyThreshold, cacheThreshold float64) (int, string) {
 	if threshold < 0 || threshold >= 1 {
 		return 2, fmt.Sprintf("benchdiff: threshold %v outside [0,1)\n", threshold)
 	}
@@ -93,6 +108,9 @@ func run(baselinePath, currentPath string, threshold, allocThreshold, latencyThr
 	}
 	if latencyThreshold < 0 {
 		return 2, fmt.Sprintf("benchdiff: latency-threshold %v negative\n", latencyThreshold)
+	}
+	if cacheThreshold < 0 {
+		return 2, fmt.Sprintf("benchdiff: cache-threshold %v negative\n", cacheThreshold)
 	}
 	baseline, err := load(baselinePath)
 	if err != nil {
@@ -179,11 +197,39 @@ func run(baselinePath, currentPath string, threshold, allocThreshold, latencyThr
 		sb.WriteString(lt.String())
 	}
 
+	// The cache gate: direction per row, taken from the baseline entry.
+	cdeltas := compareCache(baseline.DSCache, current.DSCache, cacheThreshold)
+	cacheRegressions := 0
+	if len(cdeltas) > 0 {
+		ct := report.NewTable(fmt.Sprintf("Cache tier vs baseline (gate: ±%.0f%% in each row's bad direction)", cacheThreshold*100),
+			"metric", "direction", "baseline", "current", "change", "status")
+		for _, d := range cdeltas {
+			dir := "lower is better"
+			if d.Baseline.HigherIsBetter || (d.New && d.Current.HigherIsBetter) {
+				dir = "higher is better"
+			}
+			switch {
+			case d.Missing:
+				cacheRegressions++
+				ct.AddRowf(d.Name, dir, d.Baseline.Value, "—", "—", "MISSING")
+			case d.New:
+				untracked++
+				ct.AddRowf(d.Name, dir, "—", d.Current.Value, "—", "new (untracked)")
+			case d.Regressed:
+				cacheRegressions++
+				ct.AddRowf(d.Name, dir, d.Baseline.Value, d.Current.Value, changeLabel(d.Change), "REGRESSED")
+			default:
+				ct.AddRowf(d.Name, dir, d.Baseline.Value, d.Current.Value, changeLabel(d.Change), "ok")
+			}
+		}
+		sb.WriteString(ct.String())
+	}
+
 	if untracked > 0 {
 		fmt.Fprintf(&sb, "benchdiff: %d new metric(s) not in %s — informational only; regenerate the baseline to start gating them\n",
 			untracked, baselinePath)
 	}
-	if regressions+allocRegressions+latencyRegressions > 0 {
+	if regressions+allocRegressions+latencyRegressions+cacheRegressions > 0 {
 		if regressions > 0 {
 			fmt.Fprintf(&sb, "benchdiff: %d tracked throughput metric(s) regressed >%.0f%% vs %s\n",
 				regressions, threshold*100, baselinePath)
@@ -196,10 +242,15 @@ func run(baselinePath, currentPath string, threshold, allocThreshold, latencyThr
 			fmt.Fprintf(&sb, "benchdiff: %d tracked latency metric(s) grew >%.0f%% vs %s\n",
 				latencyRegressions, latencyThreshold*100, baselinePath)
 		}
+		if cacheRegressions > 0 {
+			fmt.Fprintf(&sb, "benchdiff: %d tracked cache row(s) moved >%.0f%% in their bad direction vs %s\n",
+				cacheRegressions, cacheThreshold*100, baselinePath)
+		}
 		return 1, sb.String()
 	}
-	fmt.Fprintf(&sb, "benchdiff: all %d tracked throughput metrics, %d kernels, and %d latency metrics within thresholds\n",
-		len(deltas)-countNew(deltas), len(kdeltas)-countNewKernels(kdeltas), len(ldeltas)-countNew(ldeltas))
+	fmt.Fprintf(&sb, "benchdiff: all %d tracked throughput metrics, %d kernels, %d latency metrics, and %d cache rows within thresholds\n",
+		len(deltas)-countNew(deltas), len(kdeltas)-countNewKernels(kdeltas), len(ldeltas)-countNew(ldeltas),
+		len(cdeltas)-countNewCache(cdeltas))
 	return 0, sb.String()
 }
 
@@ -265,6 +316,78 @@ func countNewKernels(ds []kernelDelta) int {
 		}
 	}
 	return n
+}
+
+func countNewCache(ds []cacheDelta) int {
+	n := 0
+	for _, d := range ds {
+		if d.New {
+			n++
+		}
+	}
+	return n
+}
+
+// cacheDelta is one dscache row's comparison.
+type cacheDelta struct {
+	Name              string
+	Baseline, Current cacheRow
+	Change            float64 // signed fractional move: (current−baseline)/baseline
+	Regressed         bool
+	Missing           bool
+	New               bool
+}
+
+// compareCache gates every baseline-tracked dscache row in the
+// direction the baseline declares: a higher-is-better row regresses
+// when current < baseline × (1 − threshold); a lower-is-better row
+// regresses when current > baseline × (1 + threshold). A non-positive
+// baseline can't express a fractional move, so it only gates on the
+// current value crossing it. A row missing from the current report
+// regresses — tracked coverage must not silently shrink; rows only in
+// the current report are informational until a regenerated baseline
+// tracks them.
+func compareCache(baseline, current map[string]cacheRow, threshold float64) []cacheDelta {
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]cacheDelta, 0, len(names))
+	for _, name := range names {
+		base := baseline[name]
+		cur, ok := current[name]
+		d := cacheDelta{Name: name, Baseline: base, Current: cur}
+		switch {
+		case !ok:
+			d.Missing = true
+		case base.Value <= 0:
+			if base.HigherIsBetter {
+				d.Regressed = cur.Value < base.Value
+			} else {
+				d.Regressed = cur.Value > base.Value
+			}
+		default:
+			d.Change = (cur.Value - base.Value) / base.Value
+			if base.HigherIsBetter {
+				d.Regressed = cur.Value < base.Value*(1-threshold)
+			} else {
+				d.Regressed = cur.Value > base.Value*(1+threshold)
+			}
+		}
+		out = append(out, d)
+	}
+	fresh := make([]string, 0, 4)
+	for name := range current {
+		if _, tracked := baseline[name]; !tracked {
+			fresh = append(fresh, name)
+		}
+	}
+	sort.Strings(fresh)
+	for _, name := range fresh {
+		out = append(out, cacheDelta{Name: name, Current: current[name], New: true})
+	}
+	return out
 }
 
 // load reads and schema-checks one report.

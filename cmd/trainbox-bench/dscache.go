@@ -1,0 +1,103 @@
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"trainbox/internal/dataprep"
+	"trainbox/internal/dscache"
+	"trainbox/internal/report"
+	"trainbox/internal/storage"
+	"trainbox/internal/units"
+)
+
+// stepDSCache measures the shared decode-cache tier at its headline
+// cell: 4 concurrent consumers training on one corpus for 3 epochs
+// through one ample-budget tier. Single-flight makes the decode count
+// exact — one per key — so every row here is deterministic and the CI
+// gate can hold them to a tight threshold without wall-clock noise:
+//
+//   - dscache_hit_rate (higher is better): fraction of acquires served
+//     without a decode;
+//   - dscache_decodes_per_epoch_4consumers (lower is better): decode
+//     invocations per corpus pass, summed over all consumers;
+//   - dscache_decode_amortization_4consumers (higher is better): the
+//     "one decode, N consumers" ratio — what 4 independent uncached
+//     consumers would have decoded, over what the tier actually did.
+func stepDSCache(h *harness) error {
+	const (
+		items     = 8
+		classes   = 4
+		consumers = 4
+		epochs    = 3
+	)
+	store := storage.NewStore(storage.DefaultSSDSpec())
+	if err := dataprep.BuildImageDataset(store, items, classes, 1); err != nil {
+		return err
+	}
+	keys := store.Keys()
+	cfg := dataprep.DefaultImageConfig()
+	cfg.CropW, cfg.CropH = 32, 32
+
+	c := dscache.New(64 * units.MB)
+	var (
+		wg   sync.WaitGroup
+		errs = make([]error, consumers)
+	)
+	for w := 0; w < consumers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			exec := dataprep.NewExecutor(dataprep.ImagePreparer{Config: cfg}, 2, int64(100+w))
+			if _, ok := dscache.Bind(c, exec); !ok {
+				errs[w] = fmt.Errorf("dscache: image preparer has no cached form")
+				return
+			}
+			for epoch := 0; epoch < epochs; epoch++ {
+				ps, err := exec.PrepareBatch(store, keys, epoch)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				exec.Recycle(ps...)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	s := c.Stats()
+	total := s.Hits + s.Misses
+	if total == 0 || s.Misses == 0 {
+		return fmt.Errorf("dscache: tier saw no traffic (hits=%d misses=%d)", s.Hits, s.Misses)
+	}
+	uncached := int64(consumers * epochs * len(keys))
+	h.rep.DSCache["dscache_hit_rate"] = cacheRow{
+		Value: float64(s.Hits) / float64(total), HigherIsBetter: true,
+	}
+	h.rep.DSCache["dscache_decodes_per_epoch_4consumers"] = cacheRow{
+		Value: float64(s.Misses) / float64(epochs), HigherIsBetter: false,
+	}
+	h.rep.DSCache["dscache_decode_amortization_4consumers"] = cacheRow{
+		Value: float64(uncached) / float64(s.Misses), HigherIsBetter: true,
+	}
+
+	t := report.NewTable("Shared decode-cache tier (deterministic — tracked by the CI perf gate)",
+		"metric", "value", "gate direction")
+	for _, name := range []string{
+		"dscache_hit_rate", "dscache_decodes_per_epoch_4consumers", "dscache_decode_amortization_4consumers",
+	} {
+		row := h.rep.DSCache[name]
+		dir := "lower is better"
+		if row.HigherIsBetter {
+			dir = "higher is better"
+		}
+		t.AddRowf(name, fmt.Sprintf("%.3f", row.Value), dir)
+	}
+	h.print(t)
+	return nil
+}

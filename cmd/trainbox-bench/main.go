@@ -42,8 +42,11 @@ import (
 // v1.1 adds the per-kernel matrix (ns/sample and allocs/sample per
 // sample-path kernel) alongside v1's throughput metrics; v1.2 adds the
 // latency map (lower is better — currently the elastic-jobs
-// checkpoint-restore round trip).
-const benchSchema = "trainbox-bench/v1.2"
+// checkpoint-restore round trip); v1.3 adds the dscache map (the shared
+// decode-cache tier's directional rows: hit rate and decode
+// amortization at 4 concurrent consumers) and the warm cached-prepare
+// kernel row.
+const benchSchema = "trainbox-bench/v1.3"
 
 var (
 	markdown = flag.Bool("md", false, "emit the paper-vs-measured summary as a markdown table")
@@ -85,7 +88,19 @@ type benchReport struct {
 	// Latency holds lower-is-better nanosecond measurements (the
 	// checkpoint-restore round trip); cmd/benchdiff gates growth.
 	Latency map[string]float64 `json:"latency"`
-	Metrics metrics.Snapshot   `json:"metrics"`
+	// DSCache holds the shared decode-cache tier's rows; each carries
+	// its own gate direction so cmd/benchdiff can gate hit-rate drops
+	// and decode-count growth with one threshold. The counts are exact
+	// (single-flight makes decodes-per-key deterministic), so these rows
+	// are immune to CI wall-clock noise.
+	DSCache map[string]cacheRow `json:"dscache"`
+	Metrics metrics.Snapshot    `json:"metrics"`
+}
+
+// cacheRow is one dscache measurement plus its gate direction.
+type cacheRow struct {
+	Value          float64 `json:"value"`
+	HigherIsBetter bool    `json:"higher_is_better"`
 }
 
 // harness accumulates all output in memory so a mid-run failure never
@@ -136,6 +151,7 @@ func run(md bool, jsonPath string) error {
 			Throughput:  map[string]float64{},
 			Kernels:     map[string]kernelStat{},
 			Latency:     map[string]float64{},
+			DSCache:     map[string]cacheRow{},
 		},
 	}
 
@@ -159,6 +175,7 @@ func run(md bool, jsonPath string) error {
 	if jsonPath != "" {
 		steps = append(steps, step{"kernel matrix", stepKernels},
 			step{"checkpoint restore", stepCheckpoint},
+			step{"dscache tier", stepDSCache},
 			step{"live throughput", stepLiveThroughput})
 	}
 	for _, s := range steps {
@@ -182,8 +199,8 @@ func run(md bool, jsonPath string) error {
 		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
 			return fmt.Errorf("write report: %w", err)
 		}
-		fmt.Printf("wrote %s (%s, %d experiments, %d tracked throughput metrics, %d kernels, %d latency metrics)\n",
-			jsonPath, benchSchema, len(h.rep.Experiments), len(h.rep.Throughput), len(h.rep.Kernels), len(h.rep.Latency))
+		fmt.Printf("wrote %s (%s, %d experiments, %d tracked throughput metrics, %d kernels, %d latency metrics, %d cache rows)\n",
+			jsonPath, benchSchema, len(h.rep.Experiments), len(h.rep.Throughput), len(h.rep.Kernels), len(h.rep.Latency), len(h.rep.DSCache))
 	}
 	return nil
 }

@@ -24,6 +24,7 @@ import (
 
 	"trainbox/internal/metrics"
 	"trainbox/internal/serve"
+	"trainbox/internal/units"
 )
 
 func main() {
@@ -37,21 +38,25 @@ func main() {
 	pressureLimit := flag.Int("pressure-limit", 0, "queue depth before shedding under device pressure (0 = queue-limit/4)")
 	quota := flag.Int("tenant-quota", 8, "max live jobs per tenant")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on shed responses")
+	cacheMB := flag.Int("cache", 0, "shared decode-cache budget in MB (0 = no cache)")
 	flag.Parse()
 
 	if err := run(*addr, *addrFile, *devices, *corpus, *seed, *maxRunning,
-		*queueLimit, *pressureLimit, *quota, *retryAfter); err != nil {
+		*queueLimit, *pressureLimit, *quota, *cacheMB, *retryAfter); err != nil {
 		fmt.Fprintln(os.Stderr, "trainbox-serve:", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr, addrFile string, devices, corpus int, seed int64,
-	maxRunning, queueLimit, pressureLimit, quota int, retryAfter time.Duration) error {
+	maxRunning, queueLimit, pressureLimit, quota, cacheMB int, retryAfter time.Duration) error {
 	reg := metrics.NewRegistry()
 	runner, pool, err := serve.NewTrainBackend(devices, corpus, seed, reg)
 	if err != nil {
 		return err
+	}
+	if cacheMB > 0 {
+		runner.EnableCache(units.Bytes(cacheMB)*units.MB, reg)
 	}
 	opts := []serve.Option{
 		serve.WithRunner(runner),

@@ -140,6 +140,15 @@ func main() {
 			r, err := experiments.AutoscaleStudy()
 			return []*report.Table{r.Table}, err
 		},
+		"dscache": func() ([]*report.Table, error) {
+			r, err := experiments.CacheStudy()
+			if err != nil {
+				return nil, err
+			}
+			r.Table.Title += fmt.Sprintf(" — 4 consumers amortize %d decodes to %d (%.1f×)",
+				r.UncachedDecodes, r.CachedDecodes, r.Amortization)
+			return []*report.Table{r.Table}, nil
+		},
 	}
 
 	names := make([]string, 0, len(runners))

@@ -217,6 +217,26 @@ func (e *Executor) Recycle(ps ...Prepared) {
 	}
 }
 
+// Preparer returns the executor's sample preparer.
+func (e *Executor) Preparer() Preparer { return e.prep }
+
+// WithPreparer swaps the executor's preparer in place — the seam that
+// lets a cache tier (internal/dscache) interpose on an
+// already-constructed executor without rebuilding its pools. The
+// replacement must be bit-identical to the original for equal seeds
+// (the dscache preparers are, by construction). Swap before the
+// executor serves traffic: swapping concurrently with an in-flight
+// batch races. Returns e for chaining.
+func (e *Executor) WithPreparer(p Preparer) *Executor {
+	if p != nil {
+		e.prep = p
+	}
+	return e
+}
+
+// DatasetSeed returns the executor's dataset seed.
+func (e *Executor) DatasetSeed() int64 { return e.datasetSeed }
+
 // ScratchStats reports the per-worker Scratch pool's reuse counters; in
 // steady state News ≪ Gets.
 func (e *Executor) ScratchStats() pipeline.PoolStats { return e.scratches.Stats() }
@@ -296,6 +316,14 @@ func (e *Executor) PrepareBatchContext(ctx context.Context, store *storage.Store
 	if err != nil {
 		return nil, err
 	}
+	// A cancelled batch strands prepared samples in the pipeline; their
+	// pooled output buffers must flow back or the working set leaks one
+	// batch per cancellation.
+	pl.WithDiscard(func(v any) {
+		if p, ok := v.(Prepared); ok {
+			e.Recycle(p)
+		}
+	})
 	start := time.Now()
 	run := pl.WithMetrics(e.reg).Run(ctx, pipeline.IndexSource(len(keys)))
 	out, err := pipeline.Drain[Prepared](run)

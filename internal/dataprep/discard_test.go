@@ -1,0 +1,67 @@
+package dataprep
+
+import (
+	"context"
+	"testing"
+
+	"trainbox/internal/storage"
+)
+
+// TestPrepareBatchCancelRecyclesOutputs: a batch cancelled mid-flight
+// must return every pooled output buffer it produced — the executor's
+// discard hook closes the loop the consumer never got to.
+func TestPrepareBatchCancelRecyclesOutputs(t *testing.T) {
+	store := storage.NewStore(storage.DefaultSSDSpec())
+	if err := BuildImageDataset(store, 24, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	exec := NewExecutor(ImagePreparer{Config: DefaultImageConfig()}, 4, 1)
+	keys := store.Keys()
+	for trial := 0; trial < 6; trial++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			out, err := exec.PrepareBatchContext(ctx, store, keys, trial)
+			if err == nil {
+				// The batch won the race against cancel — recycle like a
+				// well-behaved consumer and move on.
+				exec.Recycle(out...)
+			}
+		}()
+		cancel()
+		<-done
+		st := exec.OutputStats()
+		if st.Gets != st.Puts {
+			t.Fatalf("trial %d: output buffers leaked on cancel: Gets=%d Puts=%d News=%d",
+				trial, st.Gets, st.Puts, st.News)
+		}
+	}
+}
+
+// TestPrefetcherCloseRecyclesBufferedBatches: Close discards batches
+// buffered ahead of the consumer; their pooled buffers must flow back.
+func TestPrefetcherCloseRecyclesBufferedBatches(t *testing.T) {
+	store := storage.NewStore(storage.DefaultSSDSpec())
+	if err := BuildImageDataset(store, 8, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	exec := NewExecutor(ImagePreparer{Config: DefaultImageConfig()}, 2, 1)
+	pf, err := NewPrefetcher(exec, store, store.Keys(), 6, WithDepth(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consume one batch so the prefetcher is warmed up and has depth
+	// buffered, then close with the rest in flight.
+	b, err := pf.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec.Recycle(b.Samples...)
+	pf.Close()
+	st := exec.OutputStats()
+	if st.Gets != st.Puts {
+		t.Fatalf("prefetcher close leaked output buffers: Gets=%d Puts=%d News=%d",
+			st.Gets, st.Puts, st.News)
+	}
+}

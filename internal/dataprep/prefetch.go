@@ -118,6 +118,13 @@ func NewPrefetcher(exec *Executor, store *storage.Store, keys []string, epochs i
 	if err != nil {
 		return nil, err
 	}
+	// Close discards buffered batches; recycle their pooled output
+	// buffers into the executor instead of leaking one batch per depth.
+	pl.WithDiscard(func(v any) {
+		if b, ok := v.(Batch); ok {
+			exec.Recycle(b.Samples...)
+		}
+	})
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Prefetcher{
 		run:      pl.WithMetrics(cfg.reg).Run(ctx, pipeline.IndexSource(epochs)),

@@ -89,19 +89,34 @@ func PrepareImageScratch(jpegData []byte, cfg ImageConfig, seed int64, s *Scratc
 	if err := imgproc.DecodeJPEGInto(&s.imgA, jpegData); err != nil {
 		return nil, err
 	}
+	return PrepareImageDecoded(&s.imgA, cfg, seed, s)
+}
+
+// PrepareImageDecoded runs the augment+cast tail of the image pipeline
+// on an already-decoded image — the split that lets a cache tier
+// (internal/dscache) pay the JPEG decode once and replay only this
+// cheap, seeded part per consumer. src is read-only and may be shared
+// across goroutines (the crop copies its pixels out before any buffer
+// is written); it may also alias s.imgA, the scratch decode buffer,
+// which the tail only reuses after the crop. The output is
+// bit-identical to PrepareImage(decode(src bytes)) for equal seeds.
+func PrepareImageDecoded(src *imgproc.Image, cfg ImageConfig, seed int64, s *Scratch) (*imgproc.Tensor, error) {
+	if s == nil {
+		s = NewScratch()
+	}
 	rng := rand.New(rand.NewSource(seed))
 	var err error
 	if cfg.Augment {
-		err = imgproc.RandomCropInto(&s.imgB, &s.imgA, cfg.CropW, cfg.CropH, rng)
+		err = imgproc.RandomCropInto(&s.imgB, src, cfg.CropW, cfg.CropH, rng)
 	} else {
-		err = imgproc.CenterCropInto(&s.imgB, &s.imgA, cfg.CropW, cfg.CropH)
+		err = imgproc.CenterCropInto(&s.imgB, src, cfg.CropW, cfg.CropH)
 	}
 	if err != nil {
 		return nil, err
 	}
 	cur := &s.imgB
 	if cfg.Augment && rng.Float64() < cfg.MirrorProb {
-		imgproc.MirrorInto(&s.imgA, cur) // decode buffer is free now
+		imgproc.MirrorInto(&s.imgA, cur) // the crop copied src out, so imgA is free
 		cur = &s.imgA
 	}
 	if cfg.Augment && cfg.NoiseStd > 0 {
@@ -131,6 +146,28 @@ func PrepareAudioScratch(pcmData []byte, cfg AudioConfig, seed int64, s *Scratch
 	if err != nil {
 		return nil, err
 	}
+	return prepareAudioTail(cfg, seed, s)
+}
+
+// PrepareAudioDecoded runs the augment+front-end tail of the audio
+// pipeline on an already-decoded PCM signal — the split that lets a
+// cache tier (internal/dscache) pay the PCM decode once per key. sig is
+// read-only and may be shared across goroutines: noise augmentation
+// mutates the signal in place, so the tail runs on a scratch copy. The
+// output is bit-identical to PrepareAudio(encode(sig)) for equal seeds
+// because PCM16 decoding is exact.
+func PrepareAudioDecoded(sig []float64, cfg AudioConfig, seed int64, s *Scratch) (*dsp.Spectrogram, error) {
+	if s == nil {
+		s = NewScratch()
+	}
+	s.sig = append(s.sig[:0], sig...)
+	return prepareAudioTail(cfg, seed, s)
+}
+
+// prepareAudioTail is the shared post-decode audio path operating on
+// s.sig (which it may mutate): noise augment → log-Mel → SpecAugment →
+// normalize.
+func prepareAudioTail(cfg AudioConfig, seed int64, s *Scratch) (*dsp.Spectrogram, error) {
 	rng := rand.New(rand.NewSource(seed))
 	if cfg.Augment && cfg.NoiseStd > 0 {
 		dsp.AddNoise(s.sig, cfg.NoiseStd, rng)

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestCacheStudy pins the study's acceptance-level claims: 4 concurrent
+// consumers on an ample budget amortize decodes at least 2× (in fact
+// consumers × epochs ×), and the tight-budget cell really does decode
+// more than the ample one (the sweep exercises eviction).
+func TestCacheStudy(t *testing.T) {
+	r, err := CacheStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Table.Rows) != 4 {
+		t.Fatalf("table has %d rows, want 4", len(r.Table.Rows))
+	}
+	if r.CachedDecodes == 0 || r.UncachedDecodes == 0 {
+		t.Fatalf("headline cell missing: cached=%d uncached=%d", r.CachedDecodes, r.UncachedDecodes)
+	}
+	if r.Amortization < 2 {
+		t.Fatalf("amortization %.1f× below the 2× bar (%d vs %d decodes)",
+			r.Amortization, r.UncachedDecodes, r.CachedDecodes)
+	}
+	// Column 3 is the decode count; the tight-budget row (last) must
+	// decode more than the ample 4-consumer row (second).
+	ample, err1 := strconv.ParseInt(r.Table.Rows[1][3], 10, 64)
+	tight, err2 := strconv.ParseInt(r.Table.Rows[3][3], 10, 64)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("decode cells unparseable: %v / %v", err1, err2)
+	}
+	if tight <= ample {
+		t.Fatalf("tight budget decoded %d ≤ ample %d — eviction never happened", tight, ample)
+	}
+}

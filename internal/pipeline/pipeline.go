@@ -20,10 +20,17 @@ type Stage struct {
 	par       int
 	depth     int
 	fn        func(ctx context.Context, v any) (any, error)
+	expand    func(ctx context.Context, v any) ([]any, error)
+	echo      func() int
 	timeout   time.Duration
 	retries   int
 	retryable func(error) bool
 }
+
+// renumbers reports whether the stage can change the item count, in
+// which case its output gets a fresh dense sequence numbering so a
+// downstream parallel stage can still restore a total order.
+func (s *Stage) renumbers() bool { return s.expand != nil || s.echo != nil }
 
 // StageOption configures optional per-stage resilience behavior.
 type StageOption func(*Stage)
@@ -56,6 +63,28 @@ func WithRetryableErrors(classify func(error) bool) StageOption {
 	return func(s *Stage) {
 		if classify != nil {
 			s.retryable = classify
+		}
+	}
+}
+
+// WithEcho replays every result of the stage factor() times — Choi et
+// al.'s data echoing: when preparation cannot keep up with the step
+// rate, downstream consumes each prepared item several times instead of
+// idling. factor is evaluated once per item, so a live factor (e.g. one
+// derived from the train driver's prep/step overlap gauge) adapts
+// replay to the currently observed imbalance; results < 1 are treated
+// as 1 (echo off for that item).
+//
+// The SAME value is sent factor() times (no copies are made). If the
+// pipeline has a discard hook (Pipeline.WithDiscard), it fires once per
+// dropped replica — values that can be recycled exactly once must carry
+// their own reference count (see train's echo stage for the pattern).
+// An echoing stage renumbers its output sequence so downstream parallel
+// stages still see a total order.
+func WithEcho(factor func() int) StageOption {
+	return func(s *Stage) {
+		if factor != nil {
+			s.echo = factor
 		}
 	}
 }
@@ -95,6 +124,53 @@ func NewStage[In, Out any](name string, parallelism, queueDepth int, fn func(ctx
 	return s
 }
 
+// NewExpandStage builds a typed one-to-many stage: fn maps each input
+// to zero or more outputs, emitted downstream in order. It is the
+// building block for data echoing with per-replica payloads (each
+// output can carry its own bookkeeping, unlike WithEcho which resends
+// one value) and for batch-splitting stages. Expand stages are always
+// serial (the emission order of a fan-out is only well-defined for one
+// worker) and renumber their output sequence so downstream parallel
+// stages still restore a total order.
+//
+// Ownership on cancellation: outputs fn has returned that the run drops
+// before delivery are handed to the pipeline's discard hook
+// (Pipeline.WithDiscard), exactly once each.
+func NewExpandStage[In, Out any](name string, queueDepth int, fn func(ctx context.Context, in In) ([]Out, error), opts ...StageOption) *Stage {
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	s := &Stage{
+		name:  name,
+		par:   1,
+		depth: queueDepth,
+		expand: func(ctx context.Context, v any) ([]any, error) {
+			in, ok := v.(In)
+			if !ok {
+				var want In
+				return nil, fmt.Errorf("pipeline: stage %q: item is %T, want %T", name, v, want)
+			}
+			outs, err := fn(ctx, in)
+			if err != nil {
+				return nil, err
+			}
+			vs := make([]any, len(outs))
+			for i, o := range outs {
+				vs[i] = o
+			}
+			return vs, nil
+		},
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.par = 1 // expansion emission order requires a serial stage
+	if s.retryable == nil {
+		s.retryable = faults.IsTransient
+	}
+	return s
+}
+
 // Name returns the stage's name.
 func (s *Stage) Name() string { return s.name }
 
@@ -103,9 +179,10 @@ func (s *Stage) Name() string { return s.name }
 // counters. Attach a metrics registry with WithMetrics before running
 // to stream per-stage telemetry into it.
 type Pipeline struct {
-	name   string
-	stages []*Stage
-	reg    *metrics.Registry
+	name    string
+	stages  []*Stage
+	reg     *metrics.Registry
+	discard func(v any)
 }
 
 // WithMetrics attaches a registry: every subsequent Run reports
@@ -116,6 +193,25 @@ type Pipeline struct {
 // chaining.
 func (p *Pipeline) WithMetrics(reg *metrics.Registry) *Pipeline {
 	p.reg = reg
+	return p
+}
+
+// WithDiscard installs a hook that receives every in-flight value a run
+// drops instead of delivering: items stranded in stage queues when the
+// run is cancelled or stopped, results a stage could not forward, and
+// buffered output Stop throws away. Stages that recycle pooled buffers
+// into their outputs use it to close the loop on cancellation — without
+// it, a mid-run cancel leaks whatever was in flight.
+//
+// The hook may be called concurrently from several pipeline goroutines
+// and must not block. It fires exactly once per dropped value, except
+// that an echoing stage (WithEcho) drops the same value once per
+// undelivered replica. Values fn consumed before failing are NOT
+// discarded — a stage function owns its input once invoked and must
+// clean up on its own error paths. A nil hook (the default) disables
+// discard tracking at no cost. Returns p for chaining.
+func (p *Pipeline) WithDiscard(fn func(v any)) *Pipeline {
+	p.discard = fn
 	return p
 }
 
@@ -219,13 +315,46 @@ type Run struct {
 	ctx      context.Context
 	cancel   context.CancelFunc
 	stages   []*stageRun
+	srcOut   chan item
 	final    chan any
 	wg       sync.WaitGroup
 	complete atomic.Bool
 
+	discardFn func(v any)
+	scavOnce  sync.Once
+
 	errOnce  sync.Once
 	mu       sync.Mutex
 	firstErr error
+}
+
+// discard hands a dropped value to the pipeline's discard hook.
+func (r *Run) discard(v any) {
+	if r.discardFn != nil {
+		r.discardFn(v)
+	}
+}
+
+// scavenge empties every (closed) channel of a finished run through the
+// discard hook — the items stranded in stage queues when stages exited
+// early. Must only run after wg.Wait, when all channels are closed.
+func (r *Run) scavenge() {
+	r.scavOnce.Do(func() {
+		if r.discardFn == nil {
+			return
+		}
+		for it := range r.srcOut {
+			r.discard(it.v)
+		}
+		for _, sr := range r.stages {
+			for it := range sr.out {
+				r.discard(it.v)
+			}
+		}
+		for v := range r.final {
+			r.discard(v)
+		}
+	})
 }
 
 // Run starts the pipeline over the source. The returned Run owns all
@@ -233,9 +362,10 @@ type Run struct {
 // error cancels the run, or ctx is cancelled.
 func (p *Pipeline) Run(ctx context.Context, src Source) *Run {
 	rctx, cancel := context.WithCancel(ctx)
-	r := &Run{name: p.name, ctx: rctx, cancel: cancel, final: make(chan any)}
+	r := &Run{name: p.name, ctx: rctx, cancel: cancel, final: make(chan any), discardFn: p.discard}
 
 	srcOut := make(chan item)
+	r.srcOut = srcOut
 	r.wg.Add(1)
 	go func() {
 		defer r.wg.Done()
@@ -280,7 +410,9 @@ func (p *Pipeline) Run(ctx context.Context, src Source) *Run {
 			select {
 			case r.final <- it.v:
 			case <-rctx.Done():
-				for range last { //nolint:revive // drain cancelled run
+				r.discard(it.v)
+				for it := range last { // drain cancelled run
+					r.discard(it.v)
 				}
 				return
 			}
@@ -292,8 +424,43 @@ func (p *Pipeline) Run(ctx context.Context, src Source) *Run {
 	return r
 }
 
+// emitStage forwards one applied result downstream, replaying it per
+// the stage's echo factor. Stages that can change the item count
+// (echo/expand) renumber their output through outSeq so downstream
+// order stays total. Returns false once the run is cancelled; the
+// current value (and any unsent replicas) go to the discard hook.
+func (r *Run) emitStage(ctx context.Context, sr *stageRun, it item, outSeq *int64) bool {
+	n := 1
+	if f := sr.spec.echo; f != nil {
+		if n = f(); n < 1 {
+			n = 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		out := it
+		if sr.spec.renumbers() {
+			out = item{seq: *outSeq, v: it.v}
+			*outSeq++
+		}
+		select {
+		case sr.out <- out:
+			sr.itemsOut.Add(1)
+			sr.mQueue.SetInt(int64(len(sr.out)))
+		case <-ctx.Done():
+			for ; i < n; i++ { // this replica and the rest are dropped
+				r.discard(it.v)
+			}
+			return false
+		}
+	}
+	return true
+}
+
 func (r *Run) startStage(ctx context.Context, sr *stageRun, in <-chan item) {
-	apply := func(it item) (item, bool) {
+	// apply runs the stage function (plain or expanding) on one item
+	// with the stage's per-item timeout/retry envelope. Exactly one of
+	// the returned value/slice is meaningful, matching sr.spec.expand.
+	apply := func(it item) (any, []any, bool) {
 		sr.itemsIn.Add(1)
 		for attempt := 0; ; attempt++ {
 			ictx := ctx
@@ -302,7 +469,16 @@ func (r *Run) startStage(ctx context.Context, sr *stageRun, in <-chan item) {
 				ictx, cancelItem = context.WithTimeout(ctx, sr.spec.timeout)
 			}
 			start := time.Now()
-			v, err := sr.spec.fn(ictx, it.v)
+			var (
+				v   any
+				vs  []any
+				err error
+			)
+			if sr.spec.expand != nil {
+				vs, err = sr.spec.expand(ictx, it.v)
+			} else {
+				v, err = sr.spec.fn(ictx, it.v)
+			}
 			elapsed := time.Since(start)
 			if cancelItem != nil {
 				cancelItem()
@@ -311,7 +487,7 @@ func (r *Run) startStage(ctx context.Context, sr *stageRun, in <-chan item) {
 			sr.mItems.Inc()
 			sr.mBusy.ObserveDuration(elapsed)
 			if err == nil {
-				return item{seq: it.seq, v: v}, true
+				return v, vs, true
 			}
 			// Transient faults re-enter the work loop while the budget
 			// lasts; permanent ones (or a cancelled run) still fail the
@@ -322,7 +498,7 @@ func (r *Run) startStage(ctx context.Context, sr *stageRun, in <-chan item) {
 				continue
 			}
 			r.fail(err)
-			return item{}, false
+			return nil, nil, false
 		}
 	}
 
@@ -331,17 +507,25 @@ func (r *Run) startStage(ctx context.Context, sr *stageRun, in <-chan item) {
 		go func() {
 			defer r.wg.Done()
 			defer close(sr.out)
+			var outSeq int64
 			for it := range in {
-				res, ok := apply(it)
+				v, vs, ok := apply(it)
 				if !ok {
 					return
 				}
-				select {
-				case sr.out <- res:
-					sr.itemsOut.Add(1)
-					sr.mQueue.SetInt(int64(len(sr.out)))
-				case <-ctx.Done():
-					return
+				if sr.spec.expand == nil {
+					if !r.emitStage(ctx, sr, item{seq: it.seq, v: v}, &outSeq) {
+						return
+					}
+					continue
+				}
+				for i, ev := range vs {
+					if !r.emitStage(ctx, sr, item{seq: it.seq, v: ev}, &outSeq) {
+						for _, rest := range vs[i+1:] {
+							r.discard(rest)
+						}
+						return
+					}
 				}
 			}
 		}()
@@ -360,13 +544,14 @@ func (r *Run) startStage(ctx context.Context, sr *stageRun, in <-chan item) {
 			defer r.wg.Done()
 			defer workers.Done()
 			for it := range in {
-				res, ok := apply(it)
+				v, _, ok := apply(it)
 				if !ok {
 					return
 				}
 				select {
-				case results <- res:
+				case results <- item{seq: it.seq, v: v}:
 				case <-ctx.Done():
+					r.discard(v)
 					return
 				}
 			}
@@ -383,7 +568,12 @@ func (r *Run) startStage(ctx context.Context, sr *stageRun, in <-chan item) {
 		defer r.wg.Done()
 		defer close(sr.out)
 		pending := make(map[int64]any, sr.spec.par)
-		var next int64
+		defer func() { // seq gaps from failed workers strand entries here
+			for _, v := range pending {
+				r.discard(v)
+			}
+		}()
+		var next, outSeq int64
 		for it := range results {
 			pending[it.seq] = it.v
 			for {
@@ -392,16 +582,13 @@ func (r *Run) startStage(ctx context.Context, sr *stageRun, in <-chan item) {
 					break
 				}
 				delete(pending, next)
-				select {
-				case sr.out <- item{seq: next, v: v}:
-					sr.itemsOut.Add(1)
-					sr.mQueue.SetInt(int64(len(sr.out)))
-					next++
-				case <-ctx.Done():
-					for range results { //nolint:revive // drain cancelled run
+				if !r.emitStage(ctx, sr, item{seq: next, v: v}, &outSeq) {
+					for it := range results { // drain cancelled run
+						r.discard(it.v)
 					}
 					return
 				}
+				next++
 			}
 		}
 	}()
@@ -441,34 +628,46 @@ func (r *Run) Err() error {
 func (r *Run) Wait() error {
 	r.wg.Wait()
 	r.cancel() // release the derived context; Err() is already latched
+	r.scavenge()
 	return r.Err()
 }
 
-// Stop cancels the run, discards any buffered output, and waits for all
-// goroutines to exit. It is safe to call multiple times and after
-// completion.
+// Stop cancels the run, discards any buffered output (through the
+// discard hook, when one is attached), and waits for all goroutines to
+// exit. It is safe to call multiple times and after completion.
 func (r *Run) Stop() {
 	r.cancel()
-	for range r.final { //nolint:revive // discard buffered output
+	for v := range r.final { // discard buffered output
+		r.discard(v)
 	}
 	r.wg.Wait()
+	r.scavenge()
 }
 
 // Drain consumes the run to completion, returning the ordered outputs
 // asserted to T. It waits for all goroutines to exit before returning.
+// On error the partial results Drain had already collected are dropped
+// — routed through the run's discard hook, so an attached owner still
+// reclaims every delivered-then-abandoned value.
 func Drain[T any](r *Run) ([]T, error) {
 	out := make([]T, 0, 16)
+	fail := func(err error) ([]T, error) {
+		for _, t := range out {
+			r.discard(t)
+		}
+		return nil, err
+	}
 	for v := range r.Out() {
 		t, ok := v.(T)
 		if !ok {
 			r.Stop()
 			var want T
-			return nil, fmt.Errorf("pipeline: %s: output is %T, want %T", r.name, v, want)
+			return fail(fmt.Errorf("pipeline: %s: output is %T, want %T", r.name, v, want))
 		}
 		out = append(out, t)
 	}
 	if err := r.Wait(); err != nil {
-		return nil, err
+		return fail(err)
 	}
 	return out, nil
 }

@@ -1,0 +1,88 @@
+package preppool
+
+import (
+	"context"
+	"testing"
+
+	"trainbox/internal/dscache"
+	"trainbox/internal/units"
+)
+
+// TestPoolSharedCacheAmortizesAcrossJobs: two host-only jobs on one
+// corpus behind one cache tier decode each key exactly once between
+// them, and every epoch of both jobs stays bit-identical to its own
+// uncached oracle (per-job dataset seeds differ; only the decode is
+// shared).
+func TestPoolSharedCacheAmortizesAcrossJobs(t *testing.T) {
+	_, store, cfg := fixture(t, 0)
+	keys := store.Keys()
+	c := dscache.New(64 * units.MB)
+	p, err := NewPool(nil, WithCache(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, err := p.Register(spec("job-a", cfg, store, 11, 0, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := p.Register(spec("job-b", cfg, store, 22, 0, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const epochs = 3
+	for epoch := 0; epoch < epochs; epoch++ {
+		for _, jc := range []struct {
+			j    *Job
+			seed int64
+		}{{ja, 11}, {jb, 22}} {
+			got, err := jc.j.PrepareEpoch(context.Background(), keys, epoch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertBitIdentical(t, got, oracle(t, cfg, store, jc.seed, keys, epoch))
+		}
+	}
+	s := c.Stats()
+	if s.Misses != int64(len(keys)) {
+		t.Fatalf("decodes = %d, want %d: 2 jobs × %d epochs should share one decode per key",
+			s.Misses, len(keys), epochs)
+	}
+	if want := int64(2*epochs*len(keys)) - s.Misses; s.Hits != want {
+		t.Fatalf("hits = %d, want %d", s.Hits, want)
+	}
+}
+
+// TestPoolCacheWithPooledDevicesStaysBitIdentical: the cache only
+// touches the host half of a split epoch — a job running over real
+// pooled devices plus a cached host path must still produce the
+// bit-identical epoch.
+func TestPoolCacheWithPooledDevicesStaysBitIdentical(t *testing.T) {
+	handlers, store, cfg := fixture(t, 2)
+	keys := store.Keys()
+	p, err := NewPool(handlers, WithCache(dscache.New(64*units.MB)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := p.Register(spec("split", cfg, store, 7, 2000, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for epoch := 0; epoch < 2; epoch++ {
+		got, err := j.PrepareEpoch(context.Background(), keys, epoch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertBitIdentical(t, got, oracle(t, cfg, store, 7, keys, epoch))
+	}
+	if j.Leases() == 0 {
+		t.Fatal("job never held a pooled device — the split path went untested")
+	}
+}
+
+// TestPoolWithCacheNil: a nil cache is a construction error, not a
+// silent no-op.
+func TestPoolWithCacheNil(t *testing.T) {
+	if _, err := NewPool(nil, WithCache(nil)); err == nil {
+		t.Fatal("WithCache(nil) accepted")
+	}
+}

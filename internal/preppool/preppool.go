@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"trainbox/internal/dataprep"
+	"trainbox/internal/dscache"
 	"trainbox/internal/eth"
 	"trainbox/internal/fpga"
 	"trainbox/internal/metrics"
@@ -77,6 +78,25 @@ func WithMetrics(reg *metrics.Registry) Option {
 	}
 }
 
+// WithCache shares one decode-cache tier across every job the pool
+// hosts: each registering job's host executor is rebound through the
+// cache (dscache.Bind), so concurrent jobs training on the same corpus
+// decode each key once between them instead of once per job. Only the
+// host path is affected — the pooled FPGA path models in-device
+// preparation — and the cached preparer is bit-identical for equal
+// seeds, so epoch content (and the pool's bit-identity invariant) is
+// unchanged. Executors whose preparer has no cached form (video) stay
+// uncached.
+func WithCache(c *dscache.Cache) Option {
+	return func(p *Pool) error {
+		if c == nil {
+			return fmt.Errorf("preppool: WithCache needs a non-nil cache")
+		}
+		p.cache = c
+		return nil
+	}
+}
+
 // WithHealth overrides the health config each job's cluster runs with.
 // The default is fpga.DefaultHealthConfig — the pool needs health
 // tracking on to observe device death at all.
@@ -112,6 +132,7 @@ type Pool struct {
 	net            *eth.Network
 	bytesPerSample units.Bytes
 	reg            *metrics.Registry
+	cache          *dscache.Cache
 
 	mu         sync.Mutex
 	free       []*fpga.P2PHandler
@@ -230,6 +251,13 @@ func (p *Pool) Register(spec JobSpec) (*Job, error) {
 		if other.spec.Name == spec.Name {
 			return nil, fmt.Errorf("preppool: job name %q already registered", spec.Name)
 		}
+	}
+	if p.cache != nil {
+		// Route the job's host path through the shared decode tier; the
+		// swap is in place, so the cluster's fallback (same executor)
+		// rides through the cache too. ok=false (no cached form) leaves
+		// the executor untouched.
+		dscache.Bind(p.cache, spec.Exec)
 	}
 	cluster, err := fpga.NewCluster(nil,
 		fpga.WithName(spec.Name),

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"trainbox/internal/dataprep"
+	"trainbox/internal/dscache"
 	"trainbox/internal/fpga"
 	"trainbox/internal/metrics"
 	"trainbox/internal/nvme"
@@ -88,6 +89,7 @@ type TrainRunner struct {
 	store  *storage.Store
 	keys   []string
 	imgCfg dataprep.ImageConfig
+	cache  *dscache.Cache
 }
 
 // NewTrainRunner builds the backend's shared corpus: corpusItems
@@ -109,6 +111,18 @@ func NewTrainRunner(corpusItems int, seed int64) (*TrainRunner, error) {
 // Store returns the shared corpus store (for building pooled devices
 // or wiring storage metrics).
 func (r *TrainRunner) Store() *storage.Store { return r.store }
+
+// EnableCache puts one shared decode-cache tier under every job the
+// backend runs: the corpus is one dataset shared by all tenants, so the
+// first job to touch a key decodes it for everyone (dscache
+// single-flight), within the byte budget. Tenants keep their own
+// augmentation seeds — the cached path is bit-identical per job. Call
+// before serving traffic; the returned cache exposes Stats for tests
+// and dashboards (metered into reg when non-nil).
+func (r *TrainRunner) EnableCache(budget units.Bytes, reg *metrics.Registry) *dscache.Cache {
+	r.cache = dscache.New(budget, dscache.WithName("serve")).WithMetrics(reg)
+	return r.cache
+}
 
 // ImageConfig returns the preparation config pooled device emulators
 // must match for bit-identical host/pool epochs.
@@ -177,6 +191,12 @@ func (r *TrainRunner) run(ctx context.Context, id string, spec JobSpec, e Elasti
 		workers = 1
 	}
 	exec := dataprep.NewExecutor(dataprep.ImagePreparer{Config: r.imgCfg}, workers, spec.Seed)
+	if r.cache != nil && r.Pool != nil {
+		// The pool path bypasses train.WithCache (it needs WithDataset),
+		// so rebind the job's host executor directly; the host half of
+		// every split epoch then rides the shared tier.
+		dscache.Bind(r.cache, exec)
+	}
 
 	opts := []train.Option{train.WithFeature(blockFeature)}
 	if e.Suspender != nil {
@@ -209,6 +229,9 @@ func (r *TrainRunner) run(ctx context.Context, id string, spec JobSpec, e Elasti
 		opts = append(opts, train.WithPreparer(pj.Preparer(keys), len(keys)))
 	} else {
 		opts = append(opts, train.WithDataset(exec, r.store, keys))
+		if r.cache != nil {
+			opts = append(opts, train.WithCache(r.cache))
+		}
 	}
 
 	side := runnerCrop / featureBlock

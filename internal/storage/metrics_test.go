@@ -1,0 +1,183 @@
+package storage
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"trainbox/internal/metrics"
+)
+
+// TestStoreWriteAndMissMetrics: puts, bytes_written, and misses land in
+// the registry — replacement puts count too (bytes_written is write
+// volume, not residency), transient-looking read paths don't inflate
+// misses, and the unmetered store stays nil-safe.
+func TestStoreWriteAndMissMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := NewStore(DefaultSSDSpec()).WithMetrics(reg)
+	if err := s.Put(Object{Key: "a", Data: make([]byte, 100)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(Object{Key: "b", Data: make([]byte, 50)}); err != nil {
+		t.Fatal(err)
+	}
+	// Replacing a key is still one write of its payload.
+	if err := s.Put(Object{Key: "a", Data: make([]byte, 30)}); err != nil {
+		t.Fatal(err)
+	}
+	// A rejected over-capacity put must not count.
+	tiny := NewStore(SSDSpec{Name: "tiny", Capacity: 10}).WithMetrics(reg)
+	if err := tiny.Put(Object{Key: "big", Data: make([]byte, 11)}); err == nil {
+		t.Fatal("over-capacity put accepted")
+	}
+
+	if _, err := s.Get("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("ghost"); err == nil {
+		t.Fatal("missing key served")
+	}
+	if _, err := s.GetContext(context.Background(), "phantom"); err == nil {
+		t.Fatal("missing key served via GetContext")
+	}
+	// A cancelled read is not a miss — the data may well be there.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.GetContext(ctx, "a"); err == nil {
+		t.Fatal("cancelled read served")
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["storage.nvme.puts"]; got != 3 {
+		t.Errorf("puts = %d, want 3", got)
+	}
+	if got := snap.Counters["storage.nvme.bytes_written"]; got != 180 {
+		t.Errorf("bytes_written = %d, want 180", got)
+	}
+	if got := snap.Counters["storage.nvme.misses"]; got != 2 {
+		t.Errorf("misses = %d, want 2", got)
+	}
+	if got := snap.Counters["storage.tiny.puts"]; got != 0 {
+		t.Errorf("tiny puts = %d, want 0 (the put failed)", got)
+	}
+
+	// No registry: the same paths must be no-ops, not panics.
+	bare := NewStore(DefaultSSDSpec())
+	if err := bare.Put(Object{Key: "x", Data: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bare.Get("nope"); err == nil {
+		t.Fatal("missing key served on bare store")
+	}
+}
+
+// TestPartitionEdgeCases: more shards than keys leaves trailing shards
+// empty (not nil-length mismatch), an empty key list yields n empty
+// shards, and n == 1 returns everything in order.
+func TestPartitionEdgeCases(t *testing.T) {
+	keys := []string{"a", "b", "c"}
+
+	shards, err := Partition(keys, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 5 {
+		t.Fatalf("shard count = %d, want 5", len(shards))
+	}
+	total := 0
+	for i, sh := range shards {
+		total += len(sh)
+		if i >= len(keys) && len(sh) != 0 {
+			t.Errorf("shard %d has %d keys, want empty", i, len(sh))
+		}
+	}
+	if total != len(keys) {
+		t.Fatalf("partition lost keys: %d of %d", total, len(keys))
+	}
+
+	empty, err := Partition(nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty) != 3 {
+		t.Fatalf("empty partition shard count = %d, want 3", len(empty))
+	}
+	for i, sh := range empty {
+		if len(sh) != 0 {
+			t.Errorf("shard %d of empty partition has %d keys", i, len(sh))
+		}
+	}
+
+	one, err := Partition(keys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 || len(one[0]) != len(keys) {
+		t.Fatalf("single shard = %v", one)
+	}
+	for i, k := range keys {
+		if one[0][i] != k {
+			t.Fatalf("single shard reordered keys: %v", one[0])
+		}
+	}
+
+	if _, err := Partition(keys, 0); err == nil {
+		t.Error("Partition(keys, 0) accepted")
+	}
+	if _, err := Partition(keys, -1); err == nil {
+		t.Error("Partition(keys, -1) accepted")
+	}
+}
+
+// TestStoreKeysPutHammer drives Keys, Put, and MeanObjectSize from many
+// goroutines at once: Keys' lazily re-sorted cache (the dirty flag)
+// must never tear under concurrent inserts, and every returned snapshot
+// must be sorted. Run with -race.
+func TestStoreKeysPutHammer(t *testing.T) {
+	s := NewStore(DefaultSSDSpec())
+	const (
+		writers = 4
+		readers = 4
+		rounds  = 200
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				key := fmt.Sprintf("w%d-%04d", w, i)
+				if err := s.Put(Object{Key: key, Data: make([]byte, 8+i%16)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				keys := s.Keys()
+				for j := 1; j < len(keys); j++ {
+					if keys[j-1] >= keys[j] {
+						t.Errorf("Keys() snapshot unsorted at %d: %q ≥ %q", j, keys[j-1], keys[j])
+						return
+					}
+				}
+				_ = s.MeanObjectSize()
+				_ = s.Len()
+				_ = s.UsedBytes()
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := s.Len(), writers*rounds; got != want {
+		t.Fatalf("stored %d objects, want %d", got, want)
+	}
+	if keys := s.Keys(); len(keys) != writers*rounds {
+		t.Fatalf("final Keys() has %d entries, want %d", len(keys), writers*rounds)
+	}
+}

@@ -63,11 +63,14 @@ type Store struct {
 	inj   faults.Injector
 	retry faults.RetryPolicy
 
-	mBytesRead *metrics.Counter   // storage.<name>.bytes_read
-	mReads     *metrics.Counter   // storage.<name>.reads
-	mReadNs    *metrics.Histogram // storage.<name>.read_ns
-	mRetries   *metrics.Counter   // storage.<name>.retries
-	mBackoffNs *metrics.Counter   // storage.<name>.retry_backoff_ns
+	mBytesRead    *metrics.Counter   // storage.<name>.bytes_read
+	mReads        *metrics.Counter   // storage.<name>.reads
+	mReadNs       *metrics.Histogram // storage.<name>.read_ns
+	mRetries      *metrics.Counter   // storage.<name>.retries
+	mBackoffNs    *metrics.Counter   // storage.<name>.retry_backoff_ns
+	mPuts         *metrics.Counter   // storage.<name>.puts
+	mBytesWritten *metrics.Counter   // storage.<name>.bytes_written
+	mMisses       *metrics.Counter   // storage.<name>.misses
 }
 
 // NewStore creates an empty shard on a device with the given spec.
@@ -79,9 +82,10 @@ func NewStore(spec SSDSpec) *Store {
 func (s *Store) Spec() SSDSpec { return s.spec }
 
 // WithMetrics attaches a registry: every successful read reports bytes
-// read, read count, and read-latency quantiles under
-// "storage.<device>.*". Attach before the store is shared across
-// goroutines; returns s for chaining.
+// read, read count, and read-latency quantiles; every successful write
+// reports put count and bytes written; reads of absent keys count as
+// misses — all under "storage.<device>.*". Attach before the store is
+// shared across goroutines; returns s for chaining.
 func (s *Store) WithMetrics(reg *metrics.Registry) *Store {
 	prefix := "storage." + s.spec.Name + "."
 	s.mBytesRead = reg.Counter(prefix + "bytes_read")
@@ -89,6 +93,9 @@ func (s *Store) WithMetrics(reg *metrics.Registry) *Store {
 	s.mReadNs = reg.Histogram(prefix + "read_ns")
 	s.mRetries = reg.Counter(prefix + "retries")
 	s.mBackoffNs = reg.Counter(prefix + "retry_backoff_ns")
+	s.mPuts = reg.Counter(prefix + "puts")
+	s.mBytesWritten = reg.Counter(prefix + "bytes_written")
+	s.mMisses = reg.Counter(prefix + "misses")
 	return s
 }
 
@@ -132,6 +139,8 @@ func (s *Store) Put(obj Object) error {
 	}
 	s.objects[obj.Key] = obj
 	s.used = next
+	s.mPuts.Inc()
+	s.mBytesWritten.Add(int64(len(obj.Data)))
 	return nil
 }
 
@@ -142,6 +151,10 @@ func (s *Store) Get(key string) (Object, error) {
 	obj, ok := s.objects[key]
 	s.mu.RUnlock()
 	if !ok {
+		// The missing-key path is the only miss: fault-injected or
+		// cancelled attempts are transient and report as retries, not as
+		// absent data. GetContext inherits this count through Get.
+		s.mMisses.Inc()
 		return Object{}, fmt.Errorf("storage: %s: no object %q", s.spec.Name, key)
 	}
 	s.mReads.Inc()

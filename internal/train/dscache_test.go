@@ -1,0 +1,238 @@
+package train
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"trainbox/internal/dataprep"
+	"trainbox/internal/dscache"
+	"trainbox/internal/nn"
+	"trainbox/internal/storage"
+	"trainbox/internal/units"
+)
+
+// modelsIdentical asserts two trained models are byte-for-byte equal —
+// the bar for "the option changed nothing about the computation".
+func modelsIdentical(t *testing.T, label string, a, b *nn.Network) {
+	t.Helper()
+	for li := range a.Layers {
+		for i := range a.Layers[li].W {
+			if a.Layers[li].W[i] != b.Layers[li].W[i] {
+				t.Fatalf("%s: layer %d weight %d diverged: %v vs %v",
+					label, li, i, a.Layers[li].W[i], b.Layers[li].W[i])
+			}
+		}
+		for i := range a.Layers[li].B {
+			if a.Layers[li].B[i] != b.Layers[li].B[i] {
+				t.Fatalf("%s: layer %d bias %d diverged", label, li, i)
+			}
+		}
+	}
+}
+
+// TestEchoFactorOneBitIdentical: echo factor 1 inserts the echo stage
+// but must be a perfect no-op — same steps, same losses, same final
+// weights as a run without the stage.
+func TestEchoFactorOneBitIdentical(t *testing.T) {
+	exec, store, keys := setup(t, 16)
+	want, err := Run(context.Background(), baseConfig(), WithDataset(exec, store, keys), WithFeature(stripeFeature))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(context.Background(), baseConfig(), WithDataset(exec, store, keys),
+		WithEchoFactor(1), WithFeature(stripeFeature))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Steps) != len(want.Steps) {
+		t.Fatalf("steps = %d, want %d", len(got.Steps), len(want.Steps))
+	}
+	for i := range want.Steps {
+		if got.Steps[i] != want.Steps[i] && got.Steps[i].MeanLoss != want.Steps[i].MeanLoss {
+			t.Fatalf("step %d loss %v, want %v", i, got.Steps[i].MeanLoss, want.Steps[i].MeanLoss)
+		}
+	}
+	modelsIdentical(t, "echo=1 vs no echo", got.Model(), want.Model())
+}
+
+// TestWithCacheBitIdenticalAndAmortizes: a cached run produces the
+// exact model of an uncached run — the cache-aware (resident-first)
+// prepare order is restored before the batch reaches the replicas —
+// while collapsing decodes to one per key across all epochs.
+func TestWithCacheBitIdenticalAndAmortizes(t *testing.T) {
+	execPlain, store, keys := setup(t, 16)
+	want, err := Run(context.Background(), baseConfig(), WithDataset(execPlain, store, keys), WithFeature(stripeFeature))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Bind mutates the executor's preparer, so the cached run gets its
+	// own executor (same worker count and dataset seed).
+	icfg := dataprep.DefaultImageConfig()
+	icfg.CropW, icfg.CropH = 32, 32
+	execCached := dataprep.NewExecutor(dataprep.ImagePreparer{Config: icfg}, 2, 5)
+	c := dscache.New(64 * units.MB)
+	got, err := Run(context.Background(), baseConfig(), WithDataset(execCached, store, keys),
+		WithCache(c), WithFeature(stripeFeature))
+	if err != nil {
+		t.Fatal(err)
+	}
+	modelsIdentical(t, "cached vs uncached", got.Model(), want.Model())
+
+	cfg := baseConfig()
+	s := c.Stats()
+	if s.Misses != int64(len(keys)) {
+		t.Fatalf("decodes = %d, want %d (one per key across %d epochs)", s.Misses, len(keys), cfg.Epochs)
+	}
+	if s.Hits < int64(len(keys)*(cfg.Epochs-1)) {
+		t.Fatalf("hits = %d, want ≥ %d", s.Hits, len(keys)*(cfg.Epochs-1))
+	}
+}
+
+// TestWithCacheAndEchoCompose: both options together still match the
+// plain run trained with the same echoed step schedule.
+func TestWithCacheAndEchoCompose(t *testing.T) {
+	execPlain, store, keys := setup(t, 16)
+	want, err := Run(context.Background(), baseConfig(), WithDataset(execPlain, store, keys),
+		WithEchoFactor(2), WithFeature(stripeFeature))
+	if err != nil {
+		t.Fatal(err)
+	}
+	icfg := dataprep.DefaultImageConfig()
+	icfg.CropW, icfg.CropH = 32, 32
+	execCached := dataprep.NewExecutor(dataprep.ImagePreparer{Config: icfg}, 2, 5)
+	got, err := Run(context.Background(), baseConfig(), WithDataset(execCached, store, keys),
+		WithCache(dscache.New(64*units.MB)), WithEchoFactor(2), WithFeature(stripeFeature))
+	if err != nil {
+		t.Fatal(err)
+	}
+	modelsIdentical(t, "cache+echo vs echo", got.Model(), want.Model())
+}
+
+// TestWithEchoFactorReplaysSteps: factor n multiplies the step
+// schedule — n step-stage passes per prepared epoch — and reports it
+// through the echo metrics.
+func TestWithEchoFactorReplaysSteps(t *testing.T) {
+	exec, store, keys := setup(t, 16)
+	cfg := baseConfig()
+	base, err := Run(context.Background(), cfg, WithDataset(exec, store, keys), WithFeature(stripeFeature))
+	if err != nil {
+		t.Fatal(err)
+	}
+	echoed, err := Run(context.Background(), cfg, WithDataset(exec, store, keys),
+		WithEchoFactor(2), WithFeature(stripeFeature))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(echoed.Steps) != 2*len(base.Steps) {
+		t.Fatalf("echoed steps = %d, want %d", len(echoed.Steps), 2*len(base.Steps))
+	}
+	if echoed.SamplesProcessed != 2*base.SamplesProcessed {
+		t.Fatalf("echoed samples = %d, want %d", echoed.SamplesProcessed, 2*base.SamplesProcessed)
+	}
+	if n := echoed.Metrics.Counters["train.driver.echo_replays"]; n != int64(cfg.Epochs) {
+		t.Fatalf("echo_replays = %d, want %d (one extra replica per epoch)", n, cfg.Epochs)
+	}
+	if f := echoed.Metrics.Gauges["train.driver.echo_factor"]; f != 2 {
+		t.Fatalf("echo_factor gauge = %v, want 2", f)
+	}
+}
+
+// TestWithAdaptiveEchoKicksInWhenPrepBound: a run whose preparation is
+// slower than its steps must start echoing once the overlap gauge
+// crosses 1, and the replicas must stay synchronized through the
+// replayed epochs.
+func TestWithAdaptiveEchoKicksInWhenPrepBound(t *testing.T) {
+	exec, store, keys := setup(t, 8)
+	slow := func(ctx context.Context, epoch int) ([]dataprep.Prepared, error) {
+		ps, err := exec.PrepareBatchContext(ctx, store, keys, epoch)
+		time.Sleep(20 * time.Millisecond) // prep-bound by construction
+		return ps, err
+	}
+	cfg := baseConfig()
+	cfg.Replicas = 2
+	cfg.Epochs = 8
+	res, err := Run(context.Background(), cfg, WithPreparer(slow, len(keys)),
+		WithAdaptiveEcho(3), WithFeature(stripeFeature))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := res.Metrics.Counters["train.driver.echo_replays"]; n == 0 {
+		t.Fatalf("adaptive echo never engaged on a prep-bound run (overlap=%v)",
+			res.Metrics.Gauges["train.driver.prep_step_overlap"])
+	}
+	if len(res.Steps) <= cfg.Epochs {
+		t.Fatalf("steps = %d, want > %d (replays add steps)", len(res.Steps), cfg.Epochs)
+	}
+	if d := MaxReplicaDivergence(res.Replicas); d > 1e-12 {
+		t.Fatalf("replica divergence %g after echoed epochs", d)
+	}
+}
+
+// TestChaosEchoTrainCancelRecyclesBuffers: cancelling a cached, echoed
+// run mid-epoch — replayed batches in flight — must return every
+// pooled output buffer to the executor (Gets == Puts), whichever stage
+// each replica died in.
+func TestChaosEchoTrainCancelRecyclesBuffers(t *testing.T) {
+	for trial := 0; trial < 6; trial++ {
+		icfg := dataprep.DefaultImageConfig()
+		icfg.CropW, icfg.CropH = 32, 32
+		exec := dataprep.NewExecutor(dataprep.ImagePreparer{Config: icfg}, 2, 5)
+		store := storage.NewStore(storage.DefaultSSDSpec())
+		if err := dataprep.BuildImageDataset(store, 16, 4, 5); err != nil {
+			t.Fatal(err)
+		}
+		keys := store.Keys()
+		ctx, cancel := context.WithCancel(context.Background())
+		var calls atomic.Int32
+		target := int32(4 + trial*6)
+		feat := func(p dataprep.Prepared) ([]float64, int, error) {
+			if calls.Add(1) == target {
+				cancel() // mid-extract, with echoed replicas queued behind
+			}
+			return stripeFeature(p)
+		}
+		cfg := baseConfig()
+		cfg.Epochs = 6
+		_, err := Run(ctx, cfg, WithDataset(exec, store, keys),
+			WithCache(dscache.New(64*units.MB)), WithEchoFactor(3), WithFeature(feat))
+		if err == nil && calls.Load() >= target {
+			t.Fatalf("trial %d: run succeeded despite cancellation", trial)
+		}
+		st := exec.OutputStats()
+		if st.Gets != st.Puts {
+			t.Fatalf("trial %d: pooled output buffers leaked on cancel: Gets=%d Puts=%d News=%d",
+				trial, st.Gets, st.Puts, st.News)
+		}
+		cancel()
+	}
+}
+
+// TestCacheEchoOptionValidation pins down the option error matrix.
+func TestCacheEchoOptionValidation(t *testing.T) {
+	exec, store, keys := setup(t, 8)
+	cases := []struct {
+		name string
+		opts []Option
+	}{
+		{"nil cache", []Option{WithDataset(exec, store, keys), WithCache(nil), WithFeature(stripeFeature)}},
+		{"cache without dataset", []Option{
+			WithPreparer(func(ctx context.Context, epoch int) ([]dataprep.Prepared, error) {
+				return exec.PrepareBatchContext(ctx, store, keys, epoch)
+			}, len(keys)),
+			WithCache(dscache.New(units.MB)), WithFeature(stripeFeature)}},
+		{"echo factor zero", []Option{WithDataset(exec, store, keys), WithEchoFactor(0), WithFeature(stripeFeature)}},
+		{"adaptive cap zero", []Option{WithDataset(exec, store, keys), WithAdaptiveEcho(0), WithFeature(stripeFeature)}},
+		{"two echo policies", []Option{WithDataset(exec, store, keys), WithEchoFactor(2), WithAdaptiveEcho(3), WithFeature(stripeFeature)}},
+	}
+	for _, tc := range cases {
+		if _, err := Run(context.Background(), baseConfig(), tc.opts...); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		} else if testing.Verbose() {
+			fmt.Println(tc.name+":", err)
+		}
+	}
+}

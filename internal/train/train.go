@@ -20,12 +20,14 @@ package train
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"sync/atomic"
 	"time"
 
 	"trainbox/internal/collective"
 	"trainbox/internal/dataprep"
+	"trainbox/internal/dscache"
 	"trainbox/internal/metrics"
 	"trainbox/internal/nn"
 	"trainbox/internal/pipeline"
@@ -133,6 +135,29 @@ type epochSamples struct {
 	samples []nn.Sample
 }
 
+// echoedBatch is one replica of a prepared epoch emitted by the data-
+// echoing stage. All replicas of an epoch share the prepared samples;
+// pending counts the replicas still holding them, and the last one out
+// recycles the shared buffers.
+type echoedBatch struct {
+	epoch   int
+	samples []dataprep.Prepared
+	pending *atomic.Int32
+}
+
+// release marks one replica done. The last release recycles the shared
+// prepared buffers; it is called by the extract stage after
+// featurization and by the run's discard hook for replicas dropped on
+// cancellation — each replica exactly once, whichever path it takes.
+func (eb echoedBatch) release(recycle func([]dataprep.Prepared)) {
+	if eb.pending == nil {
+		return
+	}
+	if eb.pending.Add(-1) == 0 && recycle != nil {
+		recycle(eb.samples)
+	}
+}
+
 // EpochPreparer produces one epoch's prepared samples for the keyed
 // dataset. It is the seam between the training driver and whichever
 // data-preparation path serves the run — the host executor (Run wraps
@@ -142,14 +167,26 @@ type epochSamples struct {
 type EpochPreparer func(ctx context.Context, epoch int) ([]dataprep.Prepared, error)
 
 // Option configures a training run — where its prepared samples come
-// from (WithDataset or WithPreparer, exactly one) and how they map to
-// model inputs (WithFeature, required).
+// from (WithDataset or WithPreparer, exactly one), how they map to
+// model inputs (WithFeature, required), and the data-path accelerators:
+// a shared decode cache (WithCache) and data echoing (WithEchoFactor or
+// WithAdaptiveEcho).
 type Option func(*runOptions) error
 
 type runOptions struct {
 	prepare EpochPreparer
 	numKeys int
 	feature FeatureFn
+	// exec/store/keys mirror WithDataset's arguments so WithCache can
+	// rebuild the prepare path around a shared decode tier.
+	exec  *dataprep.Executor
+	store *storage.Store
+	keys  []string
+	cache *dscache.Cache
+	// echoFactor (fixed, ≥ 1) or echoAdaptiveMax (cap for the
+	// overlap-driven factor) enable the echo stage; both zero = off.
+	echoFactor      int
+	echoAdaptiveMax int
 	// recycle, when set, receives each epoch's prepared samples after
 	// the extract stage has converted them to model inputs, returning
 	// their buffers to the data source's pools. Requires that the
@@ -181,6 +218,68 @@ func WithDataset(exec *dataprep.Executor, store *storage.Store, keys []string) O
 		// The executor owns the prepared buffers; hand each epoch back
 		// after extraction so steady-state training recycles them.
 		o.recycle = func(ps []dataprep.Prepared) { exec.Recycle(ps...) }
+		o.exec, o.store, o.keys = exec, store, keysCopy
+		return nil
+	}
+}
+
+// WithCache serves the run's decodes through a shared dscache tier: the
+// executor's preparer is swapped for its cache-backed equivalent
+// (dscache.Bind), and each epoch's keys are prepared resident-first
+// (Cache.OrderKeys) so warm entries are consumed before eviction
+// pressure builds — then restored to the caller's key order, keeping
+// the epoch bit-identical to the uncached run. Requires WithDataset;
+// concurrent runs sharing one cache amortize each key's decode to a
+// single invocation (single-flight).
+func WithCache(c *dscache.Cache) Option {
+	return func(o *runOptions) error {
+		if c == nil {
+			return fmt.Errorf("train: WithCache needs a non-nil cache")
+		}
+		if o.cache != nil {
+			return fmt.Errorf("train: WithCache configured twice")
+		}
+		o.cache = c
+		return nil
+	}
+}
+
+// WithEchoFactor enables data echoing at a fixed factor n ≥ 1: an echo
+// stage between prepare and extract re-emits each prepared epoch n
+// times, so the (serial) step stage trains n times per preparation —
+// the Choi et al. data-echoing move for prep-bound runs. The replicas
+// share one prepared buffer set, recycled when the last is consumed.
+// n = 1 still inserts the stage (it must be a bit-identical no-op —
+// the transparency oracle the tests pin down).
+func WithEchoFactor(n int) Option {
+	return func(o *runOptions) error {
+		if n < 1 {
+			return fmt.Errorf("train: echo factor must be ≥ 1, got %d", n)
+		}
+		if o.echoFactor != 0 || o.echoAdaptiveMax != 0 {
+			return fmt.Errorf("train: multiple echo policies configured")
+		}
+		o.echoFactor = n
+		return nil
+	}
+}
+
+// WithAdaptiveEcho enables data echoing driven by the live
+// train.driver.prep_step_overlap gauge: while the run is step-bound
+// (overlap ≤ 1) each epoch passes through once; when preparation is the
+// bottleneck (overlap > 1) the factor rises to ⌈overlap⌉, capped at
+// max. Echoing repeats SGD steps on already-prepared data, so it trades
+// a little statistical efficiency for keeping the accelerators busy —
+// the cap bounds that trade.
+func WithAdaptiveEcho(max int) Option {
+	return func(o *runOptions) error {
+		if max < 1 {
+			return fmt.Errorf("train: adaptive echo cap must be ≥ 1, got %d", max)
+		}
+		if o.echoFactor != 0 || o.echoAdaptiveMax != 0 {
+			return fmt.Errorf("train: multiple echo policies configured")
+		}
+		o.echoAdaptiveMax = max
 		return nil
 	}
 }
@@ -243,7 +342,62 @@ func Run(ctx context.Context, cfg Config, opts ...Option) (Result, error) {
 	if o.checkpointEvery > 0 && o.checkpointSink == nil {
 		return Result{}, fmt.Errorf("train: WithCheckpointEvery needs WithCheckpointSink")
 	}
+	if o.cache != nil {
+		if err := bindCache(&o); err != nil {
+			return Result{}, err
+		}
+	}
 	return run(ctx, cfg, o)
+}
+
+// bindCache rebuilds the WithDataset prepare path around the shared
+// cache tier: the executor's preparer is swapped for its dscache
+// counterpart and each epoch prepares resident keys first, restoring
+// the original key order afterwards so the epoch stays bit-identical.
+func bindCache(o *runOptions) error {
+	if o.exec == nil {
+		return fmt.Errorf("train: WithCache requires WithDataset")
+	}
+	fp, ok := dscache.Bind(o.cache, o.exec)
+	if !ok {
+		return fmt.Errorf("train: WithCache: preparer %T has no cached form", o.exec.Preparer())
+	}
+	c, exec, store, keys := o.cache, o.exec, o.store, o.keys
+	o.prepare = func(ctx context.Context, epoch int) ([]dataprep.Prepared, error) {
+		ordered := c.OrderKeys(keys, fp)
+		ps, err := exec.PrepareBatchContext(ctx, store, ordered, epoch)
+		if err != nil {
+			return nil, err
+		}
+		return restoreOrder(ps, keys), nil
+	}
+	return nil
+}
+
+// restoreOrder re-sequences one epoch's prepared samples back into the
+// caller's key order after a cache-aware (resident-first) prepare pass.
+// Per-sample augmentation depends only on (dataset seed, key, epoch) —
+// never on position — so preparing in a different order changes nothing
+// per sample, and restoring the order keeps the whole epoch
+// bit-identical to the uncached run.
+func restoreOrder(ps []dataprep.Prepared, keys []string) []dataprep.Prepared {
+	pos := make(map[string][]int, len(keys))
+	for i, k := range keys {
+		pos[k] = append(pos[k], i)
+	}
+	out := make([]dataprep.Prepared, len(ps))
+	for _, p := range ps {
+		q := pos[p.Key]
+		if len(q) == 0 {
+			// A key outside the requested set: the permutation invariant
+			// broke somewhere upstream — fall back to prepared order
+			// rather than dropping the sample (and its pooled buffers).
+			return ps
+		}
+		out[q[0]] = p
+		pos[p.Key] = q[1:]
+	}
+	return out
 }
 
 // RunWithPreparer trains with the data-preparation path abstracted
@@ -312,34 +466,11 @@ func run(ctx context.Context, cfg Config, o runOptions) (Result, error) {
 	samplePool := pipeline.NewPool(func() []nn.Sample { return make([]nn.Sample, 0, numKeys) })
 
 	// prepBusyNs/stepBusyNs accumulate live stage busy time so the
-	// overlap gauge updates every epoch (autoscalers read it mid-run);
-	// the end-of-run pass below overwrites it with the pipeline's own
-	// authoritative stats.
+	// overlap gauge updates every epoch (autoscalers and the adaptive
+	// echo policy read it mid-run); the end-of-run pass below overwrites
+	// it with the pipeline's own authoritative stats.
 	var prepBusyNs, stepBusyNs atomic.Int64
 
-	prepStage := pipeline.NewStage("prepare", 1, cfg.PrefetchDepth,
-		func(ctx context.Context, epoch int) (epochBatch, error) {
-			t0 := time.Now()
-			batch, err := prepare(ctx, epoch)
-			prepBusyNs.Add(time.Since(t0).Nanoseconds())
-			if err != nil {
-				return epochBatch{}, err
-			}
-			return epochBatch{epoch: epoch, samples: batch}, nil
-		})
-	extractStage := pipeline.NewStage("extract", 1, 0,
-		func(_ context.Context, eb epochBatch) (epochSamples, error) {
-			samples, err := extract(eb.samples, feature, samplePool.Get())
-			if err != nil {
-				return epochSamples{}, err
-			}
-			if o.recycle != nil {
-				// The feature function has copied everything it needs;
-				// the prepared buffers can go back to the source's pools.
-				o.recycle(eb.samples)
-			}
-			return epochSamples{epoch: eb.epoch, samples: samples}, nil
-		})
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = metrics.NewRegistry()
@@ -351,6 +482,88 @@ func run(ctx context.Context, cfg Config, o runOptions) (Result, error) {
 		rate:    reg.Meter("train.driver.samples_rate"),
 	}
 	overlap := reg.Gauge("train.driver.prep_step_overlap")
+
+	prepStage := pipeline.NewStage("prepare", 1, cfg.PrefetchDepth,
+		func(ctx context.Context, epoch int) (epochBatch, error) {
+			t0 := time.Now()
+			batch, err := prepare(ctx, epoch)
+			prepBusyNs.Add(time.Since(t0).Nanoseconds())
+			if err != nil {
+				return epochBatch{}, err
+			}
+			return epochBatch{epoch: epoch, samples: batch}, nil
+		})
+
+	// Middle stages: a plain extract, or echo→extract when data echoing
+	// is on. The echo stage re-emits each prepared epoch factor() times;
+	// the replicas share the prepared buffers behind one refcount.
+	var middle []*pipeline.Stage
+	if o.echoFactor > 0 || o.echoAdaptiveMax > 0 {
+		echoFactorGauge := reg.Gauge("train.driver.echo_factor")
+		echoReplays := reg.Counter("train.driver.echo_replays")
+		factor := func() int { return o.echoFactor }
+		if o.echoAdaptiveMax > 0 {
+			// Echo only while preparation is the measured bottleneck:
+			// ⌈overlap⌉ replays per epoch, capped. The gauge is 0 until
+			// the first step completes, so the run starts un-echoed.
+			factor = func() int {
+				ov := overlap.Value()
+				if ov <= 1 {
+					return 1
+				}
+				f := int(math.Ceil(ov))
+				if f > o.echoAdaptiveMax {
+					f = o.echoAdaptiveMax
+				}
+				return f
+			}
+		}
+		echoStage := pipeline.NewExpandStage("echo", 0,
+			func(_ context.Context, eb epochBatch) ([]echoedBatch, error) {
+				n := factor()
+				if n < 1 {
+					n = 1
+				}
+				echoFactorGauge.Set(float64(n))
+				if n > 1 {
+					echoReplays.Add(int64(n - 1))
+				}
+				pending := new(atomic.Int32)
+				pending.Store(int32(n))
+				out := make([]echoedBatch, n)
+				for i := range out {
+					out[i] = echoedBatch{epoch: eb.epoch, samples: eb.samples, pending: pending}
+				}
+				return out, nil
+			})
+		extractEcho := pipeline.NewStage("extract", 1, 0,
+			func(_ context.Context, eb echoedBatch) (epochSamples, error) {
+				samples, err := extract(eb.samples, feature, samplePool.Get())
+				// The feature function copied out everything it needs (or
+				// failed); either way this replica is done with the shared
+				// prepared buffers.
+				eb.release(o.recycle)
+				if err != nil {
+					return epochSamples{}, err
+				}
+				return epochSamples{epoch: eb.epoch, samples: samples}, nil
+			})
+		middle = []*pipeline.Stage{echoStage, extractEcho}
+	} else {
+		middle = []*pipeline.Stage{pipeline.NewStage("extract", 1, 0,
+			func(_ context.Context, eb epochBatch) (epochSamples, error) {
+				samples, err := extract(eb.samples, feature, samplePool.Get())
+				if err != nil {
+					return epochSamples{}, err
+				}
+				if o.recycle != nil {
+					// The feature function has copied everything it needs;
+					// the prepared buffers can go back to the source's pools.
+					o.recycle(eb.samples)
+				}
+				return epochSamples{epoch: eb.epoch, samples: samples}, nil
+			})}
+	}
 
 	step := pipeline.NewStage("step", 1, 0,
 		func(ctx context.Context, es epochSamples) ([]StepStat, error) {
@@ -382,10 +595,27 @@ func run(ctx context.Context, cfg Config, o runOptions) (Result, error) {
 			}
 			return stats, nil
 		})
-	pl, err := pipeline.New("train", prepStage, extractStage, step)
+	stages := append([]*pipeline.Stage{prepStage}, middle...)
+	stages = append(stages, step)
+	pl, err := pipeline.New("train", stages...)
 	if err != nil {
 		return Result{}, err
 	}
+	// Cancellation can drop any stage payload mid-flight; the discard
+	// hook gives every dropped value its owner-side cleanup so pooled
+	// buffers flow back even on abandoned runs.
+	pl.WithDiscard(func(v any) {
+		switch x := v.(type) {
+		case epochBatch:
+			if o.recycle != nil {
+				o.recycle(x.samples)
+			}
+		case echoedBatch:
+			x.release(o.recycle)
+		case epochSamples:
+			samplePool.Put(x.samples[:0])
+		}
+	})
 
 	res := Result{Replicas: replicas}
 	start := time.Now()
