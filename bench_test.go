@@ -7,6 +7,7 @@
 package trainbox_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -259,8 +260,12 @@ func BenchmarkKernelImagePipeline(b *testing.B) {
 	}
 }
 
-func BenchmarkKernelRingAllReduce(b *testing.B) {
+func benchmarkReducer(b *testing.B, name string, opts ...collective.Option) {
 	const ranks, size = 8, 4096
+	red, err := collective.ByName(name, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
 	rng := rand.New(rand.NewSource(1))
 	orig := make([][]float64, ranks)
 	for r := range orig {
@@ -273,15 +278,24 @@ func BenchmarkKernelRingAllReduce(b *testing.B) {
 	for r := range work {
 		work[r] = make([]float64, size)
 	}
+	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for r := range work {
 			copy(work[r], orig[r])
 		}
-		if err := collective.RingAllReduce(work); err != nil {
+		if err := red.Reduce(ctx, work); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+func BenchmarkKernelRingAllReduce(b *testing.B) {
+	benchmarkReducer(b, "ring")
+}
+
+func BenchmarkKernelParamServerReduce(b *testing.B) {
+	benchmarkReducer(b, "ps", collective.WithShards(4))
 }
 
 func BenchmarkKernelMaxMinFair(b *testing.B) {
@@ -442,28 +456,7 @@ func BenchmarkKernelTrainingReplay(b *testing.B) {
 }
 
 func BenchmarkKernelTreeAllReduce(b *testing.B) {
-	const ranks, size = 8, 4096
-	rng := rand.New(rand.NewSource(1))
-	orig := make([][]float64, ranks)
-	for r := range orig {
-		orig[r] = make([]float64, size)
-		for i := range orig[r] {
-			orig[r][i] = rng.NormFloat64()
-		}
-	}
-	work := make([][]float64, ranks)
-	for r := range work {
-		work[r] = make([]float64, size)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		for r := range work {
-			copy(work[r], orig[r])
-		}
-		if err := collective.TreeAllReduce(work); err != nil {
-			b.Fatal(err)
-		}
-	}
+	benchmarkReducer(b, "tree")
 }
 
 func BenchmarkKernelMFCC(b *testing.B) {

@@ -4,9 +4,9 @@
 // the committed BENCH_baseline.json and exits non-zero if any metric
 // regressed by more than the threshold.
 //
-//	benchdiff -baseline BENCH_baseline.json -current bench.json [-threshold 0.25] [-alloc-threshold 0.25] [-latency-threshold 0.5] [-cache-threshold 0.25]
+//	benchdiff -baseline BENCH_baseline.json -current bench.json [-threshold 0.25] [-alloc-threshold 0.25] [-latency-threshold 0.5] [-cache-threshold 0.25] [-sync-threshold 0.25]
 //
-// Four gates run:
+// Five gates run:
 //
 //   - throughput (lower is worse): a tracked metric fails when it drops
 //     more than -threshold below the baseline;
@@ -27,7 +27,13 @@
 //     rate and decode amortization dropping, decode counts growing. The
 //     rows are exact counts (single-flight makes decodes-per-key
 //     deterministic), so the threshold guards real behaviour changes,
-//     not runner noise.
+//     not runner noise;
+//   - sync (direction per row): a tracked gradient-sync row fails when
+//     it moves more than -sync-threshold in its own bad direction —
+//     bit-identity or the in-network speedup dropping, modelled sync
+//     latencies or the ring's exact traffic count growing. Every row is
+//     analytical or an exact counter, so like the cache gate the
+//     threshold guards real behaviour changes, not runner noise.
 //
 // Only metrics present in the baseline are gated — new ones start
 // being tracked once they land in a regenerated baseline, and
@@ -59,6 +65,7 @@ type benchFile struct {
 	Kernels    map[string]kernelStat `json:"kernels"`
 	Latency    map[string]float64    `json:"latency"`
 	DSCache    map[string]cacheRow   `json:"dscache"`
+	Sync       map[string]cacheRow   `json:"sync"`
 }
 
 // kernelStat mirrors trainbox-bench's per-kernel entry.
@@ -92,14 +99,15 @@ func main() {
 	allocThreshold := flag.Float64("alloc-threshold", 0.25, "maximum tolerated fractional allocs/sample growth per kernel (0.25 = 25%)")
 	latencyThreshold := flag.Float64("latency-threshold", 0.5, "maximum tolerated fractional latency growth (0.5 = 50%)")
 	cacheThreshold := flag.Float64("cache-threshold", 0.25, "maximum tolerated fractional move of a dscache row in its bad direction (0.25 = 25%)")
+	syncThreshold := flag.Float64("sync-threshold", 0.25, "maximum tolerated fractional move of a gradient-sync row in its bad direction (0.25 = 25%)")
 	flag.Parse()
 
-	code, out := run(*baselinePath, *currentPath, *threshold, *allocThreshold, *latencyThreshold, *cacheThreshold)
+	code, out := run(*baselinePath, *currentPath, *threshold, *allocThreshold, *latencyThreshold, *cacheThreshold, *syncThreshold)
 	fmt.Print(out)
 	os.Exit(code)
 }
 
-func run(baselinePath, currentPath string, threshold, allocThreshold, latencyThreshold, cacheThreshold float64) (int, string) {
+func run(baselinePath, currentPath string, threshold, allocThreshold, latencyThreshold, cacheThreshold, syncThreshold float64) (int, string) {
 	if threshold < 0 || threshold >= 1 {
 		return 2, fmt.Sprintf("benchdiff: threshold %v outside [0,1)\n", threshold)
 	}
@@ -111,6 +119,9 @@ func run(baselinePath, currentPath string, threshold, allocThreshold, latencyThr
 	}
 	if cacheThreshold < 0 {
 		return 2, fmt.Sprintf("benchdiff: cache-threshold %v negative\n", cacheThreshold)
+	}
+	if syncThreshold < 0 {
+		return 2, fmt.Sprintf("benchdiff: sync-threshold %v negative\n", syncThreshold)
 	}
 	baseline, err := load(baselinePath)
 	if err != nil {
@@ -225,11 +236,40 @@ func run(baselinePath, currentPath string, threshold, allocThreshold, latencyThr
 		sb.WriteString(ct.String())
 	}
 
+	// The sync gate: same per-row direction machinery as the cache gate,
+	// applied to the gradient-sync backend rows.
+	sdeltas := compareCache(baseline.Sync, current.Sync, syncThreshold)
+	syncRegressions := 0
+	if len(sdeltas) > 0 {
+		st := report.NewTable(fmt.Sprintf("Gradient-sync backends vs baseline (gate: ±%.0f%% in each row's bad direction)", syncThreshold*100),
+			"metric", "direction", "baseline", "current", "change", "status")
+		for _, d := range sdeltas {
+			dir := "lower is better"
+			if d.Baseline.HigherIsBetter || (d.New && d.Current.HigherIsBetter) {
+				dir = "higher is better"
+			}
+			switch {
+			case d.Missing:
+				syncRegressions++
+				st.AddRowf(d.Name, dir, d.Baseline.Value, "—", "—", "MISSING")
+			case d.New:
+				untracked++
+				st.AddRowf(d.Name, dir, "—", d.Current.Value, "—", "new (untracked)")
+			case d.Regressed:
+				syncRegressions++
+				st.AddRowf(d.Name, dir, d.Baseline.Value, d.Current.Value, changeLabel(d.Change), "REGRESSED")
+			default:
+				st.AddRowf(d.Name, dir, d.Baseline.Value, d.Current.Value, changeLabel(d.Change), "ok")
+			}
+		}
+		sb.WriteString(st.String())
+	}
+
 	if untracked > 0 {
 		fmt.Fprintf(&sb, "benchdiff: %d new metric(s) not in %s — informational only; regenerate the baseline to start gating them\n",
 			untracked, baselinePath)
 	}
-	if regressions+allocRegressions+latencyRegressions+cacheRegressions > 0 {
+	if regressions+allocRegressions+latencyRegressions+cacheRegressions+syncRegressions > 0 {
 		if regressions > 0 {
 			fmt.Fprintf(&sb, "benchdiff: %d tracked throughput metric(s) regressed >%.0f%% vs %s\n",
 				regressions, threshold*100, baselinePath)
@@ -246,11 +286,15 @@ func run(baselinePath, currentPath string, threshold, allocThreshold, latencyThr
 			fmt.Fprintf(&sb, "benchdiff: %d tracked cache row(s) moved >%.0f%% in their bad direction vs %s\n",
 				cacheRegressions, cacheThreshold*100, baselinePath)
 		}
+		if syncRegressions > 0 {
+			fmt.Fprintf(&sb, "benchdiff: %d tracked sync row(s) moved >%.0f%% in their bad direction vs %s\n",
+				syncRegressions, syncThreshold*100, baselinePath)
+		}
 		return 1, sb.String()
 	}
-	fmt.Fprintf(&sb, "benchdiff: all %d tracked throughput metrics, %d kernels, %d latency metrics, and %d cache rows within thresholds\n",
+	fmt.Fprintf(&sb, "benchdiff: all %d tracked throughput metrics, %d kernels, %d latency metrics, %d cache rows, and %d sync rows within thresholds\n",
 		len(deltas)-countNew(deltas), len(kdeltas)-countNewKernels(kdeltas), len(ldeltas)-countNew(ldeltas),
-		len(cdeltas)-countNewCache(cdeltas))
+		len(cdeltas)-countNewCache(cdeltas), len(sdeltas)-countNewCache(sdeltas))
 	return 0, sb.String()
 }
 

@@ -88,13 +88,13 @@ func TestRunExitCodes(t *testing.T) {
 
 	ok := writeReport(t, dir, "ok.json", "trainbox-bench/v1",
 		map[string]float64{"prefetcher_samples_per_sec": 900})
-	if code, out := run(base, ok, 0.25, 0.25, 0.5, 0.25); code != 0 {
+	if code, out := run(base, ok, 0.25, 0.25, 0.5, 0.25, 0.25); code != 0 {
 		t.Errorf("10%% drop: exit %d, output:\n%s", code, out)
 	}
 
 	bad := writeReport(t, dir, "bad.json", "trainbox-bench/v1",
 		map[string]float64{"prefetcher_samples_per_sec": 500})
-	code, out := run(base, bad, 0.25, 0.25, 0.5, 0.25)
+	code, out := run(base, bad, 0.25, 0.25, 0.5, 0.25, 0.25)
 	if code != 1 {
 		t.Errorf("50%% drop: exit %d, want 1", code)
 	}
@@ -103,25 +103,25 @@ func TestRunExitCodes(t *testing.T) {
 	}
 
 	empty := writeReport(t, dir, "empty.json", "trainbox-bench/v1", map[string]float64{})
-	if code, _ := run(base, empty, 0.25, 0.25, 0.5, 0.25); code != 1 {
+	if code, _ := run(base, empty, 0.25, 0.25, 0.5, 0.25, 0.25); code != 1 {
 		t.Errorf("missing tracked metric: exit %d, want 1", code)
 	}
 
 	wrong := writeReport(t, dir, "wrong.json", "somethingelse/v9",
 		map[string]float64{"prefetcher_samples_per_sec": 1000})
-	if code, _ := run(base, wrong, 0.25, 0.25, 0.5, 0.25); code != 2 {
+	if code, _ := run(base, wrong, 0.25, 0.25, 0.5, 0.25, 0.25); code != 2 {
 		t.Errorf("schema mismatch: exit %d, want 2", code)
 	}
 
-	if code, _ := run(empty, ok, 0.25, 0.25, 0.5, 0.25); code != 2 {
+	if code, _ := run(empty, ok, 0.25, 0.25, 0.5, 0.25, 0.25); code != 2 {
 		t.Errorf("empty baseline: exit %d, want 2", code)
 	}
 
-	if code, _ := run(base, filepath.Join(dir, "nope.json"), 0.25, 0.25, 0.5, 0.25); code != 2 {
+	if code, _ := run(base, filepath.Join(dir, "nope.json"), 0.25, 0.25, 0.5, 0.25, 0.25); code != 2 {
 		t.Errorf("missing file: exit %d, want 2", code)
 	}
 
-	if code, _ := run(base, ok, 1.5, 0.25, 0.5, 0.25); code != 2 {
+	if code, _ := run(base, ok, 1.5, 0.25, 0.5, 0.25, 0.25); code != 2 {
 		t.Errorf("bad threshold: exit %d, want 2", code)
 	}
 
@@ -130,7 +130,7 @@ func TestRunExitCodes(t *testing.T) {
 	// obvious next step.
 	grown := writeReport(t, dir, "grown.json", "trainbox-bench/v1",
 		map[string]float64{"prefetcher_samples_per_sec": 950, "pool_degraded_samples_per_sec": 500})
-	code, out = run(base, grown, 0.25, 0.25, 0.5, 0.25)
+	code, out = run(base, grown, 0.25, 0.25, 0.5, 0.25, 0.25)
 	if code != 0 {
 		t.Errorf("new metric failed the gate: exit %d, output:\n%s", code, out)
 	}
@@ -142,7 +142,7 @@ func TestRunExitCodes(t *testing.T) {
 	// mask a regression.
 	grownBad := writeReport(t, dir, "grownbad.json", "trainbox-bench/v1",
 		map[string]float64{"prefetcher_samples_per_sec": 500, "pool_degraded_samples_per_sec": 500})
-	if code, _ := run(base, grownBad, 0.25, 0.25, 0.5, 0.25); code != 1 {
+	if code, _ := run(base, grownBad, 0.25, 0.25, 0.5, 0.25, 0.25); code != 1 {
 		t.Errorf("regression masked by new metric: exit %d, want 1", code)
 	}
 }
@@ -268,13 +268,13 @@ func TestRunLatencyGateEndToEnd(t *testing.T) {
 
 	ok := writeReportL(t, dir, "ok.json", tp,
 		map[string]float64{"checkpoint_restore_ns": 12000})
-	if code, out := run(base, ok, 0.25, 0.25, 0.5, 0.25); code != 0 {
+	if code, out := run(base, ok, 0.25, 0.25, 0.5, 0.25, 0.25); code != 0 {
 		t.Errorf("+20%% latency: exit %d, output:\n%s", code, out)
 	}
 
 	bad := writeReportL(t, dir, "bad.json", tp,
 		map[string]float64{"checkpoint_restore_ns": 40000})
-	code, out := run(base, bad, 0.25, 0.25, 0.5, 0.25)
+	code, out := run(base, bad, 0.25, 0.25, 0.5, 0.25, 0.25)
 	if code != 1 {
 		t.Errorf("4x latency: exit %d, want 1", code)
 	}
@@ -284,18 +284,18 @@ func TestRunLatencyGateEndToEnd(t *testing.T) {
 
 	// Dropping the tracked latency metric fails.
 	dropped := writeReportL(t, dir, "dropped.json", tp, map[string]float64{})
-	if code, _ := run(base, dropped, 0.25, 0.25, 0.5, 0.25); code != 1 {
+	if code, _ := run(base, dropped, 0.25, 0.25, 0.5, 0.25, 0.25); code != 1 {
 		t.Errorf("dropped latency metric: exit %d, want 1", code)
 	}
 
 	// A v1.1 baseline with no latency map still gates throughput and
 	// kernels only; the new metric is informational.
 	v11 := writeReport(t, dir, "v11.json", "trainbox-bench/v1.1", tp)
-	if code, out := run(v11, bad, 0.25, 0.25, 0.5, 0.25); code != 0 {
+	if code, out := run(v11, bad, 0.25, 0.25, 0.5, 0.25, 0.25); code != 0 {
 		t.Errorf("v1.1 baseline must not gate latency: exit %d, output:\n%s", code, out)
 	}
 
-	if code, _ := run(base, ok, 0.25, 0.25, -0.1, 0.25); code != 2 {
+	if code, _ := run(base, ok, 0.25, 0.25, -0.1, 0.25, 0.25); code != 2 {
 		t.Errorf("negative latency-threshold: exit %d, want 2", code)
 	}
 }
@@ -389,7 +389,7 @@ func TestRunCacheGateEndToEnd(t *testing.T) {
 		"dscache_hit_rate":                     {Value: 0.85, HigherIsBetter: true},
 		"dscache_decodes_per_epoch_4consumers": {Value: 8, HigherIsBetter: false},
 	})
-	if code, out := run(base, ok, 0.25, 0.25, 0.5, 0.25); code != 0 {
+	if code, out := run(base, ok, 0.25, 0.25, 0.5, 0.25, 0.25); code != 0 {
 		t.Errorf("small hit-rate dip: exit %d, output:\n%s", code, out)
 	}
 
@@ -397,7 +397,7 @@ func TestRunCacheGateEndToEnd(t *testing.T) {
 		"dscache_hit_rate":                     {Value: 0.2, HigherIsBetter: true},
 		"dscache_decodes_per_epoch_4consumers": {Value: 32, HigherIsBetter: false},
 	})
-	code, out := run(base, bad, 0.25, 0.25, 0.5, 0.25)
+	code, out := run(base, bad, 0.25, 0.25, 0.5, 0.25, 0.25)
 	if code != 1 {
 		t.Errorf("hit-rate collapse: exit %d, want 1", code)
 	}
@@ -408,18 +408,18 @@ func TestRunCacheGateEndToEnd(t *testing.T) {
 	// Dropping a tracked cache row fails — coverage cannot silently
 	// shrink.
 	dropped := writeReportC(t, dir, "dropped.json", tp, map[string]cacheRow{})
-	if code, _ := run(base, dropped, 0.25, 0.25, 0.5, 0.25); code != 1 {
+	if code, _ := run(base, dropped, 0.25, 0.25, 0.5, 0.25, 0.25); code != 1 {
 		t.Errorf("dropped cache row: exit %d, want 1", code)
 	}
 
 	// A v1.2 baseline with no dscache map still gates the older
 	// sections only; the new rows are informational.
 	v12 := writeReport(t, dir, "v12.json", "trainbox-bench/v1.2", tp)
-	if code, out := run(v12, bad, 0.25, 0.25, 0.5, 0.25); code != 0 {
+	if code, out := run(v12, bad, 0.25, 0.25, 0.5, 0.25, 0.25); code != 0 {
 		t.Errorf("v1.2 baseline must not gate cache rows: exit %d, output:\n%s", code, out)
 	}
 
-	if code, _ := run(base, ok, 0.25, 0.25, 0.5, -0.1); code != 2 {
+	if code, _ := run(base, ok, 0.25, 0.25, 0.5, -0.1, 0.25); code != 2 {
 		t.Errorf("negative cache-threshold: exit %d, want 2", code)
 	}
 }
@@ -435,13 +435,13 @@ func TestRunKernelGateEndToEnd(t *testing.T) {
 
 	ok := writeReportK(t, dir, "ok.json", tp,
 		map[string]kernelStat{"prepare_image": {NsPerSample: 9000, AllocsPerSample: 4}})
-	if code, out := run(base, ok, 0.25, 0.25, 0.5, 0.25); code != 0 {
+	if code, out := run(base, ok, 0.25, 0.25, 0.5, 0.25, 0.25); code != 0 {
 		t.Errorf("unchanged allocs: exit %d, output:\n%s", code, out)
 	}
 
 	bad := writeReportK(t, dir, "bad.json", tp,
 		map[string]kernelStat{"prepare_image": {NsPerSample: 5000, AllocsPerSample: 400}})
-	code, out := run(base, bad, 0.25, 0.25, 0.5, 0.25)
+	code, out := run(base, bad, 0.25, 0.25, 0.5, 0.25, 0.25)
 	if code != 1 {
 		t.Errorf("100× alloc growth: exit %d, want 1", code)
 	}
@@ -451,18 +451,87 @@ func TestRunKernelGateEndToEnd(t *testing.T) {
 
 	// Dropping a tracked kernel fails — coverage cannot silently shrink.
 	dropped := writeReportK(t, dir, "dropped.json", tp, map[string]kernelStat{})
-	if code, _ := run(base, dropped, 0.25, 0.25, 0.5, 0.25); code != 1 {
+	if code, _ := run(base, dropped, 0.25, 0.25, 0.5, 0.25, 0.25); code != 1 {
 		t.Errorf("dropped kernel: exit %d, want 1", code)
 	}
 
 	// A v1 baseline with no kernels still gates throughput only — the
 	// kernel gate activates once a regenerated baseline tracks kernels.
 	v1 := writeReport(t, dir, "v1.json", "trainbox-bench/v1", tp)
-	if code, out := run(v1, bad, 0.25, 0.25, 0.5, 0.25); code != 0 {
+	if code, out := run(v1, bad, 0.25, 0.25, 0.5, 0.25, 0.25); code != 0 {
 		t.Errorf("v1 baseline must not gate kernels: exit %d, output:\n%s", code, out)
 	}
 
-	if code, _ := run(base, ok, 0.25, -0.1, 0.5, 0.25); code != 2 {
+	if code, _ := run(base, ok, 0.25, -0.1, 0.5, 0.25, 0.25); code != 2 {
 		t.Errorf("negative alloc-threshold: exit %d, want 2", code)
+	}
+}
+
+func writeReportS(t *testing.T, dir, name string, throughput map[string]float64, sync map[string]cacheRow) string {
+	t.Helper()
+	data, err := json.Marshal(benchFile{Schema: "trainbox-bench/v1.4", Throughput: throughput, Sync: sync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunSyncGateEndToEnd drives the sync gate through real files: a
+// bit-identity break or a latency blow-up fails the run even when
+// throughput is healthy, a pre-sync baseline gates nothing until
+// regenerated, and a negative threshold is bad input.
+func TestRunSyncGateEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	tp := map[string]float64{"prefetcher_samples_per_sec": 1000}
+	base := writeReportS(t, dir, "base.json", tp, map[string]cacheRow{
+		"sync_backends_bit_identical": {Value: 1, HigherIsBetter: true},
+		"sync_ring_latency_ms_256":    {Value: 2.2, HigherIsBetter: false},
+	})
+
+	ok := writeReportS(t, dir, "ok.json", tp, map[string]cacheRow{
+		"sync_backends_bit_identical": {Value: 1, HigherIsBetter: true},
+		"sync_ring_latency_ms_256":    {Value: 2.4, HigherIsBetter: false},
+	})
+	if code, out := run(base, ok, 0.25, 0.25, 0.5, 0.25, 0.25); code != 0 {
+		t.Errorf("small latency move: exit %d, output:\n%s", code, out)
+	}
+
+	// A backend losing bit-identity drops the flag from 1 to 0 — a 100%
+	// move in the bad direction.
+	bad := writeReportS(t, dir, "bad.json", tp, map[string]cacheRow{
+		"sync_backends_bit_identical": {Value: 0, HigherIsBetter: true},
+		"sync_ring_latency_ms_256":    {Value: 9.9, HigherIsBetter: false},
+	})
+	code, out := run(base, bad, 0.25, 0.25, 0.5, 0.25, 0.25)
+	if code != 1 {
+		t.Errorf("bit-identity break: exit %d, want 1", code)
+	}
+	if !strings.Contains(out, "REGRESSED") || !strings.Contains(out, "sync_backends_bit_identical") {
+		t.Errorf("output does not flag the sync regression:\n%s", out)
+	}
+	if !strings.Contains(out, "sync row(s) moved") {
+		t.Errorf("summary does not name the sync gate:\n%s", out)
+	}
+
+	// Dropping a tracked sync row fails — coverage cannot silently
+	// shrink.
+	dropped := writeReportS(t, dir, "dropped.json", tp, map[string]cacheRow{})
+	if code, _ := run(base, dropped, 0.25, 0.25, 0.5, 0.25, 0.25); code != 1 {
+		t.Errorf("dropped sync row: exit %d, want 1", code)
+	}
+
+	// A v1.3 baseline with no sync map still gates the older sections
+	// only; the new rows are informational.
+	v13 := writeReport(t, dir, "v13.json", "trainbox-bench/v1.3", tp)
+	if code, out := run(v13, bad, 0.25, 0.25, 0.5, 0.25, 0.25); code != 0 {
+		t.Errorf("v1.3 baseline must not gate sync rows: exit %d, output:\n%s", code, out)
+	}
+
+	if code, _ := run(base, ok, 0.25, 0.25, 0.5, 0.25, -0.1); code != 2 {
+		t.Errorf("negative sync-threshold: exit %d, want 2", code)
 	}
 }

@@ -45,8 +45,11 @@ import (
 // checkpoint-restore round trip); v1.3 adds the dscache map (the shared
 // decode-cache tier's directional rows: hit rate and decode
 // amortization at 4 concurrent consumers) and the warm cached-prepare
-// kernel row.
-const benchSchema = "trainbox-bench/v1.3"
+// kernel row; v1.4 adds the sync map (gradient-sync backend rows:
+// bit-identity flag, analytical latencies at 256 accels, in-network
+// speedup over a host Ethernet ring, and the ring's exact functional
+// traffic count).
+const benchSchema = "trainbox-bench/v1.4"
 
 var (
 	markdown = flag.Bool("md", false, "emit the paper-vs-measured summary as a markdown table")
@@ -94,6 +97,11 @@ type benchReport struct {
 	// (single-flight makes decodes-per-key deterministic), so these rows
 	// are immune to CI wall-clock noise.
 	DSCache map[string]cacheRow `json:"dscache"`
+	// Sync holds the gradient-sync backend rows; like DSCache each row
+	// carries its own gate direction (cmd/benchdiff -sync-threshold).
+	// Every value is either analytical or an exact counter, so the rows
+	// are immune to CI wall-clock noise.
+	Sync    map[string]cacheRow `json:"sync"`
 	Metrics metrics.Snapshot    `json:"metrics"`
 }
 
@@ -152,6 +160,7 @@ func run(md bool, jsonPath string) error {
 			Kernels:     map[string]kernelStat{},
 			Latency:     map[string]float64{},
 			DSCache:     map[string]cacheRow{},
+			Sync:        map[string]cacheRow{},
 		},
 	}
 
@@ -176,6 +185,7 @@ func run(md bool, jsonPath string) error {
 		steps = append(steps, step{"kernel matrix", stepKernels},
 			step{"checkpoint restore", stepCheckpoint},
 			step{"dscache tier", stepDSCache},
+			step{"sync backends", stepSync},
 			step{"live throughput", stepLiveThroughput})
 	}
 	for _, s := range steps {
@@ -199,8 +209,8 @@ func run(md bool, jsonPath string) error {
 		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
 			return fmt.Errorf("write report: %w", err)
 		}
-		fmt.Printf("wrote %s (%s, %d experiments, %d tracked throughput metrics, %d kernels, %d latency metrics, %d cache rows)\n",
-			jsonPath, benchSchema, len(h.rep.Experiments), len(h.rep.Throughput), len(h.rep.Kernels), len(h.rep.Latency), len(h.rep.DSCache))
+		fmt.Printf("wrote %s (%s, %d experiments, %d tracked throughput metrics, %d kernels, %d latency metrics, %d cache rows, %d sync rows)\n",
+			jsonPath, benchSchema, len(h.rep.Experiments), len(h.rep.Throughput), len(h.rep.Kernels), len(h.rep.Latency), len(h.rep.DSCache), len(h.rep.Sync))
 	}
 	return nil
 }

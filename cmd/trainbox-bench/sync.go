@@ -1,0 +1,107 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"trainbox/internal/collective"
+	"trainbox/internal/experiments"
+	"trainbox/internal/metrics"
+	"trainbox/internal/report"
+)
+
+// stepSync prices the gradient-sync backends through the sync study's
+// analytical models and cross-checks the functional path. Every row is
+// either closed-form (the latency models) or an exact counter (the
+// ring's traffic), so the gate holds them to a tight threshold without
+// wall-clock noise:
+//
+//   - sync_backends_bit_identical (higher is better): 1 when every
+//     Reducer backend reproduced the ring's bits exactly in the
+//     functional cross-check, 0 otherwise — the API-redesign invariant;
+//   - sync_ring_latency_ms_256 / sync_ps_latency_ms_256 /
+//     sync_innetwork_latency_ms_256 (lower is better): analytical sync
+//     latencies at the paper's 256-accelerator target;
+//   - sync_innetwork_speedup_vs_host_ring_256 (higher is better): what
+//     SmartNIC in-switch aggregation buys over a host ring on the same
+//     Ethernet ports;
+//   - sync_ring_bytes_moved_8ranks_4096 (lower is better): exact bytes
+//     the functional ring reducer moved for one 8-rank × 4096-element
+//     reduce, from the collective.ring.bytes_moved counter.
+func stepSync(h *harness) error {
+	study, err := experiments.SyncStudy()
+	if err != nil {
+		return err
+	}
+	bitIdentical := 0.0
+	if study.MaxDivergence == 0 {
+		bitIdentical = 1.0
+	}
+
+	// Functional traffic row: meter one real reduce so the gate also
+	// pins the implementation's wire cost, not just the models.
+	const (
+		ranks  = 8
+		length = 4096
+	)
+	reg := metrics.NewRegistry()
+	ring, err := collective.NewRing(collective.WithMetrics(reg))
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(77))
+	grads := make([][]float64, ranks)
+	for r := range grads {
+		grads[r] = make([]float64, length)
+		for i := range grads[r] {
+			grads[r][i] = rng.NormFloat64()
+		}
+	}
+	if err := ring.Reduce(context.Background(), grads); err != nil {
+		return err
+	}
+	bytesMoved := reg.Counter("collective.ring.bytes_moved").Value()
+	if bytesMoved == 0 {
+		return fmt.Errorf("sync: ring reduce moved no bytes")
+	}
+
+	h.rep.Sync["sync_backends_bit_identical"] = cacheRow{
+		Value: bitIdentical, HigherIsBetter: true,
+	}
+	h.rep.Sync["sync_ring_latency_ms_256"] = cacheRow{
+		Value: study.RingMs, HigherIsBetter: false,
+	}
+	h.rep.Sync["sync_ps_latency_ms_256"] = cacheRow{
+		Value: study.PSMs, HigherIsBetter: false,
+	}
+	h.rep.Sync["sync_innetwork_latency_ms_256"] = cacheRow{
+		Value: study.InNetworkMs, HigherIsBetter: false,
+	}
+	h.rep.Sync["sync_innetwork_speedup_vs_host_ring_256"] = cacheRow{
+		Value: study.InNetworkSpeedup, HigherIsBetter: true,
+	}
+	h.rep.Sync["sync_ring_bytes_moved_8ranks_4096"] = cacheRow{
+		Value: float64(bytesMoved), HigherIsBetter: false,
+	}
+
+	t := report.NewTable("Gradient-sync backends (deterministic — tracked by the CI perf gate)",
+		"metric", "value", "gate direction")
+	for _, name := range []string{
+		"sync_backends_bit_identical",
+		"sync_ring_latency_ms_256",
+		"sync_ps_latency_ms_256",
+		"sync_innetwork_latency_ms_256",
+		"sync_innetwork_speedup_vs_host_ring_256",
+		"sync_ring_bytes_moved_8ranks_4096",
+	} {
+		row := h.rep.Sync[name]
+		dir := "lower is better"
+		if row.HigherIsBetter {
+			dir = "higher is better"
+		}
+		t.AddRowf(name, fmt.Sprintf("%.3f", row.Value), dir)
+	}
+	h.print(t)
+	return nil
+}

@@ -149,6 +149,15 @@ func main() {
 				r.UncachedDecodes, r.CachedDecodes, r.Amortization)
 			return []*report.Table{r.Table}, nil
 		},
+		"sync": func() ([]*report.Table, error) {
+			r, err := experiments.SyncStudy()
+			if err != nil {
+				return nil, err
+			}
+			r.Table.Title += fmt.Sprintf(" — backends bit-identical to ring (max divergence %g); in-network %.1f× over host eth ring at 256",
+				r.MaxDivergence, r.InNetworkSpeedup)
+			return []*report.Table{r.Table}, nil
+		},
 	}
 
 	names := make([]string, 0, len(runners))

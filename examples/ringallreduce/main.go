@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -51,8 +52,12 @@ func main() {
 		}
 	}
 
-	// Synchronize with the real chunked ring.
-	if err := collective.RingAllReduce(grads); err != nil {
+	// Synchronize with the real chunked ring behind the Reducer API.
+	ring, err := collective.NewRing()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ring.Reduce(context.Background(), grads); err != nil {
 		log.Fatal(err)
 	}
 	var maxErr float64

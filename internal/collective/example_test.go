@@ -1,6 +1,7 @@
 package collective_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -8,15 +9,20 @@ import (
 	"trainbox/internal/units"
 )
 
-// ExampleRingAllReduce sums gradients across four ranks in place.
-func ExampleRingAllReduce() {
+// ExampleNewRing sums gradients across four ranks in place through the
+// Reducer interface.
+func ExampleNewRing() {
+	ring, err := collective.NewRing()
+	if err != nil {
+		log.Fatal(err)
+	}
 	data := [][]float64{
 		{1, 10},
 		{2, 20},
 		{3, 30},
 		{4, 40},
 	}
-	if err := collective.RingAllReduce(data); err != nil {
+	if err := ring.Reduce(context.Background(), data); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(data[0])
@@ -24,6 +30,33 @@ func ExampleRingAllReduce() {
 	// Output:
 	// [10 100]
 	// [10 100]
+}
+
+// ExampleByName swaps the sync topology without changing the numbers:
+// every backend reduces in the same canonical order, so the bits match
+// the ring exactly.
+func ExampleByName() {
+	for _, name := range collective.Backends() {
+		r, err := collective.ByName(name, collective.WithShards(2))
+		if err != nil {
+			// WithShards is a parameter-server option; the other
+			// backends reject it rather than silently ignore it.
+			r, err = collective.ByName(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		data := [][]float64{{1, 0.25}, {2, 0.5}, {4, 1}}
+		if err := r.Reduce(context.Background(), data); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %v\n", r.Name(), data[0])
+	}
+	// Output:
+	// ring: [7 1.75]
+	// tree: [7 1.75]
+	// halving: [7 1.75]
+	// ps: [7 1.75]
 }
 
 // ExampleRingModel_NormalizedLatency reproduces Figure 2b's saturation:

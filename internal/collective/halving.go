@@ -17,6 +17,11 @@ import (
 // simplicity for latency. It requires a power-of-two rank count; NCCL's
 // production variant handles remainders with a pre/post phase this model
 // omits.
+//
+// Deprecated: use NewHalvingDoubling, whose Reducer is bit-identical to
+// the ring (canonical reduction order) and supports non-power-of-two
+// rank counts via pre/post phases. This shim is kept for compatibility
+// and stays tested.
 func HalvingDoublingAllReduce(data [][]float64) error {
 	n := len(data)
 	if n == 0 {

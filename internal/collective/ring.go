@@ -21,6 +21,10 @@ import (
 // vectors must have equal length. It runs one goroutine per rank,
 // communicating over channels arranged in a ring, and errors (without
 // modifying data) on invalid input.
+//
+// Deprecated: use NewRing, which returns the same algorithm behind the
+// Reducer interface (bit-identical output) with context support and
+// metrics. This shim is kept for compatibility and stays tested.
 func RingAllReduce(data [][]float64) error {
 	n := len(data)
 	if n == 0 {
@@ -94,6 +98,11 @@ func RingAllReduce(data [][]float64) error {
 // RingAllReduceAverage performs RingAllReduce and then divides every
 // element by the number of ranks — the gradient averaging used by
 // data-parallel training.
+//
+// Deprecated: use NewRing and divide by the rank count, as
+// train.Run does; the Reducer interface deliberately keeps averaging
+// out of the sync backends so every backend sums identically. This
+// shim is kept for compatibility and stays tested.
 func RingAllReduceAverage(data [][]float64) error {
 	if err := RingAllReduce(data); err != nil {
 		return err

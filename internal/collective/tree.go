@@ -17,6 +17,14 @@ import (
 // to the ring (see TreeModel).
 //
 // One goroutine runs per rank; ranks communicate over per-edge channels.
+//
+// Note the numerics: this legacy implementation sums partial
+// aggregates up the tree, so its bits differ from RingAllReduce's.
+//
+// Deprecated: use NewTree, whose Reducer moves raw rank-tagged
+// contributions up the same binomial tree and reduces in the
+// package-wide canonical order, making it bit-identical to the ring.
+// This shim is kept for compatibility and stays tested.
 func TreeAllReduce(data [][]float64) error {
 	n := len(data)
 	if n == 0 {

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"trainbox/internal/arch"
+	"trainbox/internal/collective"
+	"trainbox/internal/eth"
+	"trainbox/internal/report"
+	"trainbox/internal/workload"
+)
+
+// SyncStudyResult carries the gradient-sync ablation: per-box-count
+// latency of every backend, the in-network aggregation headline, and
+// the functional bit-identity cross-check.
+type SyncStudyResult struct {
+	Table *report.Table
+	// MaxDivergence is the largest |backend − ring| over the functional
+	// cross-check (every Reducer on the same random gradients). The
+	// canonical reduction order makes this exactly 0.
+	MaxDivergence float64
+	// RingMs / PSMs / HostRingEthMs / InNetworkMs are the 256-accel
+	// sync latencies in milliseconds.
+	RingMs, PSMs, HostRingEthMs, InNetworkMs float64
+	// InNetworkSpeedup is HostRingEthMs / InNetworkMs at 256 accels:
+	// what SmartNIC aggregation buys over running a host ring on the
+	// same Ethernet ports.
+	InNetworkSpeedup float64
+}
+
+// SyncStudy prices the gradient-sync backends against each other across
+// box counts — the scenario space the paper closes with "ring sync is
+// solved". Ring, tree, and halving-doubling run on the NVLink-class
+// accelerator fabric; the parameter server adds a dedicated server tier
+// (one shard box per train box, reached over worker links); in-network
+// aggregation offloads the reduce into the prep network's switch behind
+// compressing SmartNICs, compared against a host ring over the same
+// Ethernet ports. A functional pass then reduces real random gradients
+// through every backend and cross-checks bit-identity with the ring.
+func SyncStudy() (SyncStudyResult, error) {
+	w, err := workload.ByName("Inception-v4")
+	if err != nil {
+		return SyncStudyResult{}, err
+	}
+
+	ring := collective.DefaultRingModel()
+	tree := collective.TreeModel{LinkBandwidth: ring.LinkBandwidth, HopLatency: ring.HopLatency}
+	halving := collective.HalvingDoublingModel{LinkBandwidth: ring.LinkBandwidth, HopLatency: ring.HopLatency}
+	// Host ring over the prep network's 100G ports: the no-offload way
+	// to sync across boxes on Ethernet.
+	ethRing := collective.RingModel{LinkBandwidth: eth.Link100G.Bandwidth, ChunkBytes: ring.ChunkBytes, HopLatency: 1e-6}
+
+	t := report.NewTable(
+		fmt.Sprintf("Study — gradient-sync backends, %s (%s model), latency per sync in ms", w.Name, w.ModelBytes),
+		"boxes", "accels", "ring", "tree", "halving", "ps", "eth ring", "in-network", "best")
+
+	res := SyncStudyResult{Table: t}
+	ms := func(s float64) float64 { return s * 1e3 }
+	for _, boxes := range []int{2, 8, 32} {
+		n := boxes * arch.AccelsPerBox
+		// PS tier sized one shard box per train box, reached over the
+		// same worker-link class as the ring.
+		ps := collective.ParamServerModel{
+			Shards:          boxes,
+			WorkerBandwidth: ring.LinkBandwidth,
+			ServerBandwidth: ring.LinkBandwidth,
+			HopLatency:      ring.HopLatency,
+		}
+		net, err := eth.NewNetwork(eth.Link100G, eth.SwitchSpec{Ports: n})
+		if err != nil {
+			return SyncStudyResult{}, err
+		}
+		agg, err := net.InNetwork(eth.DefaultAggregationSpec())
+		if err != nil {
+			return SyncStudyResult{}, err
+		}
+
+		lat := map[string]float64{
+			"ring":       ring.Latency(n, w.ModelBytes),
+			"tree":       tree.Latency(n, w.ModelBytes),
+			"halving":    halving.Latency(n, w.ModelBytes),
+			"ps":         ps.Latency(n, w.ModelBytes),
+			"in-network": agg.SyncLatency(n, w.ModelBytes),
+		}
+		hostEth := ethRing.Latency(n, w.ModelBytes)
+		best := "ring"
+		for _, name := range []string{"tree", "halving", "ps", "in-network"} {
+			if lat[name] < lat[best] {
+				best = name
+			}
+		}
+		t.AddRowf(boxes, n, ms(lat["ring"]), ms(lat["tree"]), ms(lat["halving"]),
+			ms(lat["ps"]), ms(hostEth), ms(lat["in-network"]), best)
+
+		if n == workload.TargetAccelerators {
+			res.RingMs = ms(lat["ring"])
+			res.PSMs = ms(lat["ps"])
+			res.HostRingEthMs = ms(hostEth)
+			res.InNetworkMs = ms(lat["in-network"])
+			if lat["in-network"] > 0 {
+				res.InNetworkSpeedup = hostEth / lat["in-network"]
+			}
+		}
+	}
+
+	div, err := syncBitIdentityCheck()
+	if err != nil {
+		return SyncStudyResult{}, err
+	}
+	res.MaxDivergence = div
+	return res, nil
+}
+
+// syncBitIdentityCheck reduces the same random gradients through every
+// backend and returns the largest absolute divergence from the ring —
+// 0 unless a backend breaks the canonical reduction order.
+func syncBitIdentityCheck() (float64, error) {
+	ctx := context.Background()
+	var maxDiv float64
+	for _, n := range []int{4, 5, 8} {
+		rng := rand.New(rand.NewSource(int64(1000 + n)))
+		const length = 257
+		base := make([][]float64, n)
+		for r := range base {
+			base[r] = make([]float64, length)
+			for i := range base[r] {
+				base[r][i] = rng.NormFloat64()
+			}
+		}
+		clone := func() [][]float64 {
+			out := make([][]float64, n)
+			for r := range base {
+				out[r] = append([]float64(nil), base[r]...)
+			}
+			return out
+		}
+		want := clone()
+		ringRed, err := collective.NewRing()
+		if err != nil {
+			return 0, err
+		}
+		if err := ringRed.Reduce(ctx, want); err != nil {
+			return 0, err
+		}
+		for _, name := range collective.Backends() {
+			var opts []collective.Option
+			if name == "ps" {
+				opts = append(opts, collective.WithShards(3))
+			}
+			red, err := collective.ByName(name, opts...)
+			if err != nil {
+				return 0, err
+			}
+			got := clone()
+			if err := red.Reduce(ctx, got); err != nil {
+				return 0, err
+			}
+			for r := range got {
+				for i := range got[r] {
+					if d := math.Abs(got[r][i] - want[r][i]); d > maxDiv {
+						maxDiv = d
+					}
+				}
+			}
+		}
+	}
+	return maxDiv, nil
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"trainbox/internal/workload"
+)
+
+func TestSyncStudyShapeAndHeadlines(t *testing.T) {
+	r, err := SyncStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Table.Rows) < 3 {
+		t.Fatalf("sync study has %d box-count rows, want >= 3", len(r.Table.Rows))
+	}
+	// The functional cross-check is the acceptance criterion: every
+	// backend bit-identical to the ring.
+	if r.MaxDivergence != 0 {
+		t.Errorf("MaxDivergence = %g, want exactly 0", r.MaxDivergence)
+	}
+	if r.RingMs <= 0 || r.PSMs <= 0 || r.HostRingEthMs <= 0 || r.InNetworkMs <= 0 {
+		t.Errorf("missing 256-accel headline latencies: %+v", r)
+	}
+	// 4× compression over the same ports must beat the host eth ring by
+	// a factor in (1, compression·2]: the ring moves ~2 copies per port,
+	// the offload moves 2 compressed copies.
+	if r.InNetworkSpeedup <= 1 || r.InNetworkSpeedup > 8.5 {
+		t.Errorf("InNetworkSpeedup = %.2f, want in (1, 8.5]", r.InNetworkSpeedup)
+	}
+	// The dedicated PS tier at one shard box per train box is
+	// server-ingest bound (8 workers per shard), so it must cost more
+	// than the bandwidth-optimal ring on the same fabric.
+	if r.PSMs <= r.RingMs {
+		t.Errorf("PS (%.3fms) unexpectedly beat the ring (%.3fms)", r.PSMs, r.RingMs)
+	}
+
+	// Largest row must be the paper's 256-accel target.
+	last := r.Table.Rows[len(r.Table.Rows)-1]
+	if last[1] != "256" {
+		t.Errorf("last row accels = %s, want 256 (workload.TargetAccelerators=%d)",
+			last[1], workload.TargetAccelerators)
+	}
+}
+
+func TestSyncStudyDeterministic(t *testing.T) {
+	a, err := SyncStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SyncStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Table.Rows, b.Table.Rows) {
+		t.Error("sync study rows differ between runs")
+	}
+	if a.InNetworkSpeedup != b.InNetworkSpeedup || a.MaxDivergence != b.MaxDivergence {
+		t.Error("sync study headlines differ between runs")
+	}
+}

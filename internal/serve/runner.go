@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"trainbox/internal/collective"
 	"trainbox/internal/dataprep"
 	"trainbox/internal/dscache"
 	"trainbox/internal/fpga"
@@ -90,6 +91,7 @@ type TrainRunner struct {
 	keys   []string
 	imgCfg dataprep.ImageConfig
 	cache  *dscache.Cache
+	sync   collective.Reducer
 }
 
 // NewTrainRunner builds the backend's shared corpus: corpusItems
@@ -122,6 +124,25 @@ func (r *TrainRunner) Store() *storage.Store { return r.store }
 func (r *TrainRunner) EnableCache(budget units.Bytes, reg *metrics.Registry) *dscache.Cache {
 	r.cache = dscache.New(budget, dscache.WithName("serve")).WithMetrics(reg)
 	return r.cache
+}
+
+// EnableSync selects the gradient-sync backend every job this backend
+// runs will use ("ring", "tree", "halving", or "ps" — see
+// collective.Backends). All backends produce bit-identical models, so
+// switching is a topology/telemetry choice, not a numerics one; extra
+// options (collective.WithShards, WithFaults, WithRetry) tune the
+// parameter-server tier. Call before serving traffic; the reducer is
+// metered into reg when non-nil.
+func (r *TrainRunner) EnableSync(backend string, reg *metrics.Registry, opts ...collective.Option) (collective.Reducer, error) {
+	if reg != nil {
+		opts = append(opts, collective.WithMetrics(reg))
+	}
+	red, err := collective.ByName(backend, opts...)
+	if err != nil {
+		return nil, err
+	}
+	r.sync = red
+	return red, nil
 }
 
 // ImageConfig returns the preparation config pooled device emulators
@@ -199,6 +220,9 @@ func (r *TrainRunner) run(ctx context.Context, id string, spec JobSpec, e Elasti
 	}
 
 	opts := []train.Option{train.WithFeature(blockFeature)}
+	if r.sync != nil {
+		opts = append(opts, train.WithSync(r.sync))
+	}
 	if e.Suspender != nil {
 		opts = append(opts, train.WithSuspender(e.Suspender))
 	}

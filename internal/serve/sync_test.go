@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"trainbox/internal/collective"
+	"trainbox/internal/metrics"
+)
+
+// TestServeSyncBackendBitIdentical: a server whose backend runs every
+// job through the parameter-server reducer produces byte-identical
+// outcomes to a default-sync server on the same spec, and the reducer's
+// telemetry lands in the server's registry.
+func TestServeSyncBackendBitIdentical(t *testing.T) {
+	const items = 8
+	spec := JobSpec{Tenant: "alice", Items: items, Epochs: 3, Replicas: 2, Seed: 5}
+
+	// Default-sync oracle (driver falls back to the ring).
+	oracleRunner, err := NewTrainRunner(items, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracleSrv := newTestServer(t, oracleRunner, WithMaxRunning(1))
+	inf, err := oracleSrv.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := waitState(t, oracleSrv, inf.ID, StateDone)
+	if oracle.Outcome == nil {
+		t.Fatalf("oracle outcome: %+v", oracle)
+	}
+
+	reg := metrics.NewRegistry()
+	runner, err := NewTrainRunner(items, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runner.EnableSync("ps", reg, collective.WithShards(2)); err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, runner, WithMetrics(reg), WithMaxRunning(1))
+	inf, err = s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitState(t, s, inf.ID, StateDone)
+	if done.Outcome == nil {
+		t.Fatalf("ps outcome: %+v", done)
+	}
+	if done.Outcome.FinalLoss != oracle.Outcome.FinalLoss || done.Outcome.Samples != oracle.Outcome.Samples {
+		t.Fatalf("ps-synced job diverged from default-sync oracle: %+v vs %+v",
+			done.Outcome, oracle.Outcome)
+	}
+
+	snap := reg.Snapshot()
+	if snap.Counters["collective.ps.rounds"] == 0 {
+		t.Fatal("collective.ps.rounds not metered into the server registry")
+	}
+	if snap.Counters["collective.ps.bytes_moved"] == 0 {
+		t.Fatal("collective.ps.bytes_moved not metered into the server registry")
+	}
+}
+
+// TestServeEnableSyncValidation: unknown backends and PS-only options on
+// non-PS backends surface as errors before any job runs.
+func TestServeEnableSyncValidation(t *testing.T) {
+	runner, err := NewTrainRunner(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runner.EnableSync("gossip", nil); err == nil ||
+		!strings.Contains(err.Error(), "unknown sync backend") {
+		t.Fatalf("unknown backend error = %v", err)
+	}
+	if _, err := runner.EnableSync("ring", nil, collective.WithShards(4)); err == nil {
+		t.Fatal("WithShards on ring must be rejected")
+	}
+	// A failed EnableSync must not leave a half-configured reducer
+	// behind: the runner still runs with the driver default.
+	if runner.sync != nil {
+		t.Fatal("failed EnableSync left a reducer installed")
+	}
+	if _, err := runner.EnableSync("halving", nil); err != nil {
+		t.Fatalf("EnableSync(halving) = %v", err)
+	}
+	if runner.sync == nil || runner.sync.Name() != "halving" {
+		t.Fatalf("runner.sync = %v, want halving reducer", runner.sync)
+	}
+}

@@ -198,6 +198,30 @@ type runOptions struct {
 	checkpointSink  func(Checkpoint)
 	restore         *Checkpoint
 	suspender       *Suspender
+	// sync is the gradient-sync backend; nil selects the default ring
+	// bound to the run's registry.
+	sync collective.Reducer
+}
+
+// WithSync selects the gradient-synchronization backend the step stage
+// reduces through — any collective.Reducer (NewRing, NewTree,
+// NewHalvingDoubling, NewParamServer, or collective.ByName). Every
+// backend honors the collective package's canonical reduction order, so
+// the trained weights are bit-identical across backends; what changes
+// is the modelled topology, its traffic accounting, and (for the
+// parameter server) the fault/retry seam. Defaults to a ring reducer
+// bound to the run's metrics registry.
+func WithSync(r collective.Reducer) Option {
+	return func(o *runOptions) error {
+		if r == nil {
+			return fmt.Errorf("train: WithSync needs a non-nil reducer")
+		}
+		if o.sync != nil {
+			return fmt.Errorf("train: WithSync configured twice")
+		}
+		o.sync = r
+		return nil
+	}
 }
 
 // WithDataset serves the run from the host data-preparation path: each
@@ -318,10 +342,11 @@ func WithFeature(f FeatureFn) Option {
 // preparation with the previous epoch's computation; an extract stage
 // converts prepared samples to model inputs into pooled buffers; the
 // serial step stage splits each epoch across replicas, backpropagates
-// in parallel (pipeline.ForEach), ring-all-reduces, and applies one
-// synchronous SGD step per minibatch. The first error anywhere — or
-// ctx being cancelled — cancels the pipeline and drains every
-// goroutine.
+// in parallel (pipeline.ForEach), reduces gradients through the
+// configured sync backend (WithSync; a ring all-reduce by default), and
+// applies one synchronous SGD step per minibatch. The first error
+// anywhere — or ctx being cancelled — cancels the pipeline and drains
+// every goroutine.
 //
 // The run is configured by options: exactly one data source
 // (WithDataset for the host executor path, WithPreparer for anything
@@ -476,10 +501,21 @@ func run(ctx context.Context, cfg Config, o runOptions) (Result, error) {
 		reg = metrics.NewRegistry()
 	}
 	tm := &trainMetrics{
-		stepNs:  reg.Histogram("train.driver.step_ns"),
-		syncNs:  reg.Histogram("train.driver.sync_ns"),
-		samples: reg.Counter("train.driver.samples"),
-		rate:    reg.Meter("train.driver.samples_rate"),
+		stepNs:     reg.Histogram("train.driver.step_ns"),
+		syncNs:     reg.Histogram("train.driver.sync_ns"),
+		syncRounds: reg.Counter("train.driver.sync_rounds"),
+		samples:    reg.Counter("train.driver.samples"),
+		rate:       reg.Meter("train.driver.samples_rate"),
+	}
+	sync := o.sync
+	if sync == nil {
+		// Default backend: the chunked ring, metered into the run's
+		// registry — bit-for-bit the behavior of the pre-Reducer driver.
+		ring, err := collective.NewRing(collective.WithMetrics(reg))
+		if err != nil {
+			return Result{}, err
+		}
+		sync = ring
 	}
 	overlap := reg.Gauge("train.driver.prep_step_overlap")
 
@@ -568,7 +604,7 @@ func run(ctx context.Context, cfg Config, o runOptions) (Result, error) {
 	step := pipeline.NewStage("step", 1, 0,
 		func(ctx context.Context, es epochSamples) ([]StepStat, error) {
 			t0 := time.Now()
-			stats, err := trainEpoch(ctx, cfg, replicas, opts, es.samples, es.epoch, tm)
+			stats, err := trainEpoch(ctx, cfg, replicas, opts, es.samples, es.epoch, sync, tm)
 			stepBusyNs.Add(time.Since(t0).Nanoseconds())
 			samplePool.Put(es.samples[:0])
 			if err != nil {
@@ -656,10 +692,11 @@ func run(ctx context.Context, cfg Config, o runOptions) (Result, error) {
 // trainMetrics carries the driver's per-step metric handles into
 // trainEpoch.
 type trainMetrics struct {
-	stepNs  *metrics.Histogram
-	syncNs  *metrics.Histogram
-	samples *metrics.Counter
-	rate    *metrics.Meter
+	stepNs     *metrics.Histogram
+	syncNs     *metrics.Histogram
+	syncRounds *metrics.Counter
+	samples    *metrics.Counter
+	rate       *metrics.Meter
 }
 
 // extract converts one prepared epoch into model samples, reusing the
@@ -677,7 +714,7 @@ func extract(batch []dataprep.Prepared, feature FeatureFn, buf []nn.Sample) ([]n
 }
 
 // trainEpoch runs synchronous data-parallel SGD over one prepared epoch.
-func trainEpoch(ctx context.Context, cfg Config, replicas []*nn.Network, opts []*nn.SGD, samples []nn.Sample, epoch int, tm *trainMetrics) ([]StepStat, error) {
+func trainEpoch(ctx context.Context, cfg Config, replicas []*nn.Network, opts []*nn.SGD, samples []nn.Sample, epoch int, sync collective.Reducer, tm *trainMetrics) ([]StepStat, error) {
 	r := cfg.Replicas
 	mb := cfg.MinibatchPerReplica
 	shard := len(samples) / r
@@ -708,10 +745,11 @@ func trainEpoch(ctx context.Context, cfg Config, replicas []*nn.Network, opts []
 		}
 
 		syncStart := time.Now()
-		if err := collective.RingAllReduce(grads); err != nil {
+		if err := sync.Reduce(ctx, grads); err != nil {
 			return nil, err
 		}
 		syncNanos := time.Since(syncStart).Nanoseconds()
+		tm.syncRounds.Inc()
 
 		global := float64(r * mb)
 		var total float64
